@@ -1,0 +1,39 @@
+// Command cstats reproduces the paper's preprocessor-usage measurements
+// (Tables 2a, 2b, and 3 of §6.1) over the synthetic corpus.
+//
+// Usage:
+//
+//	cstats                  # all tables, default corpus
+//	cstats -table 3         # just Table 3
+//	cstats -seed 7 -cfiles 200 -headers 48
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/fmlr"
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 2a, 2b, 3, or all")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	cfiles := flag.Int("cfiles", 40, "number of compilation units")
+	headers := flag.Int("headers", 24, "number of generated headers")
+	flag.Parse()
+
+	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
+
+	if *table == "all" || *table == "2a" {
+		fmt.Println(harness.Table2a(c))
+	}
+	if *table == "all" || *table == "2b" {
+		fmt.Println(harness.Table2b(c))
+	}
+	if *table == "all" || *table == "3" {
+		results := harness.Run(c, harness.RunConfig{Parser: fmlr.OptAll})
+		fmt.Println(harness.Table3(results))
+	}
+}

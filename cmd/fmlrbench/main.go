@@ -1,0 +1,55 @@
+// Command fmlrbench reproduces the paper's parser experiments (§6.2-6.3):
+// Figure 8's subparser counts per optimization level, Figure 9's SuperC vs
+// TypeChef latency comparison, Figure 10's stage breakdown, and the gcc-like
+// single-configuration baseline.
+//
+// Usage:
+//
+//	fmlrbench                 # every figure, default corpus
+//	fmlrbench -fig 8a         # one figure
+//	fmlrbench -fig 9 -cfiles 120
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to run: 8a, 8b, 9, 10, gcc, or all")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	cfiles := flag.Int("cfiles", 24, "number of compilation units")
+	headers := flag.Int("headers", 24, "number of generated headers")
+	kill := flag.Int("kill", 1000, "subparser kill switch for the MAPR rows")
+	points := flag.Int("points", 10, "CDF resolution")
+	flag.Parse()
+
+	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
+
+	if *fig == "all" || *fig == "8a" {
+		rows := harness.Figure8(c, *kill)
+		fmt.Println(harness.RenderFigure8a(rows, *kill))
+	}
+	if *fig == "all" || *fig == "8b" {
+		fmt.Println(harness.Figure8b(c, *kill, *points))
+	}
+	if *fig == "all" || *fig == "9" {
+		// The SAT-backed baseline's tail units take minutes each (the knee
+		// itself); run both arms on a 12-unit slice so the comparison stays
+		// interactive. Pass -cfiles to change the overall corpus size.
+		c9 := c
+		if len(c.CFiles) > 12 {
+			c9 = &corpus.Corpus{Params: c.Params, FS: c.FS, CFiles: c.CFiles[:12], Headers: c.Headers}
+		}
+		fmt.Println(harness.RenderFigure9(harness.Figure9(c9), *points))
+	}
+	if *fig == "all" || *fig == "10" {
+		fmt.Println(harness.Figure10(c))
+	}
+	if *fig == "all" || *fig == "gcc" {
+		fmt.Println(harness.RenderGcc(c))
+	}
+}

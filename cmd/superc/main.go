@@ -1,0 +1,245 @@
+// Command superc is the SuperC tool: a configuration-preserving C front
+// end. It preprocesses and parses a compilation unit while preserving its
+// static variability, and reports the AST, per-configuration projections,
+// and instrumentation statistics.
+//
+// Usage:
+//
+//	superc [flags] file.c
+//
+// Examples:
+//
+//	superc -I include drivers/mouse.c            # parse, print summary
+//	superc -ast file.c                           # print the variability AST
+//	superc -project 'CONFIG_SMP' file.c          # project one configuration
+//	superc -single -D CONFIG_SMP=1 file.c        # gcc-like single-config mode
+//	superc -mode sat file.c                      # TypeChef-style conditions
+//	superc -opt mapr file.c                      # naive forking baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/fmlr"
+	"repro/internal/printer"
+	"repro/internal/refactor"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func optionsByName(name string) (fmlr.Options, bool) {
+	switch name {
+	case "", "all":
+		return fmlr.OptAll, true
+	case "sharedlazy":
+		return fmlr.OptSharedLazy, true
+	case "shared":
+		return fmlr.OptShared, true
+	case "lazy":
+		return fmlr.OptLazy, true
+	case "follow":
+		return fmlr.OptFollowOnly, true
+	case "mapr":
+		return fmlr.OptMAPR, true
+	case "mapr-largest":
+		return fmlr.OptMAPRLargest, true
+	}
+	return fmlr.Options{}, false
+}
+
+func main() {
+	var includes, defines stringList
+	flag.Var(&includes, "I", "include search path (repeatable)")
+	flag.Var(&defines, "D", "macro definition NAME or NAME=VALUE (repeatable)")
+	mode := flag.String("mode", "bdd", "presence-condition representation: bdd or sat")
+	opt := flag.String("opt", "all", "parser optimization level: all, sharedlazy, shared, lazy, follow, mapr, mapr-largest")
+	single := flag.Bool("single", false, "single-configuration (gcc-like) mode")
+	printAST := flag.Bool("ast", false, "print the configuration-preserving AST")
+	project := flag.String("project", "", "comma-separated CONFIG vars to enable; prints that configuration's tokens")
+	showStats := flag.Bool("stats", true, "print preprocessing and parsing statistics")
+	check := flag.Bool("check", false, "run configuration-preserving analyses (conflicting definitions, coverage)")
+	printSrc := flag.Bool("print", false, "print the preprocessed unit as conditional C source")
+	rename := flag.String("rename", "", "configuration-preserving rename: OLD=NEW")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: superc [flags] file.c [file2.c ...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	condMode := cond.ModeBDD
+	if *mode == "sat" {
+		condMode = cond.ModeSAT
+	} else if *mode != "bdd" {
+		fmt.Fprintf(os.Stderr, "superc: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	opts, ok := optionsByName(*opt)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "superc: unknown -opt %q\n", *opt)
+		os.Exit(2)
+	}
+
+	defs := map[string]string{}
+	for _, d := range defines {
+		name, val := d, "1"
+		if i := strings.IndexByte(d, '='); i >= 0 {
+			name, val = d[:i], d[i+1:]
+		}
+		defs[name] = val
+	}
+
+	tool := core.New(core.Config{
+		IncludePaths: includes,
+		Defines:      defs,
+		CondMode:     condMode,
+		Parser:       &opts,
+		SingleConfig: *single,
+	})
+
+	exit := 0
+	ix := analysis.NewIndex(tool.Space())
+	for _, file := range flag.Args() {
+		exit |= processFile(tool, ix, file, condMode, fileFlags{
+			printAST: *printAST, project: *project, showStats: *showStats,
+			check: *check, printSrc: *printSrc, rename: *rename,
+		})
+	}
+	if *check && flag.NArg() > 1 {
+		// Cross-unit conflicts (same symbol defined in several files under
+		// overlapping conditions).
+		for _, c := range ix.ConflictingDefinitions() {
+			if c.A.File != c.B.File {
+				fmt.Printf("cross-unit conflict: %s defined in %s and %s under %s\n",
+					c.Name, c.A.File, c.B.File, tool.Space().String(c.Under))
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// fileFlags carries the per-file output options.
+type fileFlags struct {
+	printAST  bool
+	project   string
+	showStats bool
+	check     bool
+	printSrc  bool
+	rename    string
+}
+
+func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond.Mode, ff fileFlags) int {
+	res, err := tool.ParseFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "superc: %v\n", err)
+		return 1
+	}
+	printAST, project, showStats, check := ff.printAST, ff.project, ff.showStats, ff.check
+
+	exit := 0
+	for _, d := range res.Unit.Diags {
+		fmt.Fprintln(os.Stderr, d)
+		if !d.Warning {
+			exit = 1
+		}
+	}
+	for _, d := range res.Parse.Diags {
+		fmt.Fprintf(os.Stderr, "%s: parse error under %s: %s\n",
+			d.Tok.Pos(), tool.Space().String(d.Cond), d.Msg)
+		exit = 1
+	}
+	if res.Parse.Killed {
+		fmt.Fprintln(os.Stderr, "superc: subparser kill switch tripped")
+		exit = 1
+	}
+
+	if res.AST != nil && printAST {
+		fmt.Println(res.AST.StringWithConds(tool.Space()))
+	}
+	if ff.printSrc {
+		fmt.Print(printer.Forest(tool.Space(), res.Unit.Segments, printer.Options{}))
+	}
+	if res.AST != nil && ff.rename != "" {
+		parts := strings.SplitN(ff.rename, "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			fmt.Fprintln(os.Stderr, "superc: -rename wants OLD=NEW")
+			return 1
+		}
+		if col := refactor.CheckCollisions(tool.Space(), res.AST, parts[0], parts[1]); len(col) > 0 {
+			fmt.Fprintf(os.Stderr, "superc: rename collides under %s\n", tool.Space().String(col[0].Cond))
+			return 1
+		}
+		renamed, rep := refactor.Rename(tool.Space(), res.AST, parts[0], parts[1])
+		fmt.Fprintf(os.Stderr, "superc: %s\n", rep)
+		fmt.Print(printer.AST(tool.Space(), renamed, printer.Options{}))
+	}
+	if res.AST != nil && project != "" {
+		assign := map[string]bool{}
+		for _, v := range strings.Split(project, ",") {
+			v = strings.TrimSpace(v)
+			if v != "" {
+				assign["(defined "+v+")"] = true
+			}
+		}
+		proj := tool.Project(res, assign)
+		var texts []string
+		for _, tk := range proj.Tokens() {
+			texts = append(texts, tk.Text)
+		}
+		fmt.Println(strings.Join(texts, " "))
+	}
+	if showStats {
+		u := res.Unit.Stats
+		p := res.Parse.Stats
+		fmt.Printf("preprocess: %d bytes, %d tokens, %d directives, %d defines, %d invocations (%d nested, %d trimmed, %d hoisted), %d includes, %d conditionals (depth %d)\n",
+			u.Bytes, u.Tokens, u.Directives, u.MacroDefinitions,
+			u.Invocations, u.NestedInvocations, u.TrimmedInvocations, u.HoistedInvocations,
+			u.Includes, u.Conditionals, u.MaxCondDepth)
+		if res.AST != nil {
+			fmt.Printf("parse: %d iterations, max %d subparsers (p99 %d), %d forks, %d merges, %d typedef forks; AST: %d nodes, %d choice nodes\n",
+				p.Iterations, p.MaxSubparsers, p.Percentile(0.99), p.Forks, p.Merges, p.TypedefForks,
+				res.AST.Count(), res.AST.CountChoices())
+		}
+	}
+	if res.AST != nil && check {
+		unitIx := analysis.NewIndex(tool.Space())
+		unitIx.AddUnit(file, res.AST)
+		ix.AddUnit(file, res.AST)
+		conflicts := unitIx.ConflictingDefinitions()
+		for _, c := range conflicts {
+			fmt.Printf("conflict: %s (%s) defined twice under %s\n",
+				c.Name, c.A.Kind, tool.Space().String(c.Under))
+			exit = 1
+		}
+		if len(conflicts) == 0 {
+			fmt.Printf("check: %s: no conflicting definitions\n", file)
+		}
+		if condMode == cond.ModeBDD {
+			for _, cov := range unitIx.CoverageReport() {
+				if cov.Fraction < 1 {
+					fmt.Printf("coverage: %s %s exists in %.1f%% of configurations\n",
+						cov.Symbol.Kind, cov.Symbol.Name, 100*cov.Fraction)
+				}
+			}
+		}
+	}
+	if res.AST == nil {
+		fmt.Fprintln(os.Stderr, "superc: no configuration parsed successfully")
+		exit = 1
+	}
+	return exit
+}

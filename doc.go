@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "SuperC: Parsing All
+// of C by Taming the Preprocessor" (Gazzillo & Grimm, PLDI 2012): a
+// configuration-preserving C front end that preprocesses and parses every
+// static configuration of a C compilation unit at once, producing a single
+// AST with static choice nodes.
+//
+// The public entry point is internal/core (the Tool type); the root-level
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation. See README.md for a tour, DESIGN.md for the system
+// inventory and substitution notes, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,90 @@
+// arrayinit reproduces the paper's §4.5 walk-through: the Figure 6 array
+// initializer from fs/partitions/check.c, whose 18 conditionally-present
+// entries span 2^18 distinct configurations. The naive strategy (MAPR)
+// needs a subparser per configuration and dies; Fork-Merge LR parses them
+// all with a handful, and each optimization level in between shows its
+// contribution (Figure 8 in miniature).
+//
+// Run with:
+//
+//	go run ./examples/arrayinit
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fmlr"
+	"repro/internal/preprocessor"
+)
+
+func source(n int) string {
+	var b strings.Builder
+	b.WriteString("static int (*check_part[])(struct parsed_partitions *) = {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "#ifdef CONFIG_ACORN_PARTITION_%02d\n\tadfspart_check_%02d,\n#endif\n", i, i)
+	}
+	b.WriteString("\t((void *)0)\n};\n")
+	return b.String()
+}
+
+func main() {
+	const n = 18
+	src := source(n)
+	fmt.Printf("Figure 6 array initializer with %d conditional entries = 2^%d = %d configurations\n\n",
+		n, n, 1<<n)
+
+	levels := []struct {
+		name string
+		opts fmlr.Options
+	}{
+		{"Shared, Lazy, & Early", fmlr.OptAll},
+		{"Shared & Lazy", fmlr.OptSharedLazy},
+		{"Shared", fmlr.OptShared},
+		{"Lazy", fmlr.OptLazy},
+		{"Follow-Set Only", fmlr.OptFollowOnly},
+		{"MAPR & Largest First", fmlr.OptMAPRLargest},
+		{"MAPR", fmlr.OptMAPR},
+	}
+	fmt.Printf("%-24s %14s %10s %10s\n", "Optimization Level", "max subparsers", "forks", "merges")
+	for _, lv := range levels {
+		opts := lv.opts
+		opts.KillSwitch = 2000
+		tool := core.New(core.Config{FS: preprocessor.MapFS{}, Parser: &opts})
+		res, err := tool.ParseString("check.c", src)
+		if err != nil {
+			panic(err)
+		}
+		if res.Parse.Killed {
+			fmt.Printf("%-24s %14s\n", lv.name, fmt.Sprintf(">%d (killed)", opts.KillSwitch))
+			continue
+		}
+		fmt.Printf("%-24s %14d %10d %10d\n",
+			lv.name, res.Parse.Stats.MaxSubparsers, res.Parse.Stats.Forks, res.Parse.Stats.Merges)
+	}
+
+	// Show that the single AST really covers the exponential space: project
+	// a few configurations.
+	tool := core.New(core.Config{FS: preprocessor.MapFS{}})
+	res, err := tool.ParseString("check.c", src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nAST: %d nodes, %d choice nodes — one tree for all %d configurations\n",
+		res.AST.Count(), res.AST.CountChoices(), 1<<n)
+	for _, pick := range [][]int{{}, {3}, {0, 7, 17}} {
+		assign := map[string]bool{}
+		for _, i := range pick {
+			assign[fmt.Sprintf("(defined CONFIG_ACORN_PARTITION_%02d)", i)] = true
+		}
+		proj := tool.Project(res, assign)
+		entries := 0
+		for _, tk := range proj.Tokens() {
+			if strings.HasPrefix(tk.Text, "adfspart_check_") {
+				entries++
+			}
+		}
+		fmt.Printf("configuration %v: %d initializer entries present\n", pick, entries)
+	}
+}

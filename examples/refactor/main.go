@@ -1,0 +1,72 @@
+// refactor demonstrates a configuration-preserving rename — the paper's
+// motivating tool class. The symbol being renamed is defined differently in
+// three configurations and used in shared code; one rename rewrites every
+// definition and use, under every presence condition, and the result is
+// printed back as valid conditional C. A single-configuration refactoring
+// tool (the Xcode/Eclipse approaches the paper critiques) would silently
+// miss the branches its configuration disables.
+//
+// Run with:
+//
+//	go run ./examples/refactor
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/preprocessor"
+	"repro/internal/printer"
+	"repro/internal/refactor"
+)
+
+const src = `#ifdef CONFIG_SMP
+static int get_cpu_id(void) { return smp_processor_id(); }
+#elif defined(CONFIG_UP_DEBUG)
+static int get_cpu_id(void) { return debug_cpu(); }
+#else
+static int get_cpu_id(void) { return 0; }
+#endif
+
+int log_event(int code)
+{
+	return emit(code, get_cpu_id());
+}
+`
+
+func main() {
+	tool := core.New(core.Config{FS: preprocessor.MapFS{}})
+	res, err := tool.ParseString("cpu.c", src)
+	if err != nil {
+		panic(err)
+	}
+	s := tool.Space()
+
+	fmt.Println("=== Before ===")
+	fmt.Println(printer.AST(s, res.AST, printer.Options{}))
+
+	// Safety first: does the new name collide anywhere, in any
+	// configuration?
+	if col := refactor.CheckCollisions(s, res.AST, "get_cpu_id", "current_cpu"); len(col) > 0 {
+		panic(fmt.Sprintf("collision under %s", s.String(col[0].Cond)))
+	}
+
+	renamed, report := refactor.Rename(s, res.AST, "get_cpu_id", "current_cpu")
+	fmt.Println("=== Rename ===")
+	fmt.Println(report)
+	fmt.Println()
+
+	fmt.Println("=== After (all configurations, one edit) ===")
+	fmt.Println(printer.AST(s, renamed, printer.Options{}))
+
+	fmt.Println("=== Spot-check two configurations ===")
+	for _, cfg := range []struct {
+		label  string
+		assign map[string]bool
+	}{
+		{"CONFIG_SMP", map[string]bool{"(defined CONFIG_SMP)": true}},
+		{"uniprocessor", nil},
+	} {
+		fmt.Printf("--- %s ---\n%s\n", cfg.label, printer.Config(s, renamed, cfg.assign))
+	}
+}

@@ -1,0 +1,139 @@
+// sourcebrowser is a miniature configuration-preserving source browser —
+// the class of tool the paper's introduction motivates. It indexes every
+// declaration in a synthetic kernel-like source tree across ALL
+// configurations at once, reporting each symbol together with the presence
+// condition under which it exists. A single-configuration browser (like
+// LXR, which the paper cites as heuristic and incomplete) would miss every
+// symbol of the configurations it wasn't built for.
+//
+// Run with:
+//
+//	go run ./examples/sourcebrowser
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+type symbol struct {
+	name string
+	file string
+	cond string
+	kind string
+}
+
+func main() {
+	// Generate a small deterministic kernel-like tree (see internal/corpus)
+	// and index three of its compilation units.
+	c := corpus.Generate(corpus.Params{Seed: 2026, CFiles: 3, GenHeaders: 6})
+	tool := core.New(core.Config{
+		FS:           c.FS,
+		IncludePaths: []string{"include", "include/gen", "include/linux"},
+	})
+
+	var index []symbol
+	for _, cf := range c.CFiles {
+		res, err := tool.ParseFile(cf)
+		if err != nil {
+			panic(err)
+		}
+		if res.AST == nil {
+			panic(fmt.Sprintf("%s failed to parse: %v", cf, res.Parse.Diags))
+		}
+		index = append(index, collect(tool.Space(), res.AST, cf)...)
+	}
+
+	sort.Slice(index, func(i, j int) bool {
+		if index[i].file != index[j].file {
+			return index[i].file < index[j].file
+		}
+		return index[i].name < index[j].name
+	})
+
+	fmt.Printf("indexed %d top-level symbols across all configurations\n\n", len(index))
+	fmt.Printf("%-28s %-18s %-10s %s\n", "symbol", "file", "kind", "presence condition")
+	shown := 0
+	conditional := 0
+	for _, s := range index {
+		if s.cond != "1" {
+			conditional++
+		}
+		if shown < 25 {
+			fmt.Printf("%-28s %-18s %-10s %s\n", s.name, s.file, s.kind, s.cond)
+			shown++
+		}
+	}
+	if len(index) > shown {
+		fmt.Printf("... and %d more\n", len(index)-shown)
+	}
+	fmt.Printf("\n%d of %d symbols exist only under some configurations —\n", conditional, len(index))
+	fmt.Println("a single-configuration browser would miss them.")
+}
+
+// collect walks the AST gathering function definitions and declarations
+// with their presence conditions (conditions accumulate through static
+// choice nodes).
+func collect(space *cond.Space, root *ast.Node, file string) []symbol {
+	var out []symbol
+	var walk func(n *ast.Node, c cond.Cond)
+	walk = func(n *ast.Node, c cond.Cond) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case ast.KindChoice:
+			for _, alt := range n.Alts {
+				walk(alt.Node, space.And(c, alt.Cond))
+			}
+			return
+		case ast.KindToken:
+			return
+		}
+		switch n.Label {
+		case "FunctionDefinition":
+			if name := declaredName(n); name != "" {
+				out = append(out, symbol{name: name, file: file, cond: space.String(c), kind: "function"})
+			}
+			return // don't index locals
+		case "Declaration":
+			if name := declaredName(n); name != "" {
+				out = append(out, symbol{name: name, file: file, cond: space.String(c), kind: "declaration"})
+			}
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch, c)
+		}
+	}
+	walk(root, space.True())
+	return out
+}
+
+// declaredName digs out the first identifier declarator beneath a
+// declaration or function definition.
+func declaredName(n *ast.Node) string {
+	found := ""
+	ast.Walk(n, func(m *ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if m.Label == "IdentifierDeclarator" && len(m.Children) == 1 {
+			found = m.Children[0].Text()
+			return false
+		}
+		// Stay on the declarator spine: skip initializers, bodies, and
+		// struct/union member lists (members are not top-level symbols).
+		switch m.Label {
+		case "CompoundStatement", "BracedInitializer", "StructSpecifier", "EnumSpecifier":
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"repro/internal/cond"
+	"repro/internal/preprocessor"
+)
+
+// BlockCoverage counts the conditional code blocks of a preprocessed unit
+// that a single configuration enables. The paper's introduction motivates
+// configuration-preserving analysis with exactly this number: Linux
+// allyesconfig enables less than 80% of the code blocks contained in
+// conditionals (citing Tartler et al.), so any single-configuration tool is
+// blind to the rest.
+//
+// A "block" is one branch of one static conditional in the token forest
+// (nested conditionals count their branches separately, matching the
+// coverage literature).
+func BlockCoverage(s *cond.Space, segs []preprocessor.Segment, assign map[string]bool) (enabled, total int) {
+	var walk func(segs []preprocessor.Segment, live bool)
+	walk = func(segs []preprocessor.Segment, live bool) {
+		for _, sg := range segs {
+			if sg.IsToken() {
+				continue
+			}
+			for _, br := range sg.Cond.Branches {
+				total++
+				branchLive := live && s.Eval(br.Cond, assign)
+				if branchLive {
+					enabled++
+				}
+				walk(br.Segs, branchLive)
+			}
+		}
+	}
+	walk(segs, true)
+	return enabled, total
+}
+
+// AllYes returns the configuration that defines every CONFIG_* style
+// variable the space has seen — the analogue of Linux allyesconfig. vars
+// lists the presence-condition variable names to enable (typically
+// "(defined CONFIG_X)" forms collected by the caller).
+func AllYes(vars []string) map[string]bool {
+	m := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		m[v] = true
+	}
+	return m
+}

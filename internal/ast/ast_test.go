@@ -1,0 +1,170 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/token"
+)
+
+func leaf(text string) *Node {
+	return Leaf(token.Token{Kind: token.Identifier, Text: text})
+}
+
+func TestNewDropsNil(t *testing.T) {
+	n := New("Decl", leaf("int"), nil, leaf("x"), nil)
+	if len(n.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(n.Children))
+	}
+	if n.Label != "Decl" || n.Kind != KindNode {
+		t.Errorf("node = %+v", n)
+	}
+}
+
+func TestListFlattening(t *testing.T) {
+	l1 := List("Stmts", leaf("a"))
+	l2 := List("Stmts", l1, leaf("b"))
+	l3 := List("Stmts", l2, leaf("c"))
+	if len(l3.Children) != 3 {
+		t.Fatalf("flattened list has %d children, want 3", len(l3.Children))
+	}
+	texts := make([]string, len(l3.Children))
+	for i, c := range l3.Children {
+		texts[i] = c.Text()
+	}
+	if strings.Join(texts, "") != "abc" {
+		t.Errorf("list order: %v", texts)
+	}
+	// Lists with different labels are not spliced.
+	other := List("Args", l3)
+	if len(other.Children) != 1 {
+		t.Error("different-label list was flattened")
+	}
+}
+
+func TestNestedChoiceProjection(t *testing.T) {
+	// Nested choices must stay nested: the inner conditions are only
+	// meaningful under the outer alternative's condition. Here the inner
+	// choice distinguishes A under B; flattening A into the outer level
+	// would wrongly shadow the !B alternative for configs with A and !B.
+	s := cond.NewSpace(cond.ModeBDD)
+	a, b := s.Var("A"), s.Var("B")
+	inner := NewChoice(
+		Choice{Cond: a, Node: leaf("x")},
+		Choice{Cond: s.Not(a), Node: leaf("y")},
+	)
+	outer := NewChoice(
+		Choice{Cond: b, Node: inner},
+		Choice{Cond: s.Not(b), Node: leaf("z")},
+	)
+	cases := []struct {
+		assign map[string]bool
+		want   string
+	}{
+		{map[string]bool{"A": true, "B": true}, "x"},
+		{map[string]bool{"B": true}, "y"},
+		{map[string]bool{"A": true}, "z"}, // A alone must NOT select x
+		{nil, "z"},
+	}
+	for _, c := range cases {
+		got := Project(s, outer, c.assign)
+		if got.Text() != c.want {
+			t.Errorf("%v: got %q, want %q", c.assign, got.Text(), c.want)
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	tree := New("Stmt",
+		leaf("before"),
+		NewChoice(
+			Choice{Cond: a, Node: leaf("yes")},
+			Choice{Cond: s.Not(a), Node: leaf("no")},
+		),
+		leaf("after"),
+	)
+	on := Project(s, tree, map[string]bool{"A": true})
+	toks := on.Tokens()
+	if len(toks) != 3 || toks[1].Text != "yes" {
+		t.Errorf("projection under A: %v", toks)
+	}
+	off := Project(s, tree, nil)
+	toks = off.Tokens()
+	if len(toks) != 3 || toks[1].Text != "no" {
+		t.Errorf("projection under !A: %v", toks)
+	}
+}
+
+func TestProjectAbsentAlternative(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	tree := New("Stmt",
+		NewChoice(Choice{Cond: a, Node: leaf("only")}),
+		leaf("rest"),
+	)
+	p := Project(s, tree, nil) // A false: choice vanishes
+	toks := p.Tokens()
+	if len(toks) != 1 || toks[0].Text != "rest" {
+		t.Errorf("projection: %v", toks)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	tree := New("Top",
+		leaf("x"),
+		NewChoice(
+			Choice{Cond: a, Node: leaf("y")},
+			Choice{Cond: s.Not(a), Node: nil},
+		),
+	)
+	if got := tree.Count(); got != 4 { // Top, x, Choice, y
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := tree.CountChoices(); got != 1 {
+		t.Errorf("CountChoices = %d, want 1", got)
+	}
+}
+
+func TestSharedSubtreeCountedOnce(t *testing.T) {
+	shared := leaf("s")
+	tree := New("Top", shared, New("Mid", shared))
+	if got := tree.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3 (shared leaf once)", got)
+	}
+}
+
+func TestFindAndWalkPrune(t *testing.T) {
+	tree := New("A", New("B", leaf("x")), New("B", leaf("y")), New("C"))
+	if got := len(Find(tree, "B")); got != 2 {
+		t.Errorf("Find(B) = %d", got)
+	}
+	// Pruning at B must not visit leaves.
+	var visited []string
+	Walk(tree, func(n *Node) bool {
+		if n.Kind == KindToken {
+			visited = append(visited, n.Text())
+		}
+		return n.Label != "B"
+	})
+	if len(visited) != 0 {
+		t.Errorf("prune failed: visited %v", visited)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	tree := New("Decl", leaf("int"),
+		NewChoice(Choice{Cond: a, Node: leaf("x")}))
+	out := tree.StringWithConds(s)
+	for _, want := range []string{"(Decl", `"int"`, "(Choice", "[A]", `"x"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

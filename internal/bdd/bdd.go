@@ -1,0 +1,475 @@
+// Package bdd implements reduced, ordered binary decision diagrams (ROBDDs).
+//
+// SuperC represents presence conditions — the boolean formulas over
+// configuration variables under which a token, macro definition, or AST
+// branch is present — as BDDs (paper §3.2). BDDs are canonical: two boolean
+// functions are equal if and only if their BDD node identities are equal,
+// which makes feasibility tests (c1 ∧ c2 = false) and condition comparison
+// constant-time once the diagram is built.
+//
+// The implementation is a classic hash-consed node store with an operation
+// cache. Nodes are referenced by dense int32 ids; ids 0 and 1 are the False
+// and True terminals. A Factory owns all nodes; Node values from different
+// factories must not be mixed.
+package bdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Node identifies a BDD node within its Factory. The zero value is the False
+// terminal of every factory.
+type Node int32
+
+// Terminal nodes, valid in every Factory.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// node is the internal node representation: a variable level and two
+// children. Terminals use level = terminalLevel.
+type node struct {
+	level  int32 // variable order position; smaller levels closer to the root
+	lo, hi Node  // low (var=false) and high (var=true) children
+}
+
+const terminalLevel = math.MaxInt32
+
+type opKind uint8
+
+const (
+	opAnd opKind = iota
+	opOr
+	opXor
+	opNot
+)
+
+type opKey struct {
+	op   opKind
+	a, b Node
+}
+
+// Factory allocates and owns BDD nodes. It is not safe for concurrent use.
+type Factory struct {
+	nodes    []node
+	unique   map[node]Node
+	cache    map[opKey]Node
+	names    []string       // level -> variable name
+	varIndex map[string]int // name -> level
+}
+
+// NewFactory returns an empty factory containing only the two terminals.
+func NewFactory() *Factory {
+	f := &Factory{
+		unique:   make(map[node]Node),
+		cache:    make(map[opKey]Node),
+		varIndex: make(map[string]int),
+	}
+	// Terminal slots. Their children are self-loops and never traversed.
+	f.nodes = append(f.nodes,
+		node{level: terminalLevel, lo: False, hi: False},
+		node{level: terminalLevel, lo: True, hi: True},
+	)
+	return f
+}
+
+// NumVars reports how many distinct variables have been created.
+func (f *Factory) NumVars() int { return len(f.names) }
+
+// NumNodes reports the total number of allocated nodes, including terminals.
+func (f *Factory) NumNodes() int { return len(f.nodes) }
+
+// Var returns the BDD for the variable with the given name, creating the
+// variable (at the next order position) if it does not exist yet.
+func (f *Factory) Var(name string) Node {
+	lvl, ok := f.varIndex[name]
+	if !ok {
+		lvl = len(f.names)
+		f.names = append(f.names, name)
+		f.varIndex[name] = lvl
+	}
+	return f.mk(int32(lvl), False, True)
+}
+
+// VarName returns the name of the variable at the root of n. It panics if n
+// is a terminal.
+func (f *Factory) VarName(n Node) string {
+	lvl := f.nodes[n].level
+	if lvl == terminalLevel {
+		panic("bdd: VarName of terminal")
+	}
+	return f.names[lvl]
+}
+
+// HasVar reports whether a variable with the given name has been created.
+func (f *Factory) HasVar(name string) bool {
+	_, ok := f.varIndex[name]
+	return ok
+}
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rules: identical children collapse, duplicates are shared.
+func (f *Factory) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if id, ok := f.unique[key]; ok {
+		return id
+	}
+	id := Node(len(f.nodes))
+	f.nodes = append(f.nodes, key)
+	f.unique[key] = id
+	return id
+}
+
+// Not returns the negation of a.
+func (f *Factory) Not(a Node) Node {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	key := opKey{op: opNot, a: a}
+	if r, ok := f.cache[key]; ok {
+		return r
+	}
+	n := f.nodes[a]
+	r := f.mk(n.level, f.Not(n.lo), f.Not(n.hi))
+	f.cache[key] = r
+	return r
+}
+
+// And returns the conjunction of a and b.
+func (f *Factory) And(a, b Node) Node { return f.apply(opAnd, a, b) }
+
+// Or returns the disjunction of a and b.
+func (f *Factory) Or(a, b Node) Node { return f.apply(opOr, a, b) }
+
+// Xor returns the exclusive disjunction of a and b.
+func (f *Factory) Xor(a, b Node) Node { return f.apply(opXor, a, b) }
+
+// Implies returns ¬a ∨ b.
+func (f *Factory) Implies(a, b Node) Node { return f.Or(f.Not(a), b) }
+
+// Equiv returns the biconditional a ↔ b.
+func (f *Factory) Equiv(a, b Node) Node { return f.Not(f.Xor(a, b)) }
+
+// AndNot returns a ∧ ¬b, the common "trim away b" operation on presence
+// conditions.
+func (f *Factory) AndNot(a, b Node) Node { return f.And(a, f.Not(b)) }
+
+func (f *Factory) apply(op opKind, a, b Node) Node {
+	// Terminal cases.
+	switch op {
+	case opAnd:
+		if a == False || b == False {
+			return False
+		}
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == True || b == True {
+			return True
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXor:
+		if a == b {
+			return False
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == True {
+			return f.Not(b)
+		}
+		if b == True {
+			return f.Not(a)
+		}
+	}
+	// Commutative: normalize operand order for better cache hits.
+	if a > b {
+		a, b = b, a
+	}
+	key := opKey{op: op, a: a, b: b}
+	if r, ok := f.cache[key]; ok {
+		return r
+	}
+	na, nb := f.nodes[a], f.nodes[b]
+	var lvl int32
+	var alo, ahi, blo, bhi Node
+	switch {
+	case na.level == nb.level:
+		lvl, alo, ahi, blo, bhi = na.level, na.lo, na.hi, nb.lo, nb.hi
+	case na.level < nb.level:
+		lvl, alo, ahi, blo, bhi = na.level, na.lo, na.hi, b, b
+	default:
+		lvl, alo, ahi, blo, bhi = nb.level, a, a, nb.lo, nb.hi
+	}
+	r := f.mk(lvl, f.apply(op, alo, blo), f.apply(op, ahi, bhi))
+	f.cache[key] = r
+	return r
+}
+
+// Ite returns if-then-else: (c ∧ t) ∨ (¬c ∧ e).
+func (f *Factory) Ite(c, t, e Node) Node {
+	return f.Or(f.And(c, t), f.And(f.Not(c), e))
+}
+
+// Restrict returns a with the named variable fixed to val. If the variable
+// has never been created, a is returned unchanged.
+func (f *Factory) Restrict(a Node, name string, val bool) Node {
+	lvl, ok := f.varIndex[name]
+	if !ok {
+		return a
+	}
+	return f.restrict(a, int32(lvl), val, make(map[Node]Node))
+}
+
+func (f *Factory) restrict(a Node, lvl int32, val bool, memo map[Node]Node) Node {
+	n := f.nodes[a]
+	if n.level > lvl {
+		return a // terminal or below the variable in the order
+	}
+	if r, ok := memo[a]; ok {
+		return r
+	}
+	var r Node
+	if n.level == lvl {
+		if val {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	} else {
+		r = f.mk(n.level, f.restrict(n.lo, lvl, val, memo), f.restrict(n.hi, lvl, val, memo))
+	}
+	memo[a] = r
+	return r
+}
+
+// Exists existentially quantifies the named variable out of a.
+func (f *Factory) Exists(a Node, name string) Node {
+	return f.Or(f.Restrict(a, name, false), f.Restrict(a, name, true))
+}
+
+// IsFalse reports whether a is the unsatisfiable constant.
+func (f *Factory) IsFalse(a Node) bool { return a == False }
+
+// IsTrue reports whether a is the valid constant.
+func (f *Factory) IsTrue(a Node) bool { return a == True }
+
+// SatCount returns the number of satisfying assignments of a over all
+// variables created so far, as a float64 (counts overflow int64 quickly).
+func (f *Factory) SatCount(a Node) float64 {
+	memo := make(map[Node]float64)
+	return f.satCount(a, memo) * math.Pow(2, float64(f.levelOf(a)))
+}
+
+func (f *Factory) levelOf(a Node) int32 {
+	lvl := f.nodes[a].level
+	if lvl == terminalLevel {
+		return int32(len(f.names))
+	}
+	return lvl
+}
+
+// satCount returns satisfying assignments over variables at or below a's
+// level; the caller scales for skipped variables above.
+func (f *Factory) satCount(a Node, memo map[Node]float64) float64 {
+	if a == False {
+		return 0
+	}
+	if a == True {
+		return 1
+	}
+	if c, ok := memo[a]; ok {
+		return c
+	}
+	n := f.nodes[a]
+	lo := f.satCount(n.lo, memo) * math.Pow(2, float64(f.levelOf(n.lo)-n.level-1))
+	hi := f.satCount(n.hi, memo) * math.Pow(2, float64(f.levelOf(n.hi)-n.level-1))
+	c := lo + hi
+	memo[a] = c
+	return c
+}
+
+// AnySat returns one satisfying assignment of a as a map from variable name
+// to value, mentioning only the variables on the chosen path. It returns nil
+// and false when a is unsatisfiable.
+func (f *Factory) AnySat(a Node) (map[string]bool, bool) {
+	if a == False {
+		return nil, false
+	}
+	assign := make(map[string]bool)
+	for a != True {
+		n := f.nodes[a]
+		name := f.names[n.level]
+		if n.hi != False {
+			assign[name] = true
+			a = n.hi
+		} else {
+			assign[name] = false
+			a = n.lo
+		}
+	}
+	return assign, true
+}
+
+// Support returns the sorted names of variables the function a depends on.
+func (f *Factory) Support(a Node) []string {
+	seen := make(map[int32]bool)
+	visited := make(map[Node]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == False || n == True || visited[n] {
+			return
+		}
+		visited[n] = true
+		nd := f.nodes[n]
+		seen[nd.level] = true
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	walk(a)
+	names := make([]string, 0, len(seen))
+	for lvl := range seen {
+		names = append(names, f.names[lvl])
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a as a sum-of-products formula over variable names, e.g.
+// "A&!B | !A". Terminals render as "1" and "0". The rendering enumerates the
+// satisfying paths of the diagram; it is meant for diagnostics and tests, not
+// for minimal formulas.
+func (f *Factory) String(a Node) string {
+	switch a {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	var cubes []string
+	var lits []string
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == False {
+			return
+		}
+		if n == True {
+			cubes = append(cubes, strings.Join(lits, "&"))
+			return
+		}
+		nd := f.nodes[n]
+		lits = append(lits, "!"+f.names[nd.level])
+		walk(nd.lo)
+		lits = lits[:len(lits)-1]
+		lits = append(lits, f.names[nd.level])
+		walk(nd.hi)
+		lits = lits[:len(lits)-1]
+	}
+	walk(a)
+	if len(cubes) == 0 {
+		return "0"
+	}
+	return strings.Join(cubes, " | ")
+}
+
+// Eval evaluates a under the given assignment; variables absent from the
+// assignment default to false.
+func (f *Factory) Eval(a Node, assign map[string]bool) bool {
+	for a != False && a != True {
+		n := f.nodes[a]
+		if assign[f.names[n.level]] {
+			a = n.hi
+		} else {
+			a = n.lo
+		}
+	}
+	return a == True
+}
+
+// Size returns the number of nodes reachable from a, including terminals.
+// This is the size of the function's diagram, as opposed to NumNodes, which
+// counts every node the factory has ever allocated.
+func (f *Factory) Size(a Node) int {
+	visited := map[Node]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		if n == False || n == True {
+			return
+		}
+		nd := f.nodes[n]
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	walk(a)
+	return len(visited)
+}
+
+// CacheStats describes the size of the factory's internal tables.
+type CacheStats struct {
+	Nodes   int
+	Unique  int
+	OpCache int
+	Vars    int
+}
+
+// Stats returns current table sizes, useful when tuning workloads.
+func (f *Factory) Stats() CacheStats {
+	return CacheStats{
+		Nodes:   len(f.nodes),
+		Unique:  len(f.unique),
+		OpCache: len(f.cache),
+		Vars:    len(f.names),
+	}
+}
+
+// Dump writes a textual listing of the diagram rooted at a, one node per
+// line, for debugging.
+func (f *Factory) Dump(a Node) string {
+	var b strings.Builder
+	visited := make(map[Node]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == False || n == True || visited[n] {
+			return
+		}
+		visited[n] = true
+		nd := f.nodes[n]
+		fmt.Fprintf(&b, "@%d: %s ? @%d : @%d\n", n, f.names[nd.level], nd.hi, nd.lo)
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	walk(a)
+	return b.String()
+}

@@ -1,0 +1,475 @@
+package bdd
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	f := NewFactory()
+	if !f.IsFalse(False) || f.IsTrue(False) {
+		t.Error("False terminal misclassified")
+	}
+	if !f.IsTrue(True) || f.IsFalse(True) {
+		t.Error("True terminal misclassified")
+	}
+	if f.NumNodes() != 2 {
+		t.Errorf("fresh factory has %d nodes, want 2", f.NumNodes())
+	}
+}
+
+func TestVarCanonical(t *testing.T) {
+	f := NewFactory()
+	a1 := f.Var("A")
+	a2 := f.Var("A")
+	if a1 != a2 {
+		t.Errorf("Var(A) not canonical: %d vs %d", a1, a2)
+	}
+	b := f.Var("B")
+	if a1 == b {
+		t.Error("distinct variables share a node")
+	}
+	if f.NumVars() != 2 {
+		t.Errorf("NumVars = %d, want 2", f.NumVars())
+	}
+	if got := f.VarName(a1); got != "A" {
+		t.Errorf("VarName = %q, want A", got)
+	}
+}
+
+func TestBasicIdentities(t *testing.T) {
+	f := NewFactory()
+	a := f.Var("A")
+	b := f.Var("B")
+
+	cases := []struct {
+		name string
+		got  Node
+		want Node
+	}{
+		{"A&!A", f.And(a, f.Not(a)), False},
+		{"A|!A", f.Or(a, f.Not(a)), True},
+		{"A&A", f.And(a, a), a},
+		{"A|A", f.Or(a, a), a},
+		{"A&1", f.And(a, True), a},
+		{"A&0", f.And(a, False), False},
+		{"A|0", f.Or(a, False), a},
+		{"A|1", f.Or(a, True), True},
+		{"!!A", f.Not(f.Not(a)), a},
+		{"A^A", f.Xor(a, a), False},
+		{"A^0", f.Xor(a, False), a},
+		{"A^1", f.Xor(a, True), f.Not(a)},
+		{"A->A", f.Implies(a, a), True},
+		{"A<->A", f.Equiv(a, a), True},
+		{"A&!B then &B", f.And(f.AndNot(a, b), b), False},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got node %d (%s), want node %d (%s)",
+				c.name, c.got, f.String(c.got), c.want, f.String(c.want))
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	f := NewFactory()
+	a := f.Var("A")
+	b := f.Var("B")
+	c := f.Var("C")
+
+	// Distribution: A & (B | C) == (A & B) | (A & C)
+	lhs := f.And(a, f.Or(b, c))
+	rhs := f.Or(f.And(a, b), f.And(a, c))
+	if lhs != rhs {
+		t.Errorf("distribution not canonical: %s vs %s", f.String(lhs), f.String(rhs))
+	}
+
+	// De Morgan: !(A & B) == !A | !B
+	lhs = f.Not(f.And(a, b))
+	rhs = f.Or(f.Not(a), f.Not(b))
+	if lhs != rhs {
+		t.Errorf("De Morgan not canonical: %s vs %s", f.String(lhs), f.String(rhs))
+	}
+
+	// Commutativity under different construction orders.
+	lhs = f.And(f.Or(c, a), b)
+	rhs = f.And(b, f.Or(a, c))
+	if lhs != rhs {
+		t.Error("commuted construction yields different nodes")
+	}
+}
+
+func TestIte(t *testing.T) {
+	f := NewFactory()
+	a, b, c := f.Var("A"), f.Var("B"), f.Var("C")
+	ite := f.Ite(a, b, c)
+	want := f.Or(f.And(a, b), f.And(f.Not(a), c))
+	if ite != want {
+		t.Errorf("Ite mismatch: %s vs %s", f.String(ite), f.String(want))
+	}
+	if f.Ite(True, b, c) != b || f.Ite(False, b, c) != c {
+		t.Error("Ite with constant condition")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var("A"), f.Var("B")
+	g := f.Or(f.And(a, b), f.Not(a)) // A&B | !A
+
+	if got := f.Restrict(g, "A", true); got != b {
+		t.Errorf("g|A=1 should be B, got %s", f.String(got))
+	}
+	if got := f.Restrict(g, "A", false); got != True {
+		t.Errorf("g|A=0 should be 1, got %s", f.String(got))
+	}
+	if got := f.Restrict(g, "Z", true); got != g {
+		t.Error("restricting an unknown variable changed the function")
+	}
+}
+
+func TestExists(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var("A"), f.Var("B")
+	g := f.And(a, b)
+	if got := f.Exists(g, "A"); got != b {
+		t.Errorf("∃A. A&B should be B, got %s", f.String(got))
+	}
+	if got := f.Exists(a, "A"); got != True {
+		t.Errorf("∃A. A should be 1, got %s", f.String(got))
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	f := NewFactory()
+	a, b, c := f.Var("A"), f.Var("B"), f.Var("C")
+
+	if n := f.SatCount(True); n != 8 {
+		t.Errorf("SatCount(1) over 3 vars = %v, want 8", n)
+	}
+	if n := f.SatCount(False); n != 0 {
+		t.Errorf("SatCount(0) = %v, want 0", n)
+	}
+	if n := f.SatCount(a); n != 4 {
+		t.Errorf("SatCount(A) = %v, want 4", n)
+	}
+	if n := f.SatCount(f.And(a, b)); n != 2 {
+		t.Errorf("SatCount(A&B) = %v, want 2", n)
+	}
+	if n := f.SatCount(f.Or(f.And(a, b), c)); n != 5 {
+		t.Errorf("SatCount(A&B|C) = %v, want 5", n)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var("A"), f.Var("B")
+	g := f.And(a, f.Not(b))
+	assign, ok := f.AnySat(g)
+	if !ok {
+		t.Fatal("A&!B should be satisfiable")
+	}
+	if !f.Eval(g, assign) {
+		t.Errorf("AnySat assignment %v does not satisfy the function", assign)
+	}
+	if _, ok := f.AnySat(False); ok {
+		t.Error("False should not be satisfiable")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var("A"), f.Var("B")
+	f.Var("C") // created but unused
+	g := f.Or(a, b)
+	sup := f.Support(g)
+	if len(sup) != 2 || sup[0] != "A" || sup[1] != "B" {
+		t.Errorf("Support = %v, want [A B]", sup)
+	}
+	if len(f.Support(True)) != 0 {
+		t.Error("terminal has nonempty support")
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var("A"), f.Var("B")
+	g := f.Xor(a, b)
+	cases := []struct {
+		m    map[string]bool
+		want bool
+	}{
+		{map[string]bool{"A": true, "B": false}, true},
+		{map[string]bool{"A": false, "B": true}, true},
+		{map[string]bool{"A": true, "B": true}, false},
+		{map[string]bool{}, false},
+	}
+	for _, c := range cases {
+		if got := f.Eval(g, c.m); got != c.want {
+			t.Errorf("Eval(A^B, %v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	f := NewFactory()
+	a := f.Var("A")
+	if s := f.String(True); s != "1" {
+		t.Errorf("String(1) = %q", s)
+	}
+	if s := f.String(False); s != "0" {
+		t.Errorf("String(0) = %q", s)
+	}
+	if s := f.String(a); s != "A" {
+		t.Errorf("String(A) = %q", s)
+	}
+	if s := f.String(f.Not(a)); s != "!A" {
+		t.Errorf("String(!A) = %q", s)
+	}
+}
+
+func TestHasVarAndStats(t *testing.T) {
+	f := NewFactory()
+	f.Var("A")
+	if !f.HasVar("A") || f.HasVar("B") {
+		t.Error("HasVar wrong")
+	}
+	st := f.Stats()
+	if st.Vars != 1 || st.Nodes < 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// randomExpr builds a random boolean function over nvars variables both as a
+// BDD and as an evaluable closure, for cross-checking.
+func randomExpr(f *Factory, r *rand.Rand, vars []string, depth int) (Node, func(map[string]bool) bool) {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return True, func(map[string]bool) bool { return true }
+		case 1:
+			return False, func(map[string]bool) bool { return false }
+		default:
+			name := vars[r.Intn(len(vars))]
+			return f.Var(name), func(m map[string]bool) bool { return m[name] }
+		}
+	}
+	l, lf := randomExpr(f, r, vars, depth-1)
+	rr, rf := randomExpr(f, r, vars, depth-1)
+	switch r.Intn(4) {
+	case 0:
+		return f.And(l, rr), func(m map[string]bool) bool { return lf(m) && rf(m) }
+	case 1:
+		return f.Or(l, rr), func(m map[string]bool) bool { return lf(m) || rf(m) }
+	case 2:
+		return f.Xor(l, rr), func(m map[string]bool) bool { return lf(m) != rf(m) }
+	default:
+		return f.Not(l), func(m map[string]bool) bool { return !lf(m) }
+	}
+}
+
+// TestRandomAgainstTruthTable cross-checks BDD construction against direct
+// evaluation on all 2^n assignments for random formulas.
+func TestRandomAgainstTruthTable(t *testing.T) {
+	vars := []string{"A", "B", "C", "D"}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		f := NewFactory()
+		for _, v := range vars {
+			f.Var(v)
+		}
+		n, eval := randomExpr(f, r, vars, 5)
+		for bits := 0; bits < 1<<len(vars); bits++ {
+			m := make(map[string]bool)
+			for i, v := range vars {
+				m[v] = bits&(1<<i) != 0
+			}
+			if f.Eval(n, m) != eval(m) {
+				t.Fatalf("trial %d: BDD and direct evaluation disagree on %v\n%s",
+					trial, m, f.Dump(n))
+			}
+		}
+	}
+}
+
+// TestQuickCanonicalEquivalence: for random pairs of formulas, semantic
+// equivalence (agreement on all assignments) must coincide with node
+// identity. This is the canonicity property SuperC relies on.
+func TestQuickCanonicalEquivalence(t *testing.T) {
+	vars := []string{"A", "B", "C"}
+	r := rand.New(rand.NewSource(7))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := NewFactory()
+		for _, v := range vars {
+			f.Var(v)
+		}
+		n1, e1 := randomExpr(f, rr, vars, 4)
+		n2, e2 := randomExpr(f, rr, vars, 4)
+		equal := true
+		for bits := 0; bits < 1<<len(vars); bits++ {
+			m := make(map[string]bool)
+			for i, v := range vars {
+				m[v] = bits&(1<<i) != 0
+			}
+			if e1(m) != e2(m) {
+				equal = false
+				break
+			}
+		}
+		return equal == (n1 == n2)
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSatCountMatchesEnumeration checks SatCount against brute-force
+// enumeration for random functions.
+func TestQuickSatCountMatchesEnumeration(t *testing.T) {
+	vars := []string{"A", "B", "C", "D"}
+	r := rand.New(rand.NewSource(99))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := NewFactory()
+		for _, v := range vars {
+			f.Var(v)
+		}
+		n, eval := randomExpr(f, rr, vars, 4)
+		count := 0
+		for bits := 0; bits < 1<<len(vars); bits++ {
+			m := make(map[string]bool)
+			for i, v := range vars {
+				m[v] = bits&(1<<i) != 0
+			}
+			if eval(m) {
+				count++
+			}
+		}
+		return f.SatCount(n) == float64(count)
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRestrictShannon checks the Shannon expansion:
+// f == (x & f|x=1) | (!x & f|x=0).
+func TestQuickRestrictShannon(t *testing.T) {
+	vars := []string{"A", "B", "C"}
+	r := rand.New(rand.NewSource(5))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := NewFactory()
+		for _, v := range vars {
+			f.Var(v)
+		}
+		n, _ := randomExpr(f, rr, vars, 4)
+		for _, v := range vars {
+			x := f.Var(v)
+			expand := f.Or(
+				f.And(x, f.Restrict(n, v, true)),
+				f.And(f.Not(x), f.Restrict(n, v, false)))
+			if expand != n {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeConjunctionChain(t *testing.T) {
+	// The presence-condition pattern from the paper's Figure 6 follow-set:
+	// !b2 & !b5 & !b8 & ... must stay linear in BDD size.
+	f := NewFactory()
+	acc := True
+	for i := 0; i < 200; i++ {
+		acc = f.And(acc, f.Not(f.Var(varName(i))))
+	}
+	if acc == False {
+		t.Fatal("conjunction of distinct negated vars is satisfiable")
+	}
+	if sz := f.Size(acc); sz > 200+2 {
+		t.Errorf("conjunction chain blew up: diagram has %d nodes, want <= 202", sz)
+	}
+	// Disjoining back each variable eliminates it, as in subparser merging.
+	merged := acc
+	for i := 0; i < 200; i++ {
+		rest := f.Exists(merged, varName(i))
+		v := f.Var(varName(i))
+		merged = f.Or(f.And(merged, f.Not(v)), f.And(rest, v))
+	}
+	if merged != True {
+		t.Errorf("re-disjoining all branches should yield 1, got %s", f.String(merged))
+	}
+}
+
+func varName(i int) string {
+	return "CONFIG_" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+}
+
+func BenchmarkAndChain(b *testing.B) {
+	f := NewFactory()
+	vars := make([]Node, 64)
+	for i := range vars {
+		vars[i] = f.Var(varName(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := True
+		for _, v := range vars {
+			acc = f.And(acc, f.Not(v))
+		}
+	}
+}
+
+func BenchmarkMixedOps(b *testing.B) {
+	f := NewFactory()
+	vars := make([]Node, 32)
+	for i := range vars {
+		vars[i] = f.Var(varName(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := vars[i%32]
+		for j := 0; j < 16; j++ {
+			acc = f.Or(f.And(acc, vars[(i+j)%32]), f.Not(vars[(i+2*j)%32]))
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var("A"), f.Var("B")
+	out := f.Dump(f.And(a, b))
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("Dump = %q", out)
+	}
+	if f.Dump(True) != "" {
+		t.Error("terminal dump should be empty")
+	}
+}

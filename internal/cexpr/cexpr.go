@@ -1,0 +1,315 @@
+// Package cexpr parses and converts C preprocessor conditional expressions.
+//
+// The preprocessor hands this package the token list of an #if/#elif
+// expression after macro expansion (macros outside defined() expanded,
+// multiply-defined macros hoisted around the expression). Conversion to a
+// presence condition follows paper §3.2:
+//
+//  1. a constant translates to false if zero and true otherwise;
+//  2. a free macro translates to a BDD variable;
+//  3. an arithmetic subexpression translates to a BDD variable keyed by its
+//     normalized text (there is no efficient algorithm for comparing
+//     arbitrary polynomials, so non-boolean subexpressions stay opaque);
+//  4. defined(M) translates to the disjunction of presence conditions under
+//     which M is defined — except that for a free guard macro it is false,
+//     and for other free macros it is a BDD variable.
+//
+// The same parser also evaluates expressions to concrete integers for the
+// single-configuration ("gcc-like") baseline.
+package cexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Expr is a parsed conditional expression.
+type Expr struct {
+	Kind ExprKind
+	// Leaves
+	Val  int64  // KindConst
+	Name string // KindIdent, KindDefined
+	// Interior
+	Op   string // operator text for unary/binary
+	A, B *Expr  // operands (unary uses A)
+	C    *Expr  // ternary else-branch
+}
+
+// ExprKind discriminates Expr nodes.
+type ExprKind uint8
+
+// Expression node kinds.
+const (
+	KindConst   ExprKind = iota // integer constant
+	KindIdent                   // identifier (macro name surviving expansion)
+	KindDefined                 // defined(NAME)
+	KindUnary                   // Op applied to A
+	KindBinary                  // A Op B
+	KindTernary                 // A ? B : C
+)
+
+// String renders the expression with minimal parentheses (fully
+// parenthesized, for normalization purposes).
+func (e *Expr) String() string {
+	switch e.Kind {
+	case KindConst:
+		return strconv.FormatInt(e.Val, 10)
+	case KindIdent:
+		return e.Name
+	case KindDefined:
+		return "defined(" + e.Name + ")"
+	case KindUnary:
+		return e.Op + "(" + e.A.String() + ")"
+	case KindBinary:
+		return "(" + e.A.String() + e.Op + e.B.String() + ")"
+	case KindTernary:
+		return "(" + e.A.String() + "?" + e.B.String() + ":" + e.C.String() + ")"
+	}
+	panic("cexpr: bad kind")
+}
+
+// parser is a recursive-descent precedence-climbing parser over tokens.
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// ParseError reports a malformed conditional expression.
+type ParseError struct {
+	Msg string
+	Tok token.Token
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s: conditional expression: %s (at %s)", e.Tok.Pos(), e.Msg, e.Tok)
+}
+
+// Parse parses a conditional expression from toks (which must not contain
+// Newline or EOF tokens).
+func Parse(toks []token.Token) (*Expr, error) {
+	p := &parser{toks: toks}
+	e, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, &ParseError{Msg: "trailing tokens", Tok: p.toks[p.pos]}
+	}
+	return e, nil
+}
+
+func (p *parser) peek() (token.Token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token.Token{}, false
+}
+
+func (p *parser) accept(punct string) bool {
+	if t, ok := p.peek(); ok && t.Is(punct) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(punct string) error {
+	if p.accept(punct) {
+		return nil
+	}
+	t, ok := p.peek()
+	if !ok {
+		t = token.Token{Text: "<end>"}
+	}
+	return &ParseError{Msg: fmt.Sprintf("expected %q", punct), Tok: t}
+}
+
+func (p *parser) ternary() (*Expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return c, nil
+	}
+	then, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: KindTernary, A: c, B: then, C: els}, nil
+}
+
+// binOps maps operator text to precedence; higher binds tighter. All listed
+// operators are left-associative, matching C.
+var binOps = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binary(minPrec int) (*Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.Kind != token.Punct {
+			return lhs, nil
+		}
+		prec, isOp := binOps[t.Text]
+		if !isOp || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: KindBinary, Op: t.Text, A: lhs, B: rhs}
+	}
+}
+
+func (p *parser) unary() (*Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, &ParseError{Msg: "unexpected end of expression", Tok: token.Token{Text: "<end>"}}
+	}
+	switch {
+	case t.Is("!") || t.Is("-") || t.Is("+") || t.Is("~"):
+		p.pos++
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: KindUnary, Op: t.Text, A: operand}, nil
+	case t.Is("("):
+		p.pos++
+		e, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == token.Number:
+		p.pos++
+		v, err := parseIntLiteral(t.Text)
+		if err != nil {
+			return nil, &ParseError{Msg: err.Error(), Tok: t}
+		}
+		return &Expr{Kind: KindConst, Val: v}, nil
+	case t.Kind == token.Char:
+		p.pos++
+		v, err := parseCharLiteral(t.Text)
+		if err != nil {
+			return nil, &ParseError{Msg: err.Error(), Tok: t}
+		}
+		return &Expr{Kind: KindConst, Val: v}, nil
+	case t.IsIdent("defined"):
+		p.pos++
+		if p.accept("(") {
+			name, ok := p.peek()
+			if !ok || name.Kind != token.Identifier {
+				return nil, &ParseError{Msg: "defined() requires a name", Tok: t}
+			}
+			p.pos++
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: KindDefined, Name: name.Text}, nil
+		}
+		name, ok := p.peek()
+		if !ok || name.Kind != token.Identifier {
+			return nil, &ParseError{Msg: "defined requires a name", Tok: t}
+		}
+		p.pos++
+		return &Expr{Kind: KindDefined, Name: name.Text}, nil
+	case t.Kind == token.Identifier:
+		p.pos++
+		return &Expr{Kind: KindIdent, Name: t.Text}, nil
+	}
+	return nil, &ParseError{Msg: "unexpected token", Tok: t}
+}
+
+// parseIntLiteral evaluates a C integer literal with optional u/U/l/L
+// suffixes.
+func parseIntLiteral(text string) (int64, error) {
+	s := strings.TrimRight(text, "uUlL")
+	if s == "" {
+		return 0, fmt.Errorf("malformed number %q", text)
+	}
+	// strconv handles 0x and leading-0 octal with base 0.
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed number %q", text)
+	}
+	return int64(v), nil
+}
+
+// parseCharLiteral evaluates a character constant to its value.
+func parseCharLiteral(text string) (int64, error) {
+	s := strings.TrimPrefix(text, "L")
+	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return 0, fmt.Errorf("malformed character constant %q", text)
+	}
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return 0, fmt.Errorf("empty character constant")
+	}
+	if body[0] != '\\' {
+		return int64(body[0]), nil
+	}
+	if len(body) < 2 {
+		return 0, fmt.Errorf("malformed escape in %q", text)
+	}
+	switch body[1] {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		v, err := strconv.ParseInt(body[1:], 8, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed octal escape %q", text)
+		}
+		return v, nil
+	case 'x':
+		v, err := strconv.ParseInt(body[2:], 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed hex escape %q", text)
+		}
+		return v, nil
+	case '\\', '\'', '"':
+		return int64(body[1]), nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case 'f':
+		return 12, nil
+	case 'v':
+		return 11, nil
+	}
+	return 0, fmt.Errorf("unknown escape in %q", text)
+}

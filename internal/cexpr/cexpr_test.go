@@ -1,0 +1,414 @@
+package cexpr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/lexer"
+	"repro/internal/token"
+)
+
+func toks(t *testing.T, src string) []token.Token {
+	t.Helper()
+	ts, err := lexer.Lex("expr", []byte(src))
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	var out []token.Token
+	for _, tok := range ts {
+		if tok.Kind == token.Newline || tok.Kind == token.EOF {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+func parse(t *testing.T, src string) *Expr {
+	t.Helper()
+	e, err := Parse(toks(t, src))
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+func evalConst(t *testing.T, src string) int64 {
+	t.Helper()
+	v, err := Eval(parse(t, src), EvalContext{})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"1 << 4", 16},
+		{"256 >> 4", 16},
+		{"5 - 7", -2},
+		{"-3", -3},
+		{"~0", -1},
+		{"!0", 1},
+		{"!5", 0},
+		{"+9", 9},
+		{"1 < 2", 1},
+		{"2 <= 2", 1},
+		{"3 > 4", 0},
+		{"3 >= 4", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"1 && 0", 0},
+		{"1 && 2", 1},
+		{"0 || 0", 0},
+		{"0 || 7", 1},
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"1 ? 2 : 0 ? 3 : 4", 2},
+		{"0x10", 16},
+		{"010", 8},
+		{"1UL", 1},
+		{"'a'", 97},
+		{"'\\n'", 10},
+		{"'\\x41'", 65},
+		{"'\\0'", 0},
+		// Operator precedence checks.
+		{"1 | 2 & 3", 3},
+		{"1 ^ 2 | 4", 7},
+		{"1 + 2 == 3", 1},
+		{"2 << 1 + 1", 8}, // shift binds looser than +
+		{"1 == 1 && 2 == 2", 1},
+	}
+	for _, c := range cases {
+		if got := evalConst(t, c.src); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalDefinedAndValues(t *testing.T) {
+	ctx := EvalContext{
+		Defined: func(name string) bool { return name == "CONFIG_X" },
+		Value: func(name string) (int64, bool) {
+			if name == "NR_CPUS" {
+				return 64, true
+			}
+			return 0, false
+		},
+	}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"defined(CONFIG_X)", 1},
+		{"defined CONFIG_X", 1},
+		{"defined(CONFIG_Y)", 0},
+		{"!defined(CONFIG_Y)", 1},
+		{"NR_CPUS < 256", 1},
+		{"UNKNOWN", 0},
+		{"UNKNOWN + 1", 1},
+	}
+	for _, c := range cases {
+		v, err := Eval(parse(t, c.src), ctx)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if v != c.want {
+			t.Errorf("%q = %d, want %d", c.src, v, c.want)
+		}
+	}
+}
+
+func TestEvalShortCircuitAvoidsDivisionByZero(t *testing.T) {
+	if got := evalConst(t, "0 && 1/0"); got != 0 {
+		t.Errorf("short-circuit && failed: %d", got)
+	}
+	if got := evalConst(t, "1 || 1/0"); got != 1 {
+		t.Errorf("short-circuit || failed: %d", got)
+	}
+	if _, err := Eval(parse(t, "1/0"), EvalContext{}); err == nil {
+		t.Error("division by zero not reported")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "1 +", "(1", "defined", "defined(", "1 ? 2", "* 3", "1 2"}
+	for _, src := range bad {
+		if _, err := Parse(toks(t, src)); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"64 == 32", "0"},
+		{"32 == 32", "1"},
+		{"defined(A) && 64 == 32", "0"},
+		{"defined(A) && 32 == 32", "defined(A)"},
+		{"defined(A) || 1", "1"},
+		{"0 || defined(A)", "defined(A)"},
+		{"NR_CPUS < 256", "(NR_CPUS<256)"},
+		{"1 ? defined(A) : defined(B)", "defined(A)"},
+		{"2 + 3 * 4", "14"},
+	}
+	for _, c := range cases {
+		got := Fold(parse(t, c.src)).String()
+		if got != c.want {
+			t.Errorf("Fold(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func newCtx(mode cond.Mode) (*Context, *cond.Space) {
+	s := cond.NewSpace(mode)
+	return &Context{Space: s}, s
+}
+
+func TestConvertBasics(t *testing.T) {
+	ctx, s := newCtx(cond.ModeBDD)
+
+	cases := []struct {
+		src  string
+		want func() cond.Cond
+	}{
+		{"1", s.True},
+		{"0", s.False},
+		{"defined(CONFIG_A)", func() cond.Cond { return s.Var("(defined CONFIG_A)") }},
+		{"!defined(CONFIG_A)", func() cond.Cond { return s.Not(s.Var("(defined CONFIG_A)")) }},
+		{"defined(A) && defined(B)", func() cond.Cond {
+			return s.And(s.Var("(defined A)"), s.Var("(defined B)"))
+		}},
+		{"defined(A) || defined(B)", func() cond.Cond {
+			return s.Or(s.Var("(defined A)"), s.Var("(defined B)"))
+		}},
+		{"FOO", func() cond.Cond { return s.Var("FOO") }}, // rule 2: free macro
+	}
+	for _, c := range cases {
+		got, _ := ctx.Convert(parse(t, c.src))
+		if !s.Equal(got, c.want()) {
+			t.Errorf("Convert(%q) = %s", c.src, s.String(got))
+		}
+	}
+}
+
+// TestConvertPaperExample reproduces §3.2's worked example: expanding
+// BITS_PER_LONG under its two definitions and hoisting yields
+// defined(CONFIG_64BIT) && 64 == 32 || !defined(CONFIG_64BIT) && 32 == 32,
+// which must simplify to !defined(CONFIG_64BIT).
+func TestConvertPaperExample(t *testing.T) {
+	ctx, s := newCtx(cond.ModeBDD)
+	src := "defined(CONFIG_64BIT) && 64 == 32 || !defined(CONFIG_64BIT) && 32 == 32"
+	got, info := ctx.Convert(parse(t, src))
+	want := s.Not(s.Var("(defined CONFIG_64BIT)"))
+	if !s.Equal(got, want) {
+		t.Errorf("got %s, want %s", s.String(got), s.String(want))
+	}
+	if info.NonBoolean {
+		t.Error("fully folded expression should not be flagged non-boolean")
+	}
+}
+
+// TestConvertOpaqueArithmetic reproduces rule 3 with the paper's
+// NR_CPUS < 256 example: the subexpression becomes an opaque variable, and
+// repeated occurrences share it.
+func TestConvertOpaqueArithmetic(t *testing.T) {
+	ctx, s := newCtx(cond.ModeBDD)
+	c1, info := ctx.Convert(parse(t, "NR_CPUS < 256"))
+	if !info.NonBoolean || len(info.OpaqueVars) != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Same text with different spacing converts to the same variable.
+	c2, _ := ctx.Convert(parse(t, "NR_CPUS<256"))
+	if !s.Equal(c1, c2) {
+		t.Error("normalized text should share the opaque variable")
+	}
+	// A different expression gets a different variable.
+	c3, _ := ctx.Convert(parse(t, "NR_CPUS < 255"))
+	if s.Equal(c1, c3) {
+		t.Error("distinct arithmetic expressions should not be conflated")
+	}
+	// The conjunction is not trimmed: both must remain satisfiable together
+	// (the preprocessor must preserve non-boolean branches).
+	if s.IsFalse(s.And(c1, c3)) {
+		t.Error("opaque conjunction wrongly infeasible")
+	}
+}
+
+func TestConvertDefinedLookup(t *testing.T) {
+	ctx, s := newCtx(cond.ModeBDD)
+	a := s.Var("(defined CONFIG_64BIT)")
+	ctx.DefinedLookup = func(name string) DefinedInfo {
+		switch name {
+		case "BITS_PER_LONG":
+			// Defined under both branches of CONFIG_64BIT — i.e. always.
+			return DefinedInfo{Defined: s.Or(a, s.Not(a)), Free: s.False()}
+		case "_FOO_H":
+			return DefinedInfo{Defined: s.False(), Free: s.True(), IsGuard: true}
+		case "HALF":
+			return DefinedInfo{Defined: a, Free: s.Not(a)}
+		}
+		return DefinedInfo{Defined: s.False(), Free: s.True()}
+	}
+
+	got, _ := ctx.Convert(parse(t, "defined(BITS_PER_LONG)"))
+	if !s.IsTrue(got) {
+		t.Errorf("always-defined macro: got %s", s.String(got))
+	}
+
+	// Rule 4a: a free guard macro's defined() is false.
+	got, _ = ctx.Convert(parse(t, "defined(_FOO_H)"))
+	if !s.IsFalse(got) {
+		t.Errorf("free guard macro: got %s", s.String(got))
+	}
+
+	// Partially defined: defined under a, free otherwise.
+	got, _ = ctx.Convert(parse(t, "defined(HALF)"))
+	want := s.Or(a, s.And(s.Not(a), s.Var("(defined HALF)")))
+	if !s.Equal(got, want) {
+		t.Errorf("partially defined: got %s, want %s", s.String(got), s.String(want))
+	}
+}
+
+func TestConvertTernary(t *testing.T) {
+	ctx, s := newCtx(cond.ModeBDD)
+	got, _ := ctx.Convert(parse(t, "defined(A) ? defined(B) : defined(C)"))
+	a, b, c := s.Var("(defined A)"), s.Var("(defined B)"), s.Var("(defined C)")
+	want := s.Or(s.And(a, b), s.And(s.Not(a), c))
+	if !s.Equal(got, want) {
+		t.Errorf("got %s, want %s", s.String(got), s.String(want))
+	}
+}
+
+func TestConvertSATMode(t *testing.T) {
+	ctx, s := newCtx(cond.ModeSAT)
+	got, _ := ctx.Convert(parse(t, "defined(A) && !defined(A)"))
+	if !s.IsFalse(got) {
+		t.Errorf("contradiction not detected in SAT mode: %s", s.String(got))
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := parse(t, "defined(A) && NR_CPUS < 4 + 2")
+	got := e.String()
+	if !strings.Contains(got, "defined(A)") || !strings.Contains(got, "(NR_CPUS<(4+2))") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCharLiteralForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"'\\t'", 9},
+		{"'\\r'", 13},
+		{"'\\\\'", 92},
+		{"'\\''", 39},
+		{"'\\a'", 7},
+		{"'\\b'", 8},
+		{"'\\f'", 12},
+		{"'\\v'", 11},
+		{"'\\101'", 65},
+		{"L'x'", 120},
+	}
+	for _, c := range cases {
+		if got := evalConst(t, c.src); got != c.want {
+			t.Errorf("%s = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func BenchmarkConvertConditional(b *testing.B) {
+	ts, err := lexer.Lex("expr", []byte("defined(CONFIG_A) && (defined(CONFIG_B) || !defined(CONFIG_C)) && NR_CPUS < 256"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts = lexer.StripEOF(ts)
+	e, err := Parse(ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := cond.NewSpace(cond.ModeBDD)
+	ctx := &Context{Space: s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Convert(e)
+	}
+}
+
+// TestQuickConversionSoundness checks the central property of §3.2's
+// conversion: for boolean-structured conditional expressions over defined()
+// atoms and constants, the converted presence condition evaluates exactly
+// like cpp's concrete evaluation, for every configuration.
+func TestQuickConversionSoundness(t *testing.T) {
+	names := []string{"A", "B", "C"}
+	var gen func(r *rand.Rand, depth int) string
+	gen = func(r *rand.Rand, depth int) string {
+		if depth == 0 || r.Intn(4) == 0 {
+			switch r.Intn(5) {
+			case 0:
+				return "1"
+			case 1:
+				return "0"
+			default:
+				form := "defined(%s)"
+				if r.Intn(3) == 0 {
+					form = "defined %s"
+				}
+				return fmt.Sprintf(form, names[r.Intn(len(names))])
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("(%s && %s)", gen(r, depth-1), gen(r, depth-1))
+		case 1:
+			return fmt.Sprintf("(%s || %s)", gen(r, depth-1), gen(r, depth-1))
+		case 2:
+			return "!" + gen(r, depth-1)
+		default:
+			return fmt.Sprintf("(%s ? %s : %s)", gen(r, depth-1), gen(r, depth-1), gen(r, depth-1))
+		}
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		src := gen(r, 4)
+		e := parse(t, src)
+		ctx, s := newCtx(cond.ModeBDD)
+		converted, _ := ctx.Convert(e)
+		for bits := 0; bits < 1<<len(names); bits++ {
+			definedSet := map[string]bool{}
+			assign := map[string]bool{}
+			for i, n := range names {
+				if bits&(1<<i) != 0 {
+					definedSet[n] = true
+					assign["(defined "+n+")"] = true
+				}
+			}
+			val, err := Eval(e, EvalContext{Defined: func(n string) bool { return definedSet[n] }})
+			if err != nil {
+				t.Fatalf("trial %d: eval %q: %v", trial, src, err)
+			}
+			if (val != 0) != s.Eval(converted, assign) {
+				t.Fatalf("trial %d: %q disagrees at %v (eval=%d, cond=%s)",
+					trial, src, definedSet, val, s.String(converted))
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package cexpr
+
+import (
+	"fmt"
+
+	"repro/internal/cond"
+)
+
+// Fold performs constant folding, returning a simplified expression.
+// Identifiers and defined() stay symbolic; pure-constant subtrees collapse.
+// Folding happens before conversion so that hoisted multiply-defined macro
+// expansions like "64 == 32" simplify away (paper §3.2's BITS_PER_LONG
+// example).
+func Fold(e *Expr) *Expr {
+	switch e.Kind {
+	case KindConst, KindIdent, KindDefined:
+		return e
+	case KindUnary:
+		a := Fold(e.A)
+		if a.Kind == KindConst {
+			if v, ok := applyUnary(e.Op, a.Val); ok {
+				return &Expr{Kind: KindConst, Val: v}
+			}
+		}
+		return &Expr{Kind: KindUnary, Op: e.Op, A: a}
+	case KindBinary:
+		a, b := Fold(e.A), Fold(e.B)
+		if a.Kind == KindConst && b.Kind == KindConst {
+			if v, ok := applyBinary(e.Op, a.Val, b.Val); ok {
+				return &Expr{Kind: KindConst, Val: v}
+			}
+		}
+		// Short-circuit identities with one constant operand.
+		if a.Kind == KindConst {
+			switch {
+			case e.Op == "&&" && a.Val == 0:
+				return &Expr{Kind: KindConst, Val: 0}
+			case e.Op == "&&" && a.Val != 0:
+				return b
+			case e.Op == "||" && a.Val != 0:
+				return &Expr{Kind: KindConst, Val: 1}
+			case e.Op == "||" && a.Val == 0:
+				return b
+			}
+		}
+		if b.Kind == KindConst {
+			switch {
+			case e.Op == "&&" && b.Val == 0:
+				// Left side may have side conditions in full C, but
+				// conditional expressions are pure; fold to 0.
+				return &Expr{Kind: KindConst, Val: 0}
+			case e.Op == "&&" && b.Val != 0:
+				return a
+			case e.Op == "||" && b.Val != 0:
+				return &Expr{Kind: KindConst, Val: 1}
+			case e.Op == "||" && b.Val == 0:
+				return a
+			}
+		}
+		return &Expr{Kind: KindBinary, Op: e.Op, A: a, B: b}
+	case KindTernary:
+		c := Fold(e.A)
+		if c.Kind == KindConst {
+			if c.Val != 0 {
+				return Fold(e.B)
+			}
+			return Fold(e.C)
+		}
+		return &Expr{Kind: KindTernary, A: c, B: Fold(e.B), C: Fold(e.C)}
+	}
+	panic("cexpr: bad kind")
+}
+
+func applyUnary(op string, v int64) (int64, bool) {
+	switch op {
+	case "!":
+		if v == 0 {
+			return 1, true
+		}
+		return 0, true
+	case "-":
+		return -v, true
+	case "+":
+		return v, true
+	case "~":
+		return ^v, true
+	}
+	return 0, false
+}
+
+func applyBinary(op string, a, b int64) (int64, bool) {
+	boolToInt := func(x bool) int64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case "<<":
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case ">>":
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	case "<":
+		return boolToInt(a < b), true
+	case ">":
+		return boolToInt(a > b), true
+	case "<=":
+		return boolToInt(a <= b), true
+	case ">=":
+		return boolToInt(a >= b), true
+	case "==":
+		return boolToInt(a == b), true
+	case "!=":
+		return boolToInt(a != b), true
+	case "&":
+		return a & b, true
+	case "^":
+		return a ^ b, true
+	case "|":
+		return a | b, true
+	case "&&":
+		return boolToInt(a != 0 && b != 0), true
+	case "||":
+		return boolToInt(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+// DefinedInfo describes a macro's definedness for conversion rule 4.
+type DefinedInfo struct {
+	Defined cond.Cond // disjunction of presence conditions with an active #define
+	Free    cond.Cond // presence conditions where the macro is free (never defined or undefined)
+	IsGuard bool      // the macro is an include-guard macro (rule 4a)
+}
+
+// Context supplies the environment for converting expressions to presence
+// conditions.
+type Context struct {
+	Space *cond.Space
+	// DefinedLookup returns definedness information for a macro name. When
+	// nil, every macro is free and not a guard.
+	DefinedLookup func(name string) DefinedInfo
+}
+
+// Info reports facts about a converted expression, feeding the Table 3
+// statistics.
+type Info struct {
+	NonBoolean bool     // an opaque arithmetic subexpression was preserved
+	OpaqueVars []string // the BDD variable names created for opaque subexpressions
+	FreeMacros []string // free macros referenced as boolean atoms
+}
+
+// Convert translates a parsed conditional expression into a presence
+// condition following the four rules of paper §3.2. The expression should
+// already have macros expanded (outside defined()) and multiply-defined
+// macros hoisted; Convert folds constants itself.
+func (ctx *Context) Convert(e *Expr) (cond.Cond, Info) {
+	var info Info
+	c := ctx.toCond(Fold(e), &info)
+	return c, info
+}
+
+// toCond converts a folded expression appearing in boolean position.
+func (ctx *Context) toCond(e *Expr, info *Info) cond.Cond {
+	s := ctx.Space
+	switch e.Kind {
+	case KindConst:
+		if e.Val != 0 {
+			return s.True()
+		}
+		return s.False()
+	case KindIdent:
+		// Rule 2: a free macro is a BDD variable. (In #if context a bare
+		// identifier that survived expansion is a free or undefined macro;
+		// an undefined macro would have been folded to 0 by the
+		// preprocessor when its undefinedness is certain.)
+		info.FreeMacros = append(info.FreeMacros, e.Name)
+		return s.Var(e.Name)
+	case KindDefined:
+		return ctx.definedCond(e.Name)
+	case KindUnary:
+		if e.Op == "!" {
+			return s.Not(ctx.toCond(e.A, info))
+		}
+		// Arithmetic unary in boolean position: opaque (rule 3).
+		return ctx.opaque(e, info)
+	case KindBinary:
+		switch e.Op {
+		case "&&":
+			return s.And(ctx.toCond(e.A, info), ctx.toCond(e.B, info))
+		case "||":
+			return s.Or(ctx.toCond(e.A, info), ctx.toCond(e.B, info))
+		case "==", "!=", "<", ">", "<=", ">=":
+			// A comparison is boolean-valued but its operands are
+			// arithmetic; if they did not fold it is opaque (rule 3).
+			return ctx.opaque(e, info)
+		default:
+			return ctx.opaque(e, info)
+		}
+	case KindTernary:
+		c := ctx.toCond(e.A, info)
+		return s.Or(s.And(c, ctx.toCond(e.B, info)), s.And(s.Not(c), ctx.toCond(e.C, info)))
+	}
+	panic("cexpr: bad kind")
+}
+
+// definedCond implements rule 4.
+func (ctx *Context) definedCond(name string) cond.Cond {
+	s := ctx.Space
+	if ctx.DefinedLookup == nil {
+		return s.Var(definedVarName(name))
+	}
+	di := ctx.DefinedLookup(name)
+	c := di.Defined
+	if !s.IsFalse(di.Free) {
+		if di.IsGuard {
+			// Rule 4a: a free guard macro is false — gcc's convention
+			// that a never-defined include guard starts undefined.
+			return c
+		}
+		c = s.Or(c, s.And(di.Free, s.Var(definedVarName(name))))
+	}
+	return c
+}
+
+// opaque implements rule 3: the subexpression becomes a BDD variable keyed
+// by its normalized (whitespace-free, fully parenthesized) text.
+func (ctx *Context) opaque(e *Expr, info *Info) cond.Cond {
+	name := opaqueVarName(e.String())
+	info.NonBoolean = true
+	info.OpaqueVars = append(info.OpaqueVars, name)
+	return ctx.Space.Var(name)
+}
+
+func definedVarName(name string) string { return "(defined " + name + ")" }
+func opaqueVarName(text string) string  { return "(expr " + text + ")" }
+
+// EvalContext supplies a concrete configuration for single-configuration
+// evaluation (the gcc-like baseline).
+type EvalContext struct {
+	// Defined reports whether a macro is defined in this configuration.
+	Defined func(name string) bool
+	// Value returns the integer value of an identifier; identifiers without
+	// a value evaluate to 0 as in standard cpp.
+	Value func(name string) (int64, bool)
+}
+
+// Eval evaluates the expression to an integer under one configuration,
+// implementing ordinary (non-configuration-preserving) cpp semantics.
+func Eval(e *Expr, ctx EvalContext) (int64, error) {
+	switch e.Kind {
+	case KindConst:
+		return e.Val, nil
+	case KindIdent:
+		if ctx.Value != nil {
+			if v, ok := ctx.Value(e.Name); ok {
+				return v, nil
+			}
+		}
+		return 0, nil
+	case KindDefined:
+		if ctx.Defined != nil && ctx.Defined(e.Name) {
+			return 1, nil
+		}
+		return 0, nil
+	case KindUnary:
+		v, err := Eval(e.A, ctx)
+		if err != nil {
+			return 0, err
+		}
+		r, ok := applyUnary(e.Op, v)
+		if !ok {
+			return 0, fmt.Errorf("cexpr: cannot apply %q", e.Op)
+		}
+		return r, nil
+	case KindBinary:
+		a, err := Eval(e.A, ctx)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit before evaluating the right side.
+		switch e.Op {
+		case "&&":
+			if a == 0 {
+				return 0, nil
+			}
+		case "||":
+			if a != 0 {
+				return 1, nil
+			}
+		}
+		b, err := Eval(e.B, ctx)
+		if err != nil {
+			return 0, err
+		}
+		r, ok := applyBinary(e.Op, a, b)
+		if !ok {
+			return 0, fmt.Errorf("cexpr: %d %s %d is undefined", a, e.Op, b)
+		}
+		return r, nil
+	case KindTernary:
+		c, err := Eval(e.A, ctx)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return Eval(e.B, ctx)
+		}
+		return Eval(e.C, ctx)
+	}
+	panic("cexpr: bad kind")
+}

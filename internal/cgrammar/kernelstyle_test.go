@@ -1,0 +1,230 @@
+package cgrammar
+
+import "testing"
+
+// TestParseKernelStyleSnippets exercises the grammar on realistic
+// kernel-flavored code: the shapes SuperC must handle at scale.
+func TestParseKernelStyleSnippets(t *testing.T) {
+	tds := map[string]bool{
+		"u8": true, "u16": true, "u32": true, "u64": true, "size_t": true,
+		"spinlock_t": true, "atomic_t": true, "wait_queue_head_t": true,
+		// A name used as a type by the snippets below. The static classify
+		// helper is position-insensitive, so snippets must not also declare
+		// it (the live symbol table in package fmlr handles that case).
+		"handler_fn": true,
+	}
+	cases := []string{
+		// Driver operations table with designated initializers.
+		`static const struct file_operations mousedev_fops = {
+			.owner = 0,
+			.read = mousedev_read,
+			.write = mousedev_write,
+			.poll = mousedev_poll,
+			.open = mousedev_open,
+			.release = mousedev_release,
+		};`,
+
+		// Bit manipulation and masks.
+		`static inline u32 rol32(u32 word, unsigned int shift)
+		{
+			return (word << shift) | (word >> (32 - shift));
+		}`,
+
+		// Linked-list traversal with pointer chasing.
+		`static void list_splice(struct list_head *list, struct list_head *head)
+		{
+			struct list_head *first = list->next;
+			struct list_head *last = list->prev;
+			struct list_head *at = head->next;
+			first->prev = head;
+			head->next = first;
+			last->next = at;
+			at->prev = last;
+		}`,
+
+		// Error-path goto ladder.
+		`static int device_probe(struct device *dev)
+		{
+			int err;
+			err = setup_irq(dev);
+			if (err)
+				goto out;
+			err = map_registers(dev);
+			if (err)
+				goto unmap;
+			return 0;
+		unmap:
+			release_irq(dev);
+		out:
+			return err;
+		}`,
+
+		// Nested unions and bitfields.
+		`struct descriptor {
+			union {
+				struct {
+					u32 low : 12;
+					u32 mid : 8;
+					u32 high : 12;
+				} parts;
+				u32 raw;
+			} fields;
+			u8 flags;
+		};`,
+
+		// Function pointers and callbacks (handler_fn typedef'd elsewhere).
+		`static handler_fn handlers[8];
+		int register_handler(int slot, int (*fn)(struct device *, void *))
+		{
+			if (slot < 0 || slot >= 8)
+				return -1;
+			handlers[slot] = fn;
+			return 0;
+		}`,
+
+		// do-while(0) macro-expansion residue.
+		`void twiddle(int *p)
+		{
+			do {
+				*p ^= 1;
+			} while (0);
+		}`,
+
+		// String tables.
+		`static const char *state_names[] = {
+			"idle",
+			"running",
+			"blocked",
+			((void *)0),
+		};`,
+
+		// Ternary chains and comma operators in loops.
+		`int clamp_and_sum(const int *v, int n, int lo, int hi)
+		{
+			int i, total;
+			for (i = 0, total = 0; i < n; i++)
+				total += v[i] < lo ? lo : v[i] > hi ? hi : v[i];
+			return total;
+		}`,
+
+		// sizeof arithmetic in declarations.
+		`static char ring[1 << 12];
+		static unsigned long ring_mask = sizeof(ring) / sizeof(ring[0]) - 1;`,
+
+		// Casts through typedefs and void pointers.
+		`void *stash(void *ctx)
+		{
+			u64 cookie = (u64)(unsigned long)ctx;
+			return (void *)(unsigned long)(cookie ^ 0x5aa5);
+		}`,
+
+		// Static inline with attributes and asm.
+		`static inline void cpu_relax(void)
+		{
+			asm volatile("rep; nop" : : );
+		}`,
+
+		// Enum-driven switch with fallthrough structure.
+		`enum req_state { REQ_NEW, REQ_QUEUED, REQ_DONE };
+		int advance(enum req_state *st)
+		{
+			switch (*st) {
+			case REQ_NEW:
+				*st = REQ_QUEUED;
+				break;
+			case REQ_QUEUED:
+				*st = REQ_DONE;
+				break;
+			case REQ_DONE:
+			default:
+				return -1;
+			}
+			return 0;
+		}`,
+
+		// Multi-dimensional arrays with initializers.
+		`static const u8 sbox[2][4] = {
+			{ 1, 2, 3, 4 },
+			{ 5, 6, 7, 8 },
+		};`,
+
+		// Volatile MMIO-style accessors.
+		`static inline u32 readl(const volatile void *addr)
+		{
+			return *(const volatile u32 *)addr;
+		}`,
+
+		// Conditional expression statements and chained assignment.
+		`void reset(struct device *dev)
+		{
+			dev->flags = dev->pending = 0;
+			dev->state = dev->online ? 1 : 0;
+		}`,
+
+		// Typedef'd struct with self reference through a tag.
+		`typedef struct rb_node {
+			struct rb_node *left, *right;
+			unsigned long parent_color;
+		} rb_node_t;`,
+
+		// extern arrays and address-of indexing.
+		`extern u32 crc_table[256];
+		u32 crc_step(u32 crc, u8 byte)
+		{
+			return crc_table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+		}`,
+	}
+	for i, src := range cases {
+		t.Run(string(rune('a'+i%26))+"-case", func(t *testing.T) {
+			mustParse(t, src, tds)
+		})
+	}
+}
+
+// TestParsePathologicalNesting pushes expression and declarator nesting
+// depth.
+func TestParsePathologicalNesting(t *testing.T) {
+	cases := []string{
+		"int v = ((((((((((1))))))))));",
+		"int (*(*(*fp)(void))(int))(char);",
+		"int a = 1 + 2 * 3 - 4 / 5 % 6 << 7 >> 1 & 8 ^ 9 | 10;",
+		"char **argv; char ***pppc; char ****x;",
+		"int m = f(g(h(i(j(k(1))))));",
+	}
+	for _, src := range cases {
+		mustParse(t, src, nil)
+	}
+}
+
+// TestParseStatementEdgeCases covers unusual but legal statement forms.
+func TestParseStatementEdgeCases(t *testing.T) {
+	cases := []string{
+		"void f(void) { if (a) ; }",
+		"void f(void) { while (1) ; }",
+		"void f(void) { for (;;) ; }",
+		"void f(void) { { } { } }",
+		"void f(void) { x: y: z: ; }",
+		"void f(void) { do ; while (0); }",
+		"void f(void) { switch (x) { } }",
+		"void f(void) { if (a) { } else { } }",
+		"void f(void) { return (a, b); }",
+		";;",
+	}
+	for _, src := range cases {
+		mustParse(t, src, nil)
+	}
+}
+
+func TestParseCompoundLiterals(t *testing.T) {
+	tds := map[string]bool{"u32": true}
+	cases := []string{
+		"struct point p = (struct point){ 1, 2 };",
+		"void f(void) { consume((struct point){ .x = 1, .y = 2 }); }",
+		"int *p = (int[]){ 1, 2, 3 };",
+		"void g(void) { h((u32[2]){ 0, 1 }); }",
+		"unsigned long n = sizeof((int[]){ 1, 2, 3, });",
+	}
+	for _, src := range cases {
+		mustParse(t, src, tds)
+	}
+}

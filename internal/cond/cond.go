@@ -1,0 +1,296 @@
+// Package cond implements presence conditions: the boolean formulas over
+// configuration variables under which a fragment of source code is present.
+//
+// SuperC proper represents presence conditions as BDDs (paper §3.2), which
+// are canonical — equality and infeasibility tests are constant-time. The
+// paper's evaluation compares against TypeChef, which keeps conditions
+// symbolic and decides feasibility by converting to CNF for a SAT solver
+// (§6.3). A Space therefore has two modes: ModeBDD (SuperC) and ModeSAT
+// (the TypeChef-style baseline); the rest of the system is written against
+// Space/Cond and gets either cost model transparently.
+package cond
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/sat"
+)
+
+// Mode selects the presence-condition representation.
+type Mode int
+
+// Representation modes.
+const (
+	ModeBDD Mode = iota // canonical BDDs (SuperC)
+	ModeSAT             // expression trees + CNF/DPLL (TypeChef baseline)
+)
+
+// SatStats accumulates the work done by SAT-mode feasibility checks.
+type SatStats struct {
+	Checks       int   // number of satisfiability queries
+	Clauses      int64 // total CNF clauses generated
+	Literals     int64 // total CNF literals generated
+	NaiveBlowups int   // conversions that tripped the naive-CNF limit
+	GaveUps      int   // searches that hit the budget and used the oracle
+}
+
+// Space creates and combines presence conditions. It is not safe for
+// concurrent use.
+type Space struct {
+	mode Mode
+	bf   *bdd.Factory
+
+	// SAT mode configuration and accounting.
+	NaiveLimit int // clause cap before falling back to Tseitin; 0 = unlimited
+	Stats      SatStats
+	// falseMemo caches SAT-mode feasibility verdicts per expression node.
+	// TypeChef memoizes feature-expression queries the same way; without it
+	// the repeated feasibility checks on long-lived conditions (macro-table
+	// entries, branch conditions) would swamp everything else.
+	falseMemo map[*sat.Expr]bool
+	// Structural interning of SAT-mode expressions (hash-consing): the same
+	// (op, operands) combination yields the same node, so the feasibility
+	// memo keeps hitting for conditions rebuilt at every use site. The
+	// formulas themselves remain symbolic — feasibility still costs a
+	// CNF+DPLL run the first time each distinct formula is queried, which is
+	// the cost model under study.
+	varIntern map[string]*sat.Expr
+	binIntern map[binKey]*sat.Expr
+	notIntern map[*sat.Expr]*sat.Expr
+	// shadow supplies exact verdicts when the budgeted DPLL gives up: the
+	// real TypeChef's production solver (sat4j) decides these instances;
+	// the measured cost still includes the CNF conversion and the budgeted
+	// search, which are the quantities under study.
+	shadow     *bdd.Factory
+	shadowMemo map[*sat.Expr]bdd.Node
+}
+
+type binKey struct {
+	op   sat.Op
+	a, b *sat.Expr
+}
+
+// NewSpace returns a presence-condition space in the given mode.
+func NewSpace(mode Mode) *Space {
+	s := &Space{mode: mode, NaiveLimit: 1 << 10}
+	if mode == ModeBDD {
+		s.bf = bdd.NewFactory()
+	} else {
+		s.falseMemo = make(map[*sat.Expr]bool)
+		s.varIntern = make(map[string]*sat.Expr)
+		s.binIntern = make(map[binKey]*sat.Expr)
+		s.notIntern = make(map[*sat.Expr]*sat.Expr)
+		s.shadow = bdd.NewFactory()
+		s.shadowMemo = make(map[*sat.Expr]bdd.Node)
+	}
+	return s
+}
+
+// Mode returns the space's representation mode.
+func (s *Space) Mode() Mode { return s.mode }
+
+// BDD exposes the underlying BDD factory in ModeBDD (nil otherwise); used by
+// tests and diagnostics.
+func (s *Space) BDD() *bdd.Factory { return s.bf }
+
+// Cond is a presence condition within a Space. The zero Cond is invalid; use
+// Space.True and friends. Conds from different spaces must not be mixed.
+type Cond struct {
+	n bdd.Node  // ModeBDD
+	e *sat.Expr // ModeSAT
+}
+
+// True returns the always-present condition.
+func (s *Space) True() Cond {
+	if s.mode == ModeBDD {
+		return Cond{n: bdd.True}
+	}
+	return Cond{e: sat.TrueExpr}
+}
+
+// False returns the never-present condition.
+func (s *Space) False() Cond {
+	if s.mode == ModeBDD {
+		return Cond{n: bdd.False}
+	}
+	return Cond{e: sat.FalseExpr}
+}
+
+// Var returns the condition for a single boolean configuration variable.
+func (s *Space) Var(name string) Cond {
+	if s.mode == ModeBDD {
+		return Cond{n: s.bf.Var(name)}
+	}
+	if e, ok := s.varIntern[name]; ok {
+		return Cond{e: e}
+	}
+	e := sat.Var(name)
+	s.varIntern[name] = e
+	return Cond{e: e}
+}
+
+// And returns the conjunction a ∧ b.
+func (s *Space) And(a, b Cond) Cond {
+	if s.mode == ModeBDD {
+		return Cond{n: s.bf.And(a.n, b.n)}
+	}
+	return Cond{e: s.internBin(sat.OpAnd, a.e, b.e, sat.And)}
+}
+
+// Or returns the disjunction a ∨ b.
+func (s *Space) Or(a, b Cond) Cond {
+	if s.mode == ModeBDD {
+		return Cond{n: s.bf.Or(a.n, b.n)}
+	}
+	return Cond{e: s.internBin(sat.OpOr, a.e, b.e, sat.Or)}
+}
+
+// Not returns the negation ¬a.
+func (s *Space) Not(a Cond) Cond {
+	if s.mode == ModeBDD {
+		return Cond{n: s.bf.Not(a.n)}
+	}
+	if e, ok := s.notIntern[a.e]; ok {
+		return Cond{e: e}
+	}
+	e := sat.Not(a.e)
+	s.notIntern[a.e] = e
+	return Cond{e: e}
+}
+
+// internBin memoizes binary combinations so identical (op, operands)
+// rebuilds return the same node.
+func (s *Space) internBin(op sat.Op, a, b *sat.Expr, mk func(...*sat.Expr) *sat.Expr) *sat.Expr {
+	key := binKey{op: op, a: a, b: b}
+	if e, ok := s.binIntern[key]; ok {
+		return e
+	}
+	e := mk(a, b)
+	s.binIntern[key] = e
+	return e
+}
+
+// AndNot returns a ∧ ¬b, the trim operation used when later macro
+// definitions carve conditions out of earlier ones.
+func (s *Space) AndNot(a, b Cond) Cond { return s.And(a, s.Not(b)) }
+
+// IsFalse reports whether the condition is unsatisfiable — the feasibility
+// test at the heart of configuration-preserving processing. In ModeBDD this
+// is a constant-time identity check; in ModeSAT it performs a CNF conversion
+// and DPLL search, accumulating Stats.
+func (s *Space) IsFalse(a Cond) bool {
+	if s.mode == ModeBDD {
+		return a.n == bdd.False
+	}
+	// Fast syntactic screens before paying for conversion.
+	if a.e.Op == sat.OpConst {
+		return !a.e.Value
+	}
+	if v, ok := s.falseMemo[a.e]; ok {
+		return v
+	}
+	satisfiable, stats, gaveUp := sat.ExprSatisfiable(a.e, s.NaiveLimit)
+	s.Stats.Checks++
+	s.Stats.Clauses += int64(stats.Clauses)
+	s.Stats.Literals += int64(stats.Literals)
+	if stats.AuxVars > 0 {
+		s.Stats.NaiveBlowups++
+	}
+	if gaveUp {
+		s.Stats.GaveUps++
+		satisfiable = s.shadowNode(a.e) != bdd.False
+	}
+	s.falseMemo[a.e] = !satisfiable
+	return !satisfiable
+}
+
+// shadowNode converts a SAT-mode expression to the shadow BDD (memoized per
+// interned node).
+func (s *Space) shadowNode(e *sat.Expr) bdd.Node {
+	if n, ok := s.shadowMemo[e]; ok {
+		return n
+	}
+	var n bdd.Node
+	switch e.Op {
+	case sat.OpConst:
+		n = bdd.False
+		if e.Value {
+			n = bdd.True
+		}
+	case sat.OpVar:
+		n = s.shadow.Var(e.Name)
+	case sat.OpNot:
+		n = s.shadow.Not(s.shadowNode(e.Args[0]))
+	case sat.OpAnd:
+		n = bdd.True
+		for _, a := range e.Args {
+			n = s.shadow.And(n, s.shadowNode(a))
+		}
+	case sat.OpOr:
+		n = bdd.False
+		for _, a := range e.Args {
+			n = s.shadow.Or(n, s.shadowNode(a))
+		}
+	}
+	s.shadowMemo[e] = n
+	return n
+}
+
+// IsTrue reports whether the condition is valid (always present).
+func (s *Space) IsTrue(a Cond) bool {
+	if s.mode == ModeBDD {
+		return a.n == bdd.True
+	}
+	if a.e.Op == sat.OpConst {
+		return a.e.Value
+	}
+	return s.IsFalse(s.Not(a))
+}
+
+// Equal reports whether two conditions denote the same boolean function.
+// In ModeSAT the check routes through IsFalse so its memo (and expression
+// interning) amortizes the repeated equality tests expansion performs.
+func (s *Space) Equal(a, b Cond) bool {
+	if s.mode == ModeBDD {
+		return a.n == b.n
+	}
+	if a.e == b.e {
+		return true
+	}
+	return s.IsFalse(s.AndNot(a, b)) && s.IsFalse(s.AndNot(b, a))
+}
+
+// Implies reports whether a entails b.
+func (s *Space) Implies(a, b Cond) bool {
+	return s.IsFalse(s.AndNot(a, b))
+}
+
+// Disjoint reports whether a ∧ b is unsatisfiable.
+func (s *Space) Disjoint(a, b Cond) bool {
+	return s.IsFalse(s.And(a, b))
+}
+
+// Eval evaluates the condition under a configuration; absent variables are
+// false.
+func (s *Space) Eval(a Cond, assign map[string]bool) bool {
+	if s.mode == ModeBDD {
+		return s.bf.Eval(a.n, assign)
+	}
+	return a.e.Eval(assign)
+}
+
+// String renders the condition for diagnostics.
+func (s *Space) String(a Cond) string {
+	if s.mode == ModeBDD {
+		return s.bf.String(a.n)
+	}
+	return a.e.String()
+}
+
+// SatCount returns the number of configurations satisfying a over the
+// variables created so far (ModeBDD only; panics in ModeSAT).
+func (s *Space) SatCount(a Cond) float64 {
+	if s.mode != ModeBDD {
+		panic("cond: SatCount requires ModeBDD")
+	}
+	return s.bf.SatCount(a.n)
+}

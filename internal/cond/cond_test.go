@@ -1,0 +1,202 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var bothModes = []struct {
+	name string
+	mode Mode
+}{
+	{"BDD", ModeBDD},
+	{"SAT", ModeSAT},
+}
+
+func TestBasicsBothModes(t *testing.T) {
+	for _, m := range bothModes {
+		t.Run(m.name, func(t *testing.T) {
+			s := NewSpace(m.mode)
+			a := s.Var("CONFIG_A")
+			b := s.Var("CONFIG_B")
+
+			if s.IsFalse(s.True()) || !s.IsFalse(s.False()) {
+				t.Error("terminal classification")
+			}
+			if !s.IsTrue(s.True()) || s.IsTrue(s.False()) {
+				t.Error("IsTrue classification")
+			}
+			if !s.IsFalse(s.And(a, s.Not(a))) {
+				t.Error("A & !A should be infeasible")
+			}
+			if !s.IsTrue(s.Or(a, s.Not(a))) {
+				t.Error("A | !A should be valid")
+			}
+			if s.IsFalse(s.And(a, b)) {
+				t.Error("A & B should be feasible")
+			}
+			if !s.IsFalse(s.And(s.AndNot(a, b), b)) {
+				t.Error("(A & !B) & B should be infeasible")
+			}
+		})
+	}
+}
+
+func TestImpliesDisjoint(t *testing.T) {
+	for _, m := range bothModes {
+		t.Run(m.name, func(t *testing.T) {
+			s := NewSpace(m.mode)
+			a := s.Var("A")
+			b := s.Var("B")
+			ab := s.And(a, b)
+			if !s.Implies(ab, a) {
+				t.Error("A&B should imply A")
+			}
+			if s.Implies(a, ab) {
+				t.Error("A should not imply A&B")
+			}
+			if !s.Disjoint(a, s.Not(a)) {
+				t.Error("A and !A should be disjoint")
+			}
+			if s.Disjoint(a, b) {
+				t.Error("A and B should not be disjoint")
+			}
+		})
+	}
+}
+
+func TestEqualBothModes(t *testing.T) {
+	for _, m := range bothModes {
+		t.Run(m.name, func(t *testing.T) {
+			s := NewSpace(m.mode)
+			a, b := s.Var("A"), s.Var("B")
+			lhs := s.Not(s.And(a, b))
+			rhs := s.Or(s.Not(a), s.Not(b))
+			if !s.Equal(lhs, rhs) {
+				t.Error("De Morgan forms should be equal")
+			}
+			if s.Equal(a, b) {
+				t.Error("distinct variables reported equal")
+			}
+		})
+	}
+}
+
+func TestEvalAgreesAcrossModes(t *testing.T) {
+	bddSpace := NewSpace(ModeBDD)
+	satSpace := NewSpace(ModeSAT)
+	r := rand.New(rand.NewSource(8))
+	vars := []string{"A", "B", "C"}
+
+	type pair struct{ bc, sc Cond }
+	build := func() pair {
+		var f func(depth int) pair
+		f = func(depth int) pair {
+			if depth == 0 || r.Intn(3) == 0 {
+				v := vars[r.Intn(len(vars))]
+				return pair{bddSpace.Var(v), satSpace.Var(v)}
+			}
+			l := f(depth - 1)
+			rr := f(depth - 1)
+			switch r.Intn(3) {
+			case 0:
+				return pair{bddSpace.And(l.bc, rr.bc), satSpace.And(l.sc, rr.sc)}
+			case 1:
+				return pair{bddSpace.Or(l.bc, rr.bc), satSpace.Or(l.sc, rr.sc)}
+			default:
+				return pair{bddSpace.Not(l.bc), satSpace.Not(l.sc)}
+			}
+		}
+		return f(4)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := build()
+		for bits := 0; bits < 8; bits++ {
+			m := map[string]bool{"A": bits&1 != 0, "B": bits&2 != 0, "C": bits&4 != 0}
+			if bddSpace.Eval(p.bc, m) != satSpace.Eval(p.sc, m) {
+				t.Fatalf("trial %d: modes disagree at %v", trial, m)
+			}
+		}
+		if bddSpace.IsFalse(p.bc) != satSpace.IsFalse(p.sc) {
+			t.Fatalf("trial %d: IsFalse disagrees (%s vs %s)",
+				trial, bddSpace.String(p.bc), satSpace.String(p.sc))
+		}
+	}
+}
+
+func TestSatStatsAccumulate(t *testing.T) {
+	s := NewSpace(ModeSAT)
+	a, b := s.Var("A"), s.Var("B")
+	before := s.Stats.Checks
+	s.IsFalse(s.And(a, b))
+	s.IsFalse(s.Or(a, b))
+	if s.Stats.Checks != before+2 {
+		t.Errorf("Checks = %d, want %d", s.Stats.Checks, before+2)
+	}
+	if s.Stats.Clauses == 0 {
+		t.Error("no clauses recorded")
+	}
+}
+
+func TestSatConstShortCircuit(t *testing.T) {
+	s := NewSpace(ModeSAT)
+	if s.IsFalse(s.True()) {
+		t.Error("true is false?")
+	}
+	if s.Stats.Checks != 0 {
+		t.Error("constant check should not invoke the solver")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	s := NewSpace(ModeBDD)
+	a := s.Var("A")
+	s.Var("B")
+	if n := s.SatCount(a); n != 2 {
+		t.Errorf("SatCount(A) over 2 vars = %v, want 2", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SatCount in ModeSAT should panic")
+		}
+	}()
+	NewSpace(ModeSAT).SatCount(Cond{})
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, m := range bothModes {
+		s := NewSpace(m.mode)
+		a := s.Var("A")
+		if got := s.String(a); got != "A" {
+			t.Errorf("%s: String(A) = %q", m.name, got)
+		}
+	}
+}
+
+func BenchmarkIsFalseBDD(b *testing.B) {
+	s := NewSpace(ModeBDD)
+	c := buildChain(s, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IsFalse(c)
+	}
+}
+
+func BenchmarkIsFalseSAT(b *testing.B) {
+	s := NewSpace(ModeSAT)
+	c := buildChain(s, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IsFalse(c)
+	}
+}
+
+// buildChain constructs the presence-condition shape of a long conditional
+// sequence: !b1 & !b2 & ... & !bn.
+func buildChain(s *Space, n int) Cond {
+	acc := s.True()
+	for i := 0; i < n; i++ {
+		acc = s.AndNot(acc, s.Var("CONFIG_"+string(rune('A'+i))))
+	}
+	return acc
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/fmlr"
+	"repro/internal/preprocessor"
+)
+
+func TestParseFile(t *testing.T) {
+	fs := preprocessor.MapFS{
+		"main.c": "#include \"lib.h\"\nint main(void) { return VALUE; }\n",
+		"lib.h":  "#ifndef LIB_H\n#define LIB_H\n#define VALUE 7\n#endif\n",
+	}
+	tool := New(Config{FS: fs})
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AST == nil {
+		t.Fatalf("no AST: %v", res.Parse.Diags)
+	}
+	if res.Unit.Stats.Includes != 1 {
+		t.Errorf("includes = %d", res.Unit.Stats.Includes)
+	}
+	if len(ast.Find(res.AST, "FunctionDefinition")) != 1 {
+		t.Error("main not found")
+	}
+}
+
+func TestParseString(t *testing.T) {
+	tool := New(Config{FS: preprocessor.MapFS{}})
+	res, err := tool.ParseString("snippet.c", "int x = 1;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AST == nil {
+		t.Fatal("no AST")
+	}
+}
+
+func TestDefines(t *testing.T) {
+	fs := preprocessor.MapFS{"main.c": "#ifdef FEATURE\nint on;\n#else\nint off;\n#endif\n"}
+	tool := New(Config{FS: fs, Defines: map[string]string{"FEATURE": "1"}, SingleConfig: true})
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := res.AST.Tokens()
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.Text)
+	}
+	if strings.Join(texts, " ") != "int on ;" {
+		t.Errorf("got %v", texts)
+	}
+	// The table must reset between units: a second parse sees the same
+	// defines, not stale state.
+	res2, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.AST == nil {
+		t.Fatal("second parse failed")
+	}
+}
+
+func TestProject(t *testing.T) {
+	fs := preprocessor.MapFS{"main.c": "#ifdef A\nint a;\n#else\nint b;\n#endif\n"}
+	tool := New(Config{FS: fs})
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := tool.Project(res, map[string]bool{"(defined A)": true})
+	if len(ast.Find(on, "Declaration")) != 1 {
+		t.Error("projection under A")
+	}
+	toks := on.Tokens()
+	if toks[1].Text != "a" {
+		t.Errorf("projection: %v", toks)
+	}
+}
+
+func TestSATMode(t *testing.T) {
+	fs := preprocessor.MapFS{"main.c": "#ifdef A\nint a;\n#endif\nint always;\n"}
+	parser := fmlr.OptFollowOnly
+	tool := New(Config{FS: fs, CondMode: cond.ModeSAT, Parser: &parser})
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AST == nil {
+		t.Fatalf("SAT-mode parse failed: %v", res.Parse.Diags)
+	}
+	if tool.Space().Stats.Checks == 0 {
+		t.Error("SAT mode performed no satisfiability checks")
+	}
+}
+
+func TestParserOptionOverride(t *testing.T) {
+	opts := fmlr.OptMAPR
+	opts.KillSwitch = 8
+	fs := preprocessor.MapFS{"main.c": strings.Repeat("#ifdef A\nint x;\n#endif\n", 1)}
+	tool := New(Config{FS: fs, Parser: &opts})
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AST == nil && !res.Parse.Killed {
+		t.Error("MAPR parse neither succeeded nor was killed")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/preprocessor"
+)
+
+// randomCProgram builds a random variability-rich but valid C program over
+// nvars configuration variables.
+func randomCProgram(r *rand.Rand, nvars int) string {
+	var b strings.Builder
+	v := func() string { return fmt.Sprintf("V%d", r.Intn(nvars)) }
+	b.WriteString("#define TWICE(x) ((x) * 2)\n")
+	fmt.Fprintf(&b, "#ifdef %s\n#define BASE 10\n#else\n#define BASE 20\n#endif\n", v())
+	n := 4 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0:
+			fmt.Fprintf(&b, "#ifdef %s\nint d%d = %d;\n#endif\n", v(), i, r.Intn(50))
+		case 1:
+			fmt.Fprintf(&b, "#ifdef %s\nlong e%d = BASE;\n#else\nshort e%d = TWICE(%d);\n#endif\n", v(), i, i, r.Intn(9))
+		case 2:
+			fmt.Fprintf(&b, `int f%d(int k)
+{
+	int acc = k;
+#ifdef %s
+	if (acc > %d)
+		acc = acc - 1;
+	else
+#endif
+	acc = acc + BASE;
+	return acc;
+}
+`, i, v(), r.Intn(20))
+		case 3:
+			fmt.Fprintf(&b, "static int t%d[] = {\n#ifdef %s\n%d,\n#endif\n#ifdef %s\n%d,\n#endif\n0 };\n",
+				i, v(), r.Intn(9), v(), r.Intn(9))
+		case 4:
+			fmt.Fprintf(&b, "struct s%d {\nint base;\n#ifdef %s\nint opt;\n#endif\n};\n", i, v())
+		default:
+			fmt.Fprintf(&b, "int g%d = TWICE(BASE) + %d;\n", i, r.Intn(5))
+		}
+	}
+	return b.String()
+}
+
+// normalizeTree canonicalizes projected trees for comparison: nested
+// same-label lists flatten (projection of merged list spines produces
+// nesting that single-configuration parses never build), and empty interior
+// nodes drop.
+func normalizeTree(n *ast.Node) *ast.Node {
+	if n == nil {
+		return nil
+	}
+	if n.Kind == ast.KindToken {
+		return n
+	}
+	var kids []*ast.Node
+	for _, c := range n.Children {
+		nc := normalizeTree(c)
+		if nc == nil {
+			continue
+		}
+		if nc.Kind == ast.KindList && n.Kind == ast.KindList && nc.Label == n.Label {
+			kids = append(kids, nc.Children...)
+			continue
+		}
+		kids = append(kids, nc)
+	}
+	if len(kids) == 0 && n.Kind != ast.KindToken {
+		return nil
+	}
+	return &ast.Node{Kind: n.Kind, Label: n.Label, Children: kids}
+}
+
+func renderStructure(n *ast.Node) string {
+	var b strings.Builder
+	var walk func(m *ast.Node)
+	walk = func(m *ast.Node) {
+		if m == nil {
+			return
+		}
+		if m.Kind == ast.KindToken {
+			fmt.Fprintf(&b, "%q ", m.Tok.Text)
+			return
+		}
+		fmt.Fprintf(&b, "(%s ", m.Label)
+		for _, c := range m.Children {
+			walk(c)
+		}
+		b.WriteString(") ")
+	}
+	walk(n)
+	return b.String()
+}
+
+// TestDifferentialASTvsSingleConfig is the end-to-end differential check:
+// for random variability-rich programs, projecting the
+// configuration-preserving AST under each configuration must yield the
+// same tree (same productions over the same tokens) as running the whole
+// single-configuration pipeline with that configuration's -D flags.
+func TestDifferentialASTvsSingleConfig(t *testing.T) {
+	const nvars = 3
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		src := randomCProgram(r, nvars)
+		files := preprocessor.MapFS{"main.c": src}
+
+		preserving := New(Config{FS: files})
+		res, err := preserving.ParseFile("main.c")
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if res.AST == nil || len(res.Parse.Diags) > 0 {
+			t.Fatalf("trial %d: preserving parse failed: %v\n%s", trial, res.Parse.Diags, src)
+		}
+
+		for bits := 0; bits < 1<<nvars; bits++ {
+			defines := map[string]string{}
+			assign := map[string]bool{}
+			for i := 0; i < nvars; i++ {
+				if bits&(1<<i) != 0 {
+					name := fmt.Sprintf("V%d", i)
+					defines[name] = "1"
+					assign["(defined "+name+")"] = true
+				}
+			}
+			single := New(Config{FS: files, Defines: defines, SingleConfig: true})
+			sres, err := single.ParseFile("main.c")
+			if err != nil || sres.AST == nil {
+				t.Fatalf("trial %d config %03b: single parse failed: %v\n%s",
+					trial, bits, err, src)
+			}
+			want := renderStructure(normalizeTree(sres.AST))
+			got := renderStructure(normalizeTree(preserving.Project(res, assign)))
+			if got != want {
+				t.Fatalf("trial %d config %03b: trees differ\nprojected: %s\nsingle:    %s\nsource:\n%s",
+					trial, bits, got, want, src)
+			}
+		}
+	}
+}

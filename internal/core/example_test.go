@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/preprocessor"
+)
+
+// ExampleTool_ParseFile parses a compilation unit whose content varies with
+// CONFIG_DEBUG and projects both configurations from the one AST.
+func ExampleTool_ParseFile() {
+	tool := core.New(core.Config{
+		FS: preprocessor.MapFS{
+			"main.c": `
+#ifdef CONFIG_DEBUG
+int log_level = 2;
+#else
+int log_level = 0;
+#endif
+`,
+		},
+	})
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("has choice nodes:", res.AST.CountChoices() > 0)
+	for _, assign := range []map[string]bool{
+		{"(defined CONFIG_DEBUG)": true},
+		nil,
+	} {
+		proj := tool.Project(res, assign)
+		toks := proj.Tokens()
+		fmt.Println(toks[0].Text, toks[1].Text, toks[2].Text, toks[3].Text)
+	}
+	// Output:
+	// has choice nodes: true
+	// int log_level = 2
+	// int log_level = 0
+}
+
+// ExampleTool_Preprocess shows the configuration-preserving preprocessor
+// alone: macros expand, the conditional survives.
+func ExampleTool_Preprocess() {
+	tool := core.New(core.Config{
+		FS: preprocessor.MapFS{
+			"main.c": "#define N 4\n#ifdef A\nint x[N];\n#endif\n",
+		},
+	})
+	unit, err := tool.Preprocess("main.c")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("conditionals preserved:", unit.Stats.Conditionals)
+	fmt.Println("macros expanded:", unit.Stats.Invocations)
+	// Output:
+	// conditionals preserved: 1
+	// macros expanded: 1
+}
+
+// ExampleTool_ParseString demonstrates walking the variability AST for a
+// conditional typedef.
+func ExampleTool_ParseString() {
+	tool := core.New(core.Config{FS: preprocessor.MapFS{}})
+	res, err := tool.ParseString("t.c", `
+#ifdef WIDE
+typedef long cell_t;
+#else
+typedef int cell_t;
+#endif
+cell_t value;
+`)
+	if err != nil {
+		panic(err)
+	}
+	uses := ast.Find(res.AST, "TypedefName")
+	fmt.Println("typedef-name uses:", len(uses))
+	// Output:
+	// typedef-name uses: 1
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/preprocessor"
+)
+
+// TestPipelineNeverPanics drives the full pipeline with semi-structured
+// garbage: random directives, unbalanced conditionals, malformed macros,
+// stray punctuation. Everything must surface as diagnostics or parse
+// errors — never a panic, never an infinite loop.
+func TestPipelineNeverPanics(t *testing.T) {
+	fragments := []string{
+		"#define ", "#define M", "#define M(", "#define M(a,", "#define M(a) a",
+		"#include", "#include \"x.h\"", "#include <", "#if", "#if defined",
+		"#if 1 +", "#ifdef", "#ifdef A", "#else", "#elif", "#endif", "#undef",
+		"#error boom", "#pragma", "#line", "# ", "##", "#",
+		"int x;", "int x = ", "struct {", "}", "{", "(", ")", ";", ",",
+		"M(1)", "M(", "M)", "A B C", "0x", "'", "\"str\"", "...", "->",
+		"typedef", "typedef int T;", "T t;", "__attribute__((", "asm(",
+	}
+	r := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 300; trial++ {
+		var b strings.Builder
+		n := 1 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[r.Intn(len(fragments))])
+			if r.Intn(3) > 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, p, src)
+				}
+			}()
+			tool := New(Config{FS: preprocessor.MapFS{}})
+			res, err := tool.ParseString("fuzz.c", src)
+			_ = err
+			_ = res
+		}()
+	}
+}
+
+// TestPipelineNeverPanicsSAT repeats the fuzz drive in SAT mode (different
+// condition code paths).
+func TestPipelineNeverPanicsSAT(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var b strings.Builder
+		for i := 0; i < 6; i++ {
+			switch r.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "#if defined(V%d) && !defined(V%d)\n", r.Intn(3), r.Intn(3))
+			case 1:
+				b.WriteString("#endif\n")
+			case 2:
+				fmt.Fprintf(&b, "#define X%d %d\n", r.Intn(3), r.Intn(9))
+			case 3:
+				fmt.Fprintf(&b, "int a%d = X%d;\n", i, r.Intn(3))
+			default:
+				fmt.Fprintf(&b, "#elif defined(V%d)\n", r.Intn(3))
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, p, src)
+				}
+			}()
+			tool := New(Config{FS: preprocessor.MapFS{}, CondMode: cond.ModeSAT})
+			_, _ = tool.ParseString("fuzz.c", src)
+		}()
+	}
+}

@@ -1,0 +1,649 @@
+// Package corpus generates a deterministic, synthetic, Linux-like C source
+// tree for the evaluation harness.
+//
+// The paper evaluates on the x86 Linux 2.6.33.3 kernel, which this
+// repository does not ship. The corpus substitutes a generated tree whose
+// *preprocessor-usage shape* is calibrated to the paper's Tables 2 and 3:
+//
+//   - a shared header forest with include guards, long include chains, and
+//     a few headers included by large fractions of C files (Table 2b);
+//   - most macro definitions living in headers, most definitions nested in
+//     conditionals, heavy macro-in-macro nesting (Table 3);
+//   - the specific interaction patterns of §2: multiply-defined macros
+//     (Fig. 2), conditionally-defined function-like macro chains (Fig. 3),
+//     token pasting through multiply-defined macros (Fig. 5), conditionals
+//     embedded in C constructs (Fig. 1), per-element conditional array
+//     initializers (Fig. 6), computed includes, non-boolean conditional
+//     expressions, and #error-guarded branches.
+//
+// Generation is deterministic for a given Params (seeded PRNG), so
+// experiments are reproducible.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/preprocessor"
+)
+
+// Params sizes a corpus.
+type Params struct {
+	Seed       int64
+	CFiles     int // number of compilation units (default 40)
+	GenHeaders int // number of generated headers beyond the fixed set (default 24)
+	ConfigVars int // number of CONFIG_* variables (default 32)
+	// BlocksPerFile is the average number of top-level constructs per C
+	// file (default 10).
+	BlocksPerFile int
+}
+
+func (p *Params) defaults() {
+	if p.CFiles == 0 {
+		p.CFiles = 40
+	}
+	if p.GenHeaders == 0 {
+		p.GenHeaders = 24
+	}
+	if p.ConfigVars == 0 {
+		p.ConfigVars = 32
+	}
+	if p.BlocksPerFile == 0 {
+		p.BlocksPerFile = 10
+	}
+}
+
+// Corpus is a generated source tree.
+type Corpus struct {
+	Params  Params
+	FS      preprocessor.MapFS
+	CFiles  []string // compilation-unit paths, sorted by generation order
+	Headers []string // header paths
+}
+
+// popular headers and their inclusion probabilities (Table 2b's shape:
+// module.h in ~49% of C files, init.h 37%, kernel.h 33%, slab.h 23%,
+// delay.h 20%).
+var popularHeaders = []struct {
+	name string
+	prob float64
+}{
+	{"include/linux/module.h", 0.49},
+	{"include/linux/init.h", 0.37},
+	{"include/linux/kernel.h", 0.33},
+	{"include/linux/slab.h", 0.23},
+	{"include/linux/delay.h", 0.20},
+}
+
+// Generate builds the corpus for the given parameters.
+func Generate(p Params) *Corpus {
+	p.defaults()
+	c := &Corpus{Params: p, FS: preprocessor.MapFS{}}
+	r := rand.New(rand.NewSource(p.Seed))
+	g := &generator{c: c, r: r, p: p}
+	g.fixedHeaders()
+	g.genHeaders()
+	g.cFiles()
+	return c
+}
+
+type generator struct {
+	c *Corpus
+	r *rand.Rand
+	p Params
+}
+
+func (g *generator) config(i int) string {
+	return fmt.Sprintf("CONFIG_F%02d", i%g.p.ConfigVars)
+}
+
+func (g *generator) randConfig() string {
+	return g.config(g.r.Intn(g.p.ConfigVars))
+}
+
+func (g *generator) addHeader(path, body string) {
+	g.c.FS[path] = body
+	g.c.Headers = append(g.c.Headers, path)
+}
+
+// fixedHeaders installs the hand-written core headers that anchor the
+// interaction patterns.
+func (g *generator) fixedHeaders() {
+	g.addHeader("include/linux/types.h", `#ifndef _LINUX_TYPES_H
+#define _LINUX_TYPES_H
+typedef unsigned char u8;
+typedef unsigned short u16;
+typedef unsigned int u32;
+typedef signed int s32;
+typedef unsigned long usize;
+#ifdef CONFIG_64BIT
+typedef unsigned long long u64;
+#define BITS_PER_LONG 64
+#else
+typedef unsigned long u64;
+#define BITS_PER_LONG 32
+#endif
+typedef unsigned int uint32_x;
+typedef unsigned long long uint64_x;
+#define __mkuint2(x) uint ## x ## _x
+#define __mkuint(x) __mkuint2(x)
+#define UINTBPL __mkuint(BITS_PER_LONG)
+#endif
+`)
+	g.addHeader("include/linux/kernel.h", `#ifndef _LINUX_KERNEL_H
+#define _LINUX_KERNEL_H
+#include "types.h"
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define ARRAY_SIZE(arr) (sizeof(arr) / sizeof((arr)[0]))
+#define STRINGIFY(x) #x
+#define KBUILD_STR(x) STRINGIFY(x)
+extern int printk(const char *fmt, ...);
+#define pr_info(fmt, args...) printk(fmt, args)
+#define __cpu_to_le32(x) ((u32)(x))
+#ifdef CONFIG_KERNEL_MODE
+#define cpu_to_le32 __cpu_to_le32
+#endif
+extern u32 cpu_to_le32_fallback(u32 v);
+#endif
+`)
+	g.addHeader("include/linux/init.h", `#ifndef _LINUX_INIT_H
+#define _LINUX_INIT_H
+#define __init __attribute__((unused))
+#define __exit __attribute__((unused))
+#ifdef CONFIG_MODULES
+#define __initdata
+#else
+#define __initdata __attribute__((unused))
+#endif
+#endif
+`)
+	g.addHeader("include/linux/module.h", `#ifndef _LINUX_MODULE_H
+#define _LINUX_MODULE_H
+#include "kernel.h"
+#include "init.h"
+#define __MODULE_INFO(tag, info) \
+	static const char __mod_ ## tag[] __attribute__((unused)) = #tag "=" info
+#define MODULE_LICENSE(lic) __MODULE_INFO(license, lic)
+#define module_init(fn) int __initcall_ ## fn(void);
+#define module_exit(fn) int __exitcall_ ## fn(void);
+#endif
+`)
+	g.addHeader("include/linux/slab.h", `#ifndef _LINUX_SLAB_H
+#define _LINUX_SLAB_H
+#include "types.h"
+#ifdef CONFIG_SLUB
+#define ALLOC_FLAGS 2
+extern void *slub_alloc(usize size, int flags);
+#define kmalloc(sz, fl) slub_alloc(sz, fl)
+#else
+#define ALLOC_FLAGS 1
+extern void *slab_alloc(usize size, int flags);
+#define kmalloc(sz, fl) slab_alloc(sz, fl)
+#endif
+extern void kfree(void *ptr);
+#endif
+`)
+	g.addHeader("include/linux/delay.h", `#ifndef _LINUX_DELAY_H
+#define _LINUX_DELAY_H
+#include "types.h"
+#if HZ > 100
+#define DELAY_SCALE 1
+#else
+#define DELAY_SCALE 10
+#endif
+extern void __delay_loops(u32 loops);
+#define udelay(n) __delay_loops((n) * DELAY_SCALE)
+#endif
+`)
+	// Computed-include pair: a platform header chosen by configuration.
+	g.addHeader("include/plat_a.h", `#ifndef _PLAT_A_H
+#define _PLAT_A_H
+#define PLAT_NAME "alpha"
+#define PLAT_ID 1
+#endif
+`)
+	g.addHeader("include/plat_b.h", `#ifndef _PLAT_B_H
+#define _PLAT_B_H
+#define PLAT_NAME "beta"
+#define PLAT_ID 2
+#endif
+`)
+	// A deliberately guard-less header designed for repeated inclusion
+	// under different parameter macros (the kernel's unaligned/wordpart
+	// pattern); exercises Table 3's "reincluded headers".
+	g.addHeader("include/linux/repeat.h", `extern int REPEAT_NAME(int value);
+`)
+	g.addHeader("include/linux/platform.h", `#ifndef _LINUX_PLATFORM_H
+#define _LINUX_PLATFORM_H
+#ifdef CONFIG_PLAT_B
+#define PLATFORM_H "plat_b.h"
+#else
+#define PLATFORM_H "plat_a.h"
+#endif
+#include PLATFORM_H
+#endif
+`)
+}
+
+// genHeaders produces the generated header forest with include chains.
+func (g *generator) genHeaders() {
+	for i := 0; i < g.p.GenHeaders; i++ {
+		name := fmt.Sprintf("include/gen/gen_%02d.h", i)
+		guard := fmt.Sprintf("_GEN_%02d_H", i)
+		var b strings.Builder
+		fmt.Fprintf(&b, "#ifndef %s\n#define %s\n", guard, guard)
+		// Include chains: later headers include one or two earlier ones.
+		if i > 0 && g.r.Float64() < 0.7 {
+			fmt.Fprintf(&b, "#include \"gen_%02d.h\"\n", g.r.Intn(i))
+		}
+		if i > 2 && g.r.Float64() < 0.3 {
+			fmt.Fprintf(&b, "#include \"gen_%02d.h\"\n", g.r.Intn(i))
+		}
+		if g.r.Float64() < 0.4 {
+			b.WriteString("#include \"../linux/types.h\"\n")
+		}
+		// Unconditional and conditional object-like macros.
+		nDefs := 2 + g.r.Intn(4)
+		for d := 0; d < nDefs; d++ {
+			name := fmt.Sprintf("GEN%02d_VAL%d", i, d)
+			if g.r.Float64() < 0.5 {
+				cv := g.randConfig()
+				fmt.Fprintf(&b, "#ifdef %s\n#define %s %d\n#else\n#define %s %d\n#endif\n",
+					cv, name, g.r.Intn(100), name, 100+g.r.Intn(100))
+			} else {
+				fmt.Fprintf(&b, "#define %s %d\n", name, g.r.Intn(1000))
+			}
+		}
+		// A function-like macro, sometimes conditionally defined.
+		fm := fmt.Sprintf("gen%02d_scale", i)
+		if g.r.Float64() < 0.4 {
+			cv := g.randConfig()
+			fmt.Fprintf(&b, "#ifdef %s\n#define %s(x) ((x) << 1)\n#else\n#define %s(x) ((x) >> 1)\n#endif\n", cv, fm, fm)
+		} else {
+			fmt.Fprintf(&b, "#define %s(x) ((x) * GEN%02d_VAL0)\n", fm, i)
+		}
+		// A struct and typedef.
+		fmt.Fprintf(&b, "struct gen%02d_state {\n\tint count;\n\tunsigned long flags;\n", i)
+		if g.r.Float64() < 0.5 {
+			cv := g.randConfig()
+			fmt.Fprintf(&b, "#ifdef %s\n\tint extra;\n#endif\n", cv)
+		}
+		b.WriteString("};\n")
+		fmt.Fprintf(&b, "typedef struct gen%02d_state gen%02d_t;\n", i, i)
+		// Declarations.
+		fmt.Fprintf(&b, "extern int gen%02d_probe(gen%02d_t *st);\n", i, i)
+		fmt.Fprintf(&b, "extern void gen%02d_remove(gen%02d_t *st);\n", i, i)
+		// Occasionally an #error-guarded unsupported configuration.
+		if g.r.Float64() < 0.2 {
+			fmt.Fprintf(&b, "#ifdef CONFIG_BROKEN_%02d\n#error gen_%02d does not support this configuration\n#endif\n", i, i)
+		}
+		// Occasionally a redefinition after #undef.
+		if g.r.Float64() < 0.25 {
+			fmt.Fprintf(&b, "#undef GEN%02d_VAL0\n#define GEN%02d_VAL0 %d\n", i, i, g.r.Intn(50))
+		}
+		fmt.Fprintf(&b, "#endif\n")
+		g.addHeader(name, b.String())
+	}
+}
+
+var subsystems = []string{"drivers", "fs", "kernel", "net"}
+
+// cFiles produces the compilation units.
+func (g *generator) cFiles() {
+	for i := 0; i < g.p.CFiles; i++ {
+		dir := subsystems[g.r.Intn(len(subsystems))]
+		path := fmt.Sprintf("%s/gen_%03d.c", dir, i)
+		g.c.FS[path] = g.cFile(i)
+		g.c.CFiles = append(g.c.CFiles, path)
+	}
+}
+
+func (g *generator) cFile(idx int) string {
+	var b strings.Builder
+	// Includes: popular headers by probability, then a few gen headers.
+	for _, ph := range popularHeaders {
+		if g.r.Float64() < ph.prob {
+			fmt.Fprintf(&b, "#include \"../%s\"\n", strings.TrimPrefix(ph.name, "include/"))
+		}
+	}
+	b.WriteString("#include \"../include/linux/types.h\"\n")
+	nGen := 1 + g.r.Intn(3)
+	used := map[int]bool{}
+	var genIDs []int
+	for j := 0; j < nGen; j++ {
+		h := g.r.Intn(g.p.GenHeaders)
+		if used[h] {
+			continue
+		}
+		used[h] = true
+		genIDs = append(genIDs, h)
+		fmt.Fprintf(&b, "#include \"../include/gen/gen_%02d.h\"\n", h)
+	}
+	if g.r.Float64() < 0.1 {
+		b.WriteString("#include \"../include/linux/platform.h\"\n")
+	}
+	b.WriteString("\n")
+	// A file-local macro or two (Table 2a: 16% of defines live in C files).
+	if g.r.Float64() < 0.6 {
+		fmt.Fprintf(&b, "#define LOCAL_BUF_SIZE %d\n", 16<<g.r.Intn(6))
+	}
+	if g.r.Float64() < 0.3 {
+		cv := g.randConfig()
+		fmt.Fprintf(&b, "#ifdef %s\n#define LOCAL_MODE 2\n#else\n#define LOCAL_MODE 1\n#endif\n", cv)
+	}
+	b.WriteString("\n")
+
+	blocks := g.p.BlocksPerFile/2 + g.r.Intn(g.p.BlocksPerFile)
+	for blk := 0; blk < blocks; blk++ {
+		switch g.r.Intn(16) {
+		case 0:
+			g.blockFig1(&b, idx, blk)
+		case 1:
+			g.blockFig6(&b, idx, blk)
+		case 2:
+			g.blockMultiplyDefinedUse(&b, idx, blk)
+		case 3:
+			g.blockConditionalFunction(&b, idx, blk)
+		case 4:
+			g.blockNonBoolean(&b, idx, blk)
+		case 5:
+			g.blockStructEnum(&b, idx, blk)
+		case 6:
+			g.blockMacroChain(&b, idx, blk)
+		case 7:
+			g.blockPlainFunction(&b, idx, blk)
+		case 8:
+			g.blockPasting(&b, idx, blk)
+		case 9:
+			g.blockStatementConditional(&b, idx, blk)
+		case 10:
+			g.blockBuiltins(&b, idx, blk)
+		case 11:
+			g.blockRepeatedInclude(&b, idx, blk)
+		case 12:
+			g.blockPlainFunction(&b, idx, blk)
+		case 13:
+			g.blockOpsTable(&b, idx, blk)
+		case 14:
+			g.blockDeepNest(&b, idx, blk)
+		default:
+			g.blockStructEnum(&b, idx, blk)
+		}
+		b.WriteString("\n")
+	}
+	// Module boilerplate exercising pasting and stringification when
+	// module.h was included.
+	if strings.Contains(b.String(), "module.h") {
+		fmt.Fprintf(&b, "static int __init drv%03d_init(void) { return 0; }\n", idx)
+		fmt.Fprintf(&b, "module_init(drv%03d_init)\n", idx)
+		fmt.Fprintf(&b, "MODULE_LICENSE(\"GPL\");\n")
+	}
+	_ = genIDs
+	return b.String()
+}
+
+// blockFig1: a conditional straddling an if-else (paper Figure 1).
+func (g *generator) blockFig1(b *strings.Builder, idx, blk int) {
+	cv := g.randConfig()
+	fmt.Fprintf(b, `static int open_%03d_%d(int major, int minor)
+{
+	int i;
+#ifdef %s
+	if (major == %d)
+		i = %d;
+	else
+#endif
+	i = minor - %d;
+	return i;
+}
+`, idx, blk, cv, g.r.Intn(255), g.r.Intn(64), g.r.Intn(32))
+}
+
+// blockFig6: an array initializer with per-element conditionals (Figure 6).
+func (g *generator) blockFig6(b *strings.Builder, idx, blk int) {
+	n := 3 + g.r.Intn(10)
+	fmt.Fprintf(b, "static int (*check_%03d_%d[])(int) = {\n", idx, blk)
+	for i := 0; i < n; i++ {
+		cv := g.config(g.r.Intn(g.p.ConfigVars))
+		fmt.Fprintf(b, "#ifdef %s\n\tcheck_fn_%03d_%d_%d,\n#endif\n", cv, idx, blk, i)
+	}
+	b.WriteString("\t((void *)0)\n};\n")
+}
+
+// blockMultiplyDefinedUse: uses BITS_PER_LONG and a generated
+// multiply-defined macro (Figure 2).
+func (g *generator) blockMultiplyDefinedUse(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `static unsigned long mask_%03d_%d(void)
+{
+	unsigned long top = BITS_PER_LONG - 1;
+	return 1ul << top;
+}
+`, idx, blk)
+}
+
+// blockConditionalFunction: a whole function under a conditional.
+func (g *generator) blockConditionalFunction(b *strings.Builder, idx, blk int) {
+	cv := g.randConfig()
+	fmt.Fprintf(b, `#ifdef %s
+static void feature_%03d_%d(int on)
+{
+	if (on)
+		return;
+}
+#endif
+`, cv, idx, blk)
+}
+
+// blockNonBoolean: a non-boolean conditional expression (NR_CPUS < 256).
+func (g *generator) blockNonBoolean(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `#if NR_CPUS < %d
+typedef unsigned char ticket_%03d_%d_t;
+#else
+typedef unsigned short ticket_%03d_%d_t;
+#endif
+static ticket_%03d_%d_t next_ticket_%03d_%d;
+`, 128<<g.r.Intn(3), idx, blk, idx, blk, idx, blk, idx, blk)
+}
+
+// blockStructEnum: plain declarations.
+func (g *generator) blockStructEnum(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `enum state_%03d_%d { IDLE_%03d_%d, BUSY_%03d_%d = %d, DONE_%03d_%d };
+struct ctx_%03d_%d {
+	enum state_%03d_%d state;
+	unsigned int refs : 8;
+	struct ctx_%03d_%d *next;
+};
+static struct ctx_%03d_%d ctx_pool_%03d_%d[%d];
+`, idx, blk, idx, blk, idx, blk, g.r.Intn(16)+1, idx, blk,
+		idx, blk, idx, blk, idx, blk, idx, blk, idx, blk, 4+g.r.Intn(12))
+}
+
+// blockMacroChain: conditionally-defined macro chain use (Figure 3):
+// cpu_to_le32 either expands through __cpu_to_le32 or stays a call.
+func (g *generator) blockMacroChain(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `static u32 pack_%03d_%d(u32 val)
+{
+	return cpu_to_le32(val) + %d;
+}
+`, idx, blk, g.r.Intn(8))
+}
+
+// blockPlainFunction: ordinary C with no variability.
+func (g *generator) blockPlainFunction(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `static int work_%03d_%d(int n, const int *data)
+{
+	int total = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (data[i] < 0)
+			continue;
+		total += data[i] * %d;
+	}
+	while (total > %d)
+		total -= %d;
+	switch (total & 3) {
+	case 0:
+		return total;
+	case 1:
+		return -total;
+	default:
+		break;
+	}
+	return total >> 1;
+}
+`, idx, blk, 1+g.r.Intn(9), 100+g.r.Intn(900), 1+g.r.Intn(50))
+}
+
+// blockPasting: token pasting through the multiply-defined BITS_PER_LONG
+// (Figure 5).
+func (g *generator) blockPasting(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, "static UINTBPL word_%03d_%d;\n", idx, blk)
+}
+
+// blockBuiltins: uses of compiler built-in macros (__LINE__, __FILE__,
+// __STDC_VERSION__), the "ground truth" rows of Tables 1 and 3.
+func (g *generator) blockBuiltins(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `static long compiled_at_%03d_%d = __LINE__ + (__STDC_VERSION__ > 199000L);
+static const char *origin_%03d_%d = __FILE__;
+`, idx, blk, idx, blk)
+}
+
+// blockRepeatedInclude: includes the guard-less repeat.h twice under
+// different parameter macros (reinclusion, Table 1's "reinclude when guard
+// macro is not false").
+func (g *generator) blockRepeatedInclude(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, `#define REPEAT_NAME helper_a_%03d_%d
+#include "../include/linux/repeat.h"
+#undef REPEAT_NAME
+#define REPEAT_NAME helper_b_%03d_%d
+#include "../include/linux/repeat.h"
+#undef REPEAT_NAME
+`, idx, blk, idx, blk)
+}
+
+// blockOpsTable: a designated-initializer operations table with
+// conditional entries — the modern-kernel form of Figure 6.
+func (g *generator) blockOpsTable(b *strings.Builder, idx, blk int) {
+	fmt.Fprintf(b, "static struct gen00_state ops_%03d_%d = {\n\t.count = %d,\n", idx, blk, g.r.Intn(9))
+	if g.r.Float64() < 0.6 {
+		cv := g.randConfig()
+		fmt.Fprintf(b, "#ifdef %s\n\t.flags = %d,\n#endif\n", cv, g.r.Intn(255))
+	} else {
+		fmt.Fprintf(b, "\t.flags = %d,\n", g.r.Intn(255))
+	}
+	b.WriteString("};\n")
+}
+
+// blockDeepNest: deeply nested conditionals (the paper's Table 3 reports
+// conditional nesting up to depth 40 in Linux once header closures are
+// counted).
+func (g *generator) blockDeepNest(b *strings.Builder, idx, blk int) {
+	depth := 3 + g.r.Intn(4)
+	for d := 0; d < depth; d++ {
+		fmt.Fprintf(b, "#ifdef %s\n", g.config((idx+blk+d)%g.p.ConfigVars))
+	}
+	fmt.Fprintf(b, "int deep_%03d_%d = %d;\n", idx, blk, g.r.Intn(100))
+	for d := 0; d < depth; d++ {
+		b.WriteString("#endif\n")
+	}
+}
+
+// blockStatementConditional: conditionals inside statements and
+// expressions.
+func (g *generator) blockStatementConditional(b *strings.Builder, idx, blk int) {
+	cv1 := g.randConfig()
+	cv2 := g.randConfig()
+	fmt.Fprintf(b, `static long tally_%03d_%d(long base)
+{
+	long v = base;
+#ifdef %s
+	v += %d;
+#else
+	v -= %d;
+#endif
+	v = v *
+#ifdef %s
+		2 +
+#endif
+		1;
+	return v;
+}
+`, idx, blk, cv1, g.r.Intn(100), g.r.Intn(100), cv2)
+}
+
+// Table2 reports the developer's-view statistics of the corpus (paper
+// Table 2a): lines of code and directive counts, split between C files and
+// headers.
+type Table2 struct {
+	LoC, LoCHeaders           int
+	Directives, DirHeaders    int
+	Defines, DefinesHeaders   int
+	Conds, CondsHeaders       int
+	Includes, IncludesHeaders int
+}
+
+// DeveloperView computes Table 2a over the corpus's raw text.
+func (c *Corpus) DeveloperView() Table2 {
+	var t Table2
+	count := func(src string, header bool) {
+		for _, line := range strings.Split(src, "\n") {
+			trim := strings.TrimSpace(line)
+			if trim == "" || strings.HasPrefix(trim, "//") {
+				continue
+			}
+			t.LoC++
+			if header {
+				t.LoCHeaders++
+			}
+			if !strings.HasPrefix(trim, "#") {
+				continue
+			}
+			t.Directives++
+			if header {
+				t.DirHeaders++
+			}
+			switch {
+			case strings.HasPrefix(trim, "#define"):
+				t.Defines++
+				if header {
+					t.DefinesHeaders++
+				}
+			case strings.HasPrefix(trim, "#if") || strings.HasPrefix(trim, "#ifdef") || strings.HasPrefix(trim, "#ifndef"):
+				t.Conds++
+				if header {
+					t.CondsHeaders++
+				}
+			case strings.HasPrefix(trim, "#include"):
+				t.Includes++
+				if header {
+					t.IncludesHeaders++
+				}
+			}
+		}
+	}
+	for _, p := range c.CFiles {
+		count(c.FS[p], false)
+	}
+	for _, p := range c.Headers {
+		count(c.FS[p], true)
+	}
+	return t
+}
+
+// InclusionCounts reports, per header, how many C files include it
+// (directly, by path suffix match) — Table 2b.
+func (c *Corpus) InclusionCounts() map[string]int {
+	out := make(map[string]int)
+	for _, cf := range c.CFiles {
+		src := c.FS[cf]
+		for _, h := range c.Headers {
+			base := h[strings.LastIndex(h, "/")+1:]
+			if strings.Contains(src, "/"+base+"\"") || strings.Contains(src, "\""+base+"\"") {
+				out[h]++
+			}
+		}
+	}
+	return out
+}

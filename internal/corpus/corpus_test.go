@@ -1,0 +1,234 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fmlr"
+	"repro/internal/preprocessor"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Params{Seed: 7, CFiles: 5, GenHeaders: 6})
+	b := Generate(Params{Seed: 7, CFiles: 5, GenHeaders: 6})
+	if len(a.FS) != len(b.FS) {
+		t.Fatalf("file counts differ: %d vs %d", len(a.FS), len(b.FS))
+	}
+	for p, src := range a.FS {
+		if b.FS[p] != src {
+			t.Fatalf("file %s differs between identical seeds", p)
+		}
+	}
+	c := Generate(Params{Seed: 8, CFiles: 5, GenHeaders: 6})
+	same := true
+	for p, src := range a.FS {
+		if c.FS[p] != src {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestShape(t *testing.T) {
+	c := Generate(Params{Seed: 1})
+	if len(c.CFiles) != 40 {
+		t.Errorf("CFiles = %d", len(c.CFiles))
+	}
+	if len(c.Headers) < 30 {
+		t.Errorf("Headers = %d", len(c.Headers))
+	}
+	t2 := c.DeveloperView()
+	if t2.LoC == 0 || t2.Directives == 0 {
+		t.Fatal("empty developer view")
+	}
+	dirFrac := float64(t2.Directives) / float64(t2.LoC)
+	if dirFrac < 0.05 || dirFrac > 0.4 {
+		t.Errorf("directive fraction %.2f out of the kernel-like range", dirFrac)
+	}
+	// Most defines must live in headers (paper: 84%).
+	defFrac := float64(t2.DefinesHeaders) / float64(t2.Defines)
+	if defFrac < 0.5 {
+		t.Errorf("defines-in-headers fraction %.2f, want > 0.5", defFrac)
+	}
+	// module.h must be the most popular header (Table 2b).
+	counts := c.InclusionCounts()
+	if counts["include/linux/module.h"] < len(c.CFiles)/3 {
+		t.Errorf("module.h included by only %d of %d files",
+			counts["include/linux/module.h"], len(c.CFiles))
+	}
+}
+
+// TestEveryUnitParses is the corpus self-check: every generated compilation
+// unit must preprocess and parse cleanly in configuration-preserving mode.
+func TestEveryUnitParses(t *testing.T) {
+	c := Generate(Params{Seed: 42, CFiles: 12, GenHeaders: 10})
+	tool := core.New(core.Config{
+		FS:           c.FS,
+		IncludePaths: []string{"include", "include/gen", "include/linux"},
+	})
+	for _, cf := range c.CFiles {
+		res, err := tool.ParseFile(cf)
+		if err != nil {
+			t.Fatalf("%s: %v", cf, err)
+		}
+		for _, d := range res.Unit.Diags {
+			if !d.Warning {
+				t.Errorf("%s: preprocess: %s", cf, d)
+			}
+		}
+		if res.AST == nil {
+			t.Errorf("%s: no AST (diags: %v)", cf, res.Parse.Diags)
+			continue
+		}
+		if len(res.Parse.Diags) > 0 {
+			t.Errorf("%s: parse diagnostics: %v", cf, res.Parse.Diags[0])
+		}
+		if res.Parse.Killed {
+			t.Errorf("%s: kill switch tripped", cf)
+		}
+	}
+}
+
+// TestUnitsHaveVariability confirms the corpus actually exercises
+// configuration-preserving parsing: most units produce choice nodes and
+// fork subparsers.
+func TestUnitsHaveVariability(t *testing.T) {
+	c := Generate(Params{Seed: 3, CFiles: 10, GenHeaders: 8})
+	tool := core.New(core.Config{
+		FS:           c.FS,
+		IncludePaths: []string{"include", "include/gen", "include/linux"},
+	})
+	withChoices, withForks := 0, 0
+	for _, cf := range c.CFiles {
+		res, err := tool.ParseFile(cf)
+		if err != nil || res.AST == nil {
+			t.Fatalf("%s failed: %v", cf, err)
+		}
+		if res.AST.CountChoices() > 0 {
+			withChoices++
+		}
+		if res.Parse.Stats.MaxSubparsers > 1 {
+			withForks++
+		}
+	}
+	if withChoices < 5 {
+		t.Errorf("only %d/10 units have choice nodes", withChoices)
+	}
+	if withForks < 5 {
+		t.Errorf("only %d/10 units forked", withForks)
+	}
+}
+
+// TestInteractionCoverage checks that the corpus triggers the Table 1/3
+// interactions the generator promises.
+func TestInteractionCoverage(t *testing.T) {
+	c := Generate(Params{Seed: 11, CFiles: 25, GenHeaders: 16})
+	tool := core.New(core.Config{
+		FS:           c.FS,
+		IncludePaths: []string{"include", "include/gen", "include/linux"},
+	})
+	var agg preprocessor.UnitStats
+	maxSub := 0
+	for _, cf := range c.CFiles {
+		res, err := tool.ParseFile(cf)
+		if err != nil {
+			t.Fatalf("%s: %v", cf, err)
+		}
+		agg.Add(res.Unit.Stats)
+		if res.Parse.Stats.MaxSubparsers > maxSub {
+			maxSub = res.Parse.Stats.MaxSubparsers
+		}
+	}
+	checks := []struct {
+		name string
+		got  int
+	}{
+		{"macro definitions", agg.MacroDefinitions},
+		{"defs in conditionals", agg.DefsInConditional},
+		{"invocations", agg.Invocations},
+		{"nested invocations", agg.NestedInvocations},
+		{"trimmed (multiply-defined) invocations", agg.TrimmedInvocations},
+		{"token pastings", agg.TokenPastings},
+		{"stringifications", agg.Stringifications},
+		{"includes", agg.Includes},
+		{"guard skips", agg.GuardSkips},
+		{"conditionals", agg.Conditionals},
+		{"non-boolean expressions", agg.NonBooleanExprs},
+	}
+	for _, ch := range checks {
+		if ch.got == 0 {
+			t.Errorf("corpus never exercises %s", ch.name)
+		}
+	}
+	if maxSub < 2 {
+		t.Error("corpus never forks subparsers")
+	}
+	t.Logf("aggregate: %+v, max subparsers: %d", agg, maxSub)
+}
+
+// TestMAPRWorseThanFMLROnCorpus reproduces the Figure 8 relationship on a
+// small corpus slice: naive forking needs strictly more subparsers than
+// optimized FMLR on variability-heavy units.
+func TestMAPRWorseThanFMLROnCorpus(t *testing.T) {
+	c := Generate(Params{Seed: 5, CFiles: 6, GenHeaders: 8})
+	run := func(opts fmlr.Options) int {
+		opts.KillSwitch = 1500
+		tool := core.New(core.Config{
+			FS:           c.FS,
+			IncludePaths: []string{"include", "include/gen", "include/linux"},
+			Parser:       &opts,
+		})
+		max := 0
+		for _, cf := range c.CFiles {
+			res, err := tool.ParseFile(cf)
+			if err != nil {
+				t.Fatalf("%s: %v", cf, err)
+			}
+			if res.Parse.Stats.MaxSubparsers > max {
+				max = res.Parse.Stats.MaxSubparsers
+			}
+		}
+		return max
+	}
+	fm := run(fmlr.OptAll)
+	mapr := run(fmlr.OptMAPR)
+	if mapr <= fm {
+		t.Errorf("MAPR max %d should exceed FMLR max %d", mapr, fm)
+	}
+	t.Logf("FMLR max=%d, MAPR max=%d", fm, mapr)
+}
+
+func TestComputedIncludeInCorpus(t *testing.T) {
+	c := Generate(Params{Seed: 2, CFiles: 40})
+	// At least one unit pulls in platform.h with its computed include.
+	found := false
+	for _, cf := range c.CFiles {
+		if strings.Contains(c.FS[cf], "platform.h") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no unit drew platform.h at this seed; regenerate with more files")
+	}
+	tool := core.New(core.Config{
+		FS:           c.FS,
+		IncludePaths: []string{"include", "include/gen", "include/linux"},
+	})
+	for _, cf := range c.CFiles {
+		if !strings.Contains(c.FS[cf], "platform.h") {
+			continue
+		}
+		res, err := tool.ParseFile(cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unit.Stats.ComputedIncludes == 0 {
+			t.Error("computed include not counted")
+		}
+		break
+	}
+}

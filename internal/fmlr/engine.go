@@ -1,0 +1,653 @@
+package fmlr
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/cgrammar"
+	"repro/internal/cond"
+	"repro/internal/lalr"
+	"repro/internal/preprocessor"
+	"repro/internal/symtab"
+	"repro/internal/token"
+)
+
+// Options selects the forking strategy and optimizations (paper §4.2-4.4,
+// Figure 8's optimization levels).
+type Options struct {
+	// FollowSet enables the token follow-set (Algorithm 3). When false the
+	// engine forks a subparser per conditional branch — the MAPR baseline.
+	FollowSet bool
+	// LazyShifts delays forking of heads whose next action is a shift.
+	LazyShifts bool
+	// SharedReduces reduces one stack on behalf of several heads.
+	SharedReduces bool
+	// EarlyReduces prefers reducing subparsers over shifting ones at the
+	// same head position.
+	EarlyReduces bool
+	// LargestFirst is MAPR's tie-breaker: prefer the subparser with the
+	// deeper stack.
+	LargestFirst bool
+	// KillSwitch aborts the parse when the number of live subparsers
+	// exceeds this bound (paper: 16,000). 0 means 16,000.
+	KillSwitch int
+	// NoChoiceMerge restricts merging to strictly redundant subparsers
+	// (identical semantic values). SuperC merges differing values of
+	// complete nonterminals under static choice nodes (§5.1); MAPR predates
+	// that and can only merge truly redundant subparsers, which is what
+	// makes the naive strategy explode on Figure 6-style code.
+	NoChoiceMerge bool
+}
+
+// Standard optimization levels, named as in Figure 8a.
+var (
+	OptAll         = Options{FollowSet: true, LazyShifts: true, SharedReduces: true, EarlyReduces: true}
+	OptSharedLazy  = Options{FollowSet: true, LazyShifts: true, SharedReduces: true}
+	OptShared      = Options{FollowSet: true, SharedReduces: true}
+	OptLazy        = Options{FollowSet: true, LazyShifts: true}
+	OptFollowOnly  = Options{FollowSet: true}
+	OptMAPR        = Options{NoChoiceMerge: true}
+	OptMAPRLargest = Options{NoChoiceMerge: true, LargestFirst: true}
+)
+
+// Stats instruments one parse (Figure 8's subparser counts).
+type Stats struct {
+	Iterations    int
+	MaxSubparsers int
+	// SubparserHist maps a live-subparser count to the number of main-loop
+	// iterations that observed it.
+	SubparserHist map[int]int
+	Forks         int
+	Merges        int
+	TypedefForks  int // forks forced by ambiguously-defined names
+	Shifts        int
+	Reduces       int
+	Tokens        int
+}
+
+// Percentile returns the q-quantile (0..1) of the per-iteration subparser
+// counts.
+func (s *Stats) Percentile(q float64) int {
+	total := 0
+	keys := make([]int, 0, len(s.SubparserHist))
+	for k, n := range s.SubparserHist {
+		keys = append(keys, k)
+		total += n
+	}
+	sort.Ints(keys)
+	if total == 0 {
+		return 0
+	}
+	want := int(q * float64(total))
+	seen := 0
+	for _, k := range keys {
+		seen += s.SubparserHist[k]
+		if seen > want {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Diagnostic is a configuration-aware parse error.
+type Diagnostic struct {
+	Cond cond.Cond
+	Tok  token.Token
+	Msg  string
+}
+
+// Result is the outcome of a configuration-preserving parse.
+type Result struct {
+	AST    *ast.Node
+	Stats  Stats
+	Diags  []Diagnostic
+	Killed bool // the kill switch tripped
+}
+
+// ErrKillSwitch is returned (inside Result.Killed) when the subparser
+// population exceeded Options.KillSwitch.
+var ErrKillSwitch = fmt.Errorf("fmlr: subparser kill switch tripped")
+
+// stackNode is an immutable LR stack cell; stacks share tails across forks
+// (paper §4: "representing the stack as a singly-linked list").
+type stackNode struct {
+	state int
+	sym   lalr.Symbol
+	val   *ast.Node
+	next  *stackNode
+	depth int
+}
+
+// subparser is one LR subparser (paper §4.1). A subparser is either
+// *unresolved* — positioned at a token or conditional element el under
+// condition c, before its follow-set is computed — or *resolved*, holding
+// one or more token heads (multi-headed under lazy shifts/shared reduces).
+type subparser struct {
+	c      cond.Cond // total condition (OR of head conditions when resolved)
+	el     *element  // unresolved position
+	heads  []head    // resolved heads, ordered by document position
+	stack  *stackNode
+	tab    *symtab.Table
+	ownTab bool // whether tab is exclusively ours (copy-on-write)
+}
+
+func (p *subparser) resolved() bool { return p.heads != nil }
+
+func (p *subparser) ord() int {
+	if p.resolved() {
+		return p.heads[0].el.ord
+	}
+	return p.el.ord
+}
+
+// Engine runs FMLR parses over preprocessed token forests.
+type Engine struct {
+	space *cond.Space
+	lang  *cgrammar.C
+	opts  Options
+
+	queue   pq
+	byPos   map[*element][]*subparser // merge candidates keyed by position
+	stats   Stats
+	diags   []Diagnostic
+	accepts []ast.Choice
+	killed  bool
+}
+
+// New returns an engine for the given condition space, language, and
+// options.
+func New(space *cond.Space, lang *cgrammar.C, opts Options) *Engine {
+	if opts.KillSwitch == 0 {
+		opts.KillSwitch = 16000
+	}
+	return &Engine{space: space, lang: lang, opts: opts}
+}
+
+// Parse runs the FMLR algorithm (Algorithm 2) over a preprocessed unit.
+func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
+	first, ntokens := buildForest(segs, file)
+	e.queue = pq{less: e.less}
+	e.byPos = make(map[*element][]*subparser)
+	e.stats = Stats{SubparserHist: make(map[int]int), Tokens: ntokens}
+	e.diags = nil
+	e.accepts = nil
+	e.killed = false
+
+	p0 := &subparser{
+		c:      e.space.True(),
+		el:     first,
+		stack:  &stackNode{state: 0, sym: -1, depth: 0},
+		tab:    symtab.New(e.space),
+		ownTab: true,
+	}
+	e.insert(p0)
+
+	for e.queue.Len() > 0 {
+		e.stats.Iterations++
+		n := e.queue.Len()
+		e.stats.SubparserHist[n]++
+		if n > e.stats.MaxSubparsers {
+			e.stats.MaxSubparsers = n
+		}
+		if n > e.opts.KillSwitch {
+			e.killed = true
+			break
+		}
+		p := e.pop()
+		if !p.resolved() {
+			e.resolve(p)
+			continue
+		}
+		e.step(p)
+	}
+
+	res := &Result{Stats: e.stats, Diags: e.diags, Killed: e.killed}
+	switch len(e.accepts) {
+	case 0:
+	case 1:
+		res.AST = e.accepts[0].Node
+	default:
+		res.AST = ast.NewChoice(e.accepts...)
+	}
+	return res
+}
+
+// pq is the subparser priority queue (a binary heap ordered by e.less).
+type pq struct {
+	items []*subparser
+	less  func(a, b *subparser) bool
+}
+
+func (q *pq) Len() int           { return len(q.items) }
+func (q *pq) Less(i, j int) bool { return q.less(q.items[i], q.items[j]) }
+func (q *pq) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *pq) Push(x interface{}) { q.items = append(q.items, x.(*subparser)) }
+func (q *pq) Pop() interface{} {
+	n := len(q.items)
+	it := q.items[n-1]
+	q.items = q.items[:n-1]
+	return it
+}
+
+// pop removes the highest-priority subparser: earliest head position, with
+// the configured tie-breakers.
+func (e *Engine) pop() *subparser {
+	p := heap.Pop(&e.queue).(*subparser)
+	e.unindex(p)
+	return p
+}
+
+func (e *Engine) less(a, b *subparser) bool {
+	ao, bo := a.ord(), b.ord()
+	if ao != bo {
+		return ao < bo
+	}
+	// Unresolved subparsers step first: resolving only computes the
+	// follow-set, and letting a resolved subparser shift past a laggard at
+	// the same position would forfeit the merge.
+	if a.resolved() != b.resolved() {
+		return !a.resolved()
+	}
+	if e.opts.EarlyReduces {
+		ar, br := e.willReduce(a), e.willReduce(b)
+		if ar != br {
+			return ar
+		}
+	}
+	if e.opts.LargestFirst {
+		return a.stack.depth > b.stack.depth
+	}
+	return false
+}
+
+// willReduce reports whether the subparser's next LR action is a reduce
+// (the early-reduces tie-breaker).
+func (e *Engine) willReduce(p *subparser) bool {
+	if !p.resolved() {
+		return false
+	}
+	act := e.lang.Table.Actions[p.stack.state][p.heads[0].sym]
+	return act.Kind == lalr.ActionReduce
+}
+
+// posKey returns the element keying merge candidates.
+func (p *subparser) posKey() *element {
+	if p.resolved() {
+		return p.heads[0].el
+	}
+	return p.el
+}
+
+// mergeScanLimit bounds how many same-position candidates one insert
+// examines; beyond it (reachable only when a naive strategy floods one
+// position) merging degrades gracefully instead of going quadratic.
+const mergeScanLimit = 64
+
+// insert adds p to the queue, merging it into an equivalent subparser when
+// possible (paper Figure 7's Merge).
+func (e *Engine) insert(p *subparser) {
+	key := p.posKey()
+	candidates := e.byPos[key]
+	if len(candidates) > mergeScanLimit {
+		candidates = candidates[len(candidates)-mergeScanLimit:]
+	}
+	for _, q := range candidates {
+		if merged := e.tryMerge(q, p); merged {
+			e.stats.Merges++
+			return
+		}
+	}
+	heap.Push(&e.queue, p)
+	e.byPos[key] = append(e.byPos[key], p)
+}
+
+func (e *Engine) unindex(p *subparser) {
+	key := p.posKey()
+	list := e.byPos[key]
+	for i, q := range list {
+		if q == p {
+			e.byPos[key] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// resolve turns an unresolved subparser into resolved subparsers, via the
+// token follow-set or MAPR's naive per-branch forking.
+func (e *Engine) resolve(p *subparser) {
+	if p.el.tok != nil {
+		// Ordinary token: the follow-set is the singleton {(c, el)}.
+		e.resolveHeads(p, []head{{cond: p.c, el: p.el}})
+		return
+	}
+	if !e.opts.FollowSet {
+		// MAPR: one subparser per branch, plus the implicit branch.
+		covered := e.space.False()
+		for _, br := range p.el.cnd.branches {
+			covered = e.space.Or(covered, br.cond)
+			bc := e.space.And(p.c, br.cond)
+			if e.space.IsFalse(bc) {
+				continue
+			}
+			pos := br.first
+			if pos == nil {
+				pos = after(p.el)
+			}
+			e.stats.Forks++
+			e.insert(&subparser{c: bc, el: pos, stack: p.stack, tab: p.tab})
+		}
+		rest := e.space.And(p.c, e.space.Not(covered))
+		if !e.space.IsFalse(rest) {
+			if nxt := after(p.el); nxt != nil {
+				e.stats.Forks++
+				e.insert(&subparser{c: rest, el: nxt, stack: p.stack, tab: p.tab})
+			}
+		}
+		return
+	}
+	T := e.follow(p.c, p.el)
+	e.resolveHeads(p, T)
+}
+
+// resolveHeads classifies the heads' terminals (with typedef
+// reclassification) and forks per the optimization level.
+func (e *Engine) resolveHeads(p *subparser, T []head) {
+	var heads []head
+	for _, h := range T {
+		heads = append(heads, e.reclassify(p, h)...)
+	}
+	e.fork(p, heads)
+}
+
+// reclassify applies the context plugin to one head: identifiers naming
+// types become TYPEDEFNAME terminals; ambiguously-defined names split into
+// both classifications, forcing a fork even without an explicit conditional
+// (paper §5.2).
+func (e *Engine) reclassify(p *subparser, h head) []head {
+	if h.reclassified {
+		return []head{h}
+	}
+	if h.el.tok.Kind == token.EOF {
+		h.sym = e.lang.Grammar.EOF()
+		h.reclassified = true
+		return []head{h}
+	}
+	sym, ok := e.lang.Classify(*h.el.tok)
+	if !ok {
+		// Token invisible to the parser (e.g. __extension__): skip ahead.
+		// Treat as a reduce-less advance: reposition past the token.
+		// Simplest correct handling: classify as identifier.
+		sym = e.lang.Identifier
+	}
+	h.sym = sym
+	h.reclassified = true
+	if sym != e.lang.Identifier {
+		return []head{h}
+	}
+	cl := p.tab.Classify(h.el.tok.Text, h.cond)
+	tdFalse := e.space.IsFalse(cl.TypedefCond)
+	otherFalse := e.space.IsFalse(cl.OtherCond)
+	switch {
+	case tdFalse:
+		return []head{h}
+	case otherFalse:
+		h.sym = e.lang.TypedefName
+		return []head{h}
+	default:
+		// Ambiguously defined: both classifications are live.
+		e.stats.TypedefForks++
+		td := h
+		td.cond = cl.TypedefCond
+		td.sym = e.lang.TypedefName
+		other := h
+		other.cond = cl.OtherCond
+		return []head{td, other}
+	}
+}
+
+// fork creates subparsers for the heads per the optimization level (paper
+// Figure 7b) and inserts them into the queue.
+func (e *Engine) fork(p *subparser, heads []head) {
+	if len(heads) == 0 {
+		return
+	}
+	if len(heads) == 1 {
+		q := &subparser{c: heads[0].cond, heads: heads, stack: p.stack, tab: p.tab, ownTab: p.ownTab}
+		e.insert(q)
+		return
+	}
+	if !e.opts.LazyShifts && !e.opts.SharedReduces {
+		for _, h := range heads {
+			e.stats.Forks++
+			e.insert(&subparser{c: h.cond, heads: []head{h}, stack: p.stack, tab: p.tab})
+		}
+		return
+	}
+	var shiftGroup []head
+	reduceGroups := make(map[int][]head)
+	var singles []head
+	for _, h := range heads {
+		act := e.lang.Table.Actions[p.stack.state][h.sym]
+		switch {
+		case act.Kind == lalr.ActionShift && e.opts.LazyShifts:
+			shiftGroup = append(shiftGroup, h)
+		case act.Kind == lalr.ActionReduce && e.opts.SharedReduces:
+			reduceGroups[act.Target] = append(reduceGroups[act.Target], h)
+		case act.Kind == lalr.ActionError:
+			e.parseError(h)
+		default:
+			singles = append(singles, h)
+		}
+	}
+	emit := func(hs []head) {
+		if len(hs) == 0 {
+			return
+		}
+		sort.SliceStable(hs, func(i, j int) bool { return hs[i].el.ord < hs[j].el.ord })
+		c := hs[0].cond
+		for _, h := range hs[1:] {
+			c = e.space.Or(c, h.cond)
+		}
+		e.stats.Forks++
+		e.insert(&subparser{c: c, heads: hs, stack: p.stack, tab: p.tab})
+	}
+	emit(shiftGroup)
+	// Deterministic order over reduce groups.
+	prods := make([]int, 0, len(reduceGroups))
+	for r := range reduceGroups {
+		prods = append(prods, r)
+	}
+	sort.Ints(prods)
+	for _, r := range prods {
+		emit(reduceGroups[r])
+	}
+	for _, h := range singles {
+		e.stats.Forks++
+		e.insert(&subparser{c: h.cond, heads: []head{h}, stack: p.stack, tab: p.tab})
+	}
+}
+
+// step performs one LR action on a resolved subparser (Algorithm 2 lines
+// 6-8, generalized to multi-headed subparsers per §4.4).
+func (e *Engine) step(p *subparser) {
+	h := p.heads[0]
+	act := e.lang.Table.Actions[p.stack.state][h.sym]
+	switch act.Kind {
+	case lalr.ActionShift:
+		if len(p.heads) > 1 {
+			// Fork off a single-headed subparser for the earliest head and
+			// shift it; the rest stay lazy.
+			e.stats.Forks++
+			single := &subparser{c: h.cond, heads: []head{h}, stack: p.stack, tab: p.tab}
+			e.shift(single, h, act.Target)
+			rest := p.heads[1:]
+			c := rest[0].cond
+			for _, r := range rest[1:] {
+				c = e.space.Or(c, r.cond)
+			}
+			e.insert(&subparser{c: c, heads: rest, stack: p.stack, tab: p.tab})
+			return
+		}
+		e.shift(p, h, act.Target)
+	case lalr.ActionReduce:
+		e.reduce(p, act.Target)
+		if len(p.heads) > 1 {
+			// Shared reduce: actions may now differ per head; refork.
+			e.fork(p, p.heads)
+			return
+		}
+		e.insert(p)
+	case lalr.ActionAccept:
+		e.accept(p, h)
+		// Remaining heads (if any) are impossible at EOF; drop them.
+	default:
+		e.parseError(h)
+		if len(p.heads) > 1 {
+			rest := p.heads[1:]
+			c := rest[0].cond
+			for _, r := range rest[1:] {
+				c = e.space.Or(c, r.cond)
+			}
+			e.insert(&subparser{c: c, heads: rest, stack: p.stack, tab: p.tab})
+		}
+	}
+}
+
+// shift pushes the head's token and repositions the subparser after it.
+func (e *Engine) shift(p *subparser, h head, target int) {
+	e.stats.Shifts++
+	var val *ast.Node
+	if !e.lang.IsLayout(h.sym) {
+		val = h.el.leafNode()
+	}
+	p.stack = &stackNode{state: target, sym: h.sym, val: val, next: p.stack, depth: p.stack.depth + 1}
+	p.c = h.cond
+	p.heads = nil
+	p.el = after(h.el)
+	if p.el == nil {
+		return // EOF was shifted; accept happens via the table
+	}
+	e.insert(p)
+}
+
+func (e *Engine) accept(p *subparser, h head) {
+	// The value under the EOF shift position: top of stack holds the start
+	// symbol's value.
+	e.accepts = append(e.accepts, ast.Choice{Cond: h.cond, Node: p.stack.val})
+}
+
+func (e *Engine) parseError(h head) {
+	e.diags = append(e.diags, Diagnostic{
+		Cond: h.cond,
+		Tok:  *h.el.tok,
+		Msg:  fmt.Sprintf("parse error on %s", h.el.tok),
+	})
+}
+
+// tryMerge merges p into q when they have the same heads and compatible
+// stacks (paper Figure 7a / §5.1's complete-nonterminal rule). Returns true
+// when merged; q is updated in place (it is already queued).
+func (e *Engine) tryMerge(q, p *subparser) bool {
+	if q.resolved() != p.resolved() {
+		return false
+	}
+	if q.resolved() {
+		if len(q.heads) != len(p.heads) {
+			return false
+		}
+		for i := range q.heads {
+			if q.heads[i].el != p.heads[i].el || q.heads[i].sym != p.heads[i].sym {
+				return false
+			}
+		}
+	} else if q.el != p.el {
+		return false
+	}
+	if !q.tab.MayMerge(p.tab) {
+		return false
+	}
+	merged, ok := e.mergeStacks(q, p)
+	if !ok {
+		return false
+	}
+	// Merge conditions per head and overall.
+	if q.resolved() {
+		for i := range q.heads {
+			q.heads[i].cond = e.space.Or(q.heads[i].cond, p.heads[i].cond)
+		}
+	}
+	q.c = e.space.Or(q.c, p.c)
+	q.stack = merged
+	if q.tab != p.tab {
+		q.tab = q.tab.Merge(p.tab)
+		q.ownTab = true
+	}
+	return true
+}
+
+// mergeStacks verifies stack compatibility and builds the merged stack.
+// Stacks are compatible when they have the same states and symbols and
+// their semantic values agree, except that differing values of complete
+// nonterminals combine under a static choice node.
+func (e *Engine) mergeStacks(q, p *subparser) (*stackNode, bool) {
+	if q.stack == p.stack {
+		return q.stack, true
+	}
+	if q.stack.depth != p.stack.depth {
+		return nil, false
+	}
+	// Walk until the shared tail; verify mergeability.
+	// First pass: pure compatibility check, allocation-free (this runs for
+	// every merge candidate; most fail).
+	depth := 0
+	a, b := q.stack, p.stack
+	for a != b {
+		if a.state != b.state || a.sym != b.sym {
+			return nil, false
+		}
+		if a.val != b.val {
+			// MAPR-mode merging requires strictly redundant subparsers.
+			if e.opts.NoChoiceMerge {
+				return nil, false
+			}
+			if !sameLeaf(a.val, b.val) && !e.lang.IsComplete(a.sym) {
+				return nil, false
+			}
+		}
+		depth++
+		a, b = a.next, b.next
+	}
+	// Second pass: rebuild the divergent prefix with choice values.
+	type frame struct{ a, b *stackNode }
+	frames := make([]frame, depth)
+	a, b = q.stack, p.stack
+	for i := 0; i < depth; i++ {
+		frames[i] = frame{a, b}
+		a, b = a.next, b.next
+	}
+	merged := a
+	for i := depth - 1; i >= 0; i-- {
+		f := frames[i]
+		val := f.a.val
+		if f.a.val != f.b.val && !sameLeaf(f.a.val, f.b.val) {
+			val = ast.NewChoice(
+				ast.Choice{Cond: q.c, Node: f.a.val},
+				ast.Choice{Cond: p.c, Node: f.b.val},
+			)
+		}
+		merged = &stackNode{state: f.a.state, sym: f.a.sym, val: val, next: merged, depth: merged.depth + 1}
+	}
+	return merged, true
+}
+
+// sameLeaf reports whether two values are token leaves with identical text —
+// e.g. the commas of different initializer-list entries. The paper achieves
+// the same merge behaviour by annotating punctuation as layout (no value);
+// keeping the leaves preserves source fidelity without blocking merges.
+func sameLeaf(a, b *ast.Node) bool {
+	return a != nil && b != nil &&
+		a.Kind == ast.KindToken && b.Kind == ast.KindToken &&
+		a.Tok.Kind == b.Tok.Kind && a.Tok.Text == b.Tok.Text
+}

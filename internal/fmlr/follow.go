@@ -1,0 +1,94 @@
+package fmlr
+
+import (
+	"sort"
+
+	"repro/internal/cond"
+	"repro/internal/lalr"
+)
+
+// head is one element of a subparser's follow-set: an ordinary token
+// element present under cond. sym caches the terminal classification; a
+// reclassified head (typedef name) carries the override here.
+type head struct {
+	cond cond.Cond
+	el   *element // el.tok != nil
+	sym  lalr.Symbol
+	// reclassified marks heads whose sym was fixed by the context plugin;
+	// they skip reclassification when acted upon.
+	reclassified bool
+}
+
+// follow computes the token follow-set of (c, a) — paper Algorithm 3. It
+// returns the first ordinary token on each path through static conditionals
+// from a, with its presence condition: the source code's *actual*
+// variability at this input position. Each token element appears exactly
+// once, and the result is ordered by document position.
+func (e *Engine) follow(c cond.Cond, a *element) []head {
+	s := e.space
+	var T []head
+	addToken := func(c cond.Cond, el *element) {
+		for i := range T {
+			if T[i].el == el {
+				T[i].cond = s.Or(T[i].cond, c)
+				return
+			}
+		}
+		T = append(T, head{cond: c, el: el})
+	}
+
+	// first scans the elements of one nesting level starting at a (paper's
+	// nested First): it adds the first token of each configuration to T and
+	// returns the remaining configuration — the conditions under which this
+	// level ran out of elements without providing a token.
+	var first func(c cond.Cond, a *element) cond.Cond
+	first = func(c cond.Cond, a *element) cond.Cond {
+		for a != nil {
+			if s.IsFalse(c) {
+				return c
+			}
+			if a.tok != nil {
+				addToken(c, a)
+				return s.False()
+			}
+			// a is a conditional: recurse into its feasible branches.
+			cr := s.False()
+			covered := s.False()
+			for _, br := range a.cnd.branches {
+				covered = s.Or(covered, br.cond)
+				bc := s.And(c, br.cond)
+				if s.IsFalse(bc) {
+					continue
+				}
+				if br.first == nil {
+					cr = s.Or(cr, bc) // empty branch: configuration remains
+					continue
+				}
+				cr = s.Or(cr, first(bc, br.first))
+			}
+			// Configurations matching no explicit branch (the implicit
+			// else) also remain.
+			cr = s.Or(cr, s.AndNot(c, covered))
+			c = cr
+			a = a.next // advance within this level only
+		}
+		return c
+	}
+
+	cur, el := c, a
+	for el != nil && !s.IsFalse(cur) {
+		cur = first(cur, el)
+		if s.IsFalse(cur) {
+			break
+		}
+		// This level is exhausted for the remaining configuration: step out
+		// of the enclosing conditional and continue after it.
+		last := el
+		for last.next != nil {
+			last = last.next
+		}
+		el = after(last)
+	}
+	sort.SliceStable(T, func(i, j int) bool { return T[i].el.ord < T[j].el.ord })
+	return T
+}

@@ -1,0 +1,126 @@
+// Package fmlr implements SuperC's Fork-Merge LR parser (paper §4).
+//
+// An FMLR parser runs a set of LR subparsers over the preprocessor's token
+// forest. Each subparser recognizes one presence condition's view of the
+// input; subparsers fork when static conditionals introduce variability and
+// merge as soon as their stacks coincide again, producing one AST with
+// static choice nodes. A priority queue ordered by input position
+// guarantees no subparser outruns the others, maximizing merge
+// opportunities.
+//
+// Four optimizations (paper §4.2–4.4) bound the subparser population: the
+// token follow-set captures actual variability instead of conditional
+// syntax; early reduces order reductions before shifts at the same head;
+// lazy shifts delay forking of shift-bound heads; and shared reduces apply
+// one reduction to a single stack on behalf of many heads. The naive
+// strategy of forking per conditional branch (MAPR) is retained as a
+// baseline.
+package fmlr
+
+import (
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/preprocessor"
+	"repro/internal/token"
+)
+
+// element is a node of the navigable token forest: exactly one of tok and
+// cnd is set. Elements link forward within their branch and upward to the
+// enclosing branch, supporting Algorithm 3's "next token or conditional
+// after a, stepping out of conditionals".
+type element struct {
+	tok  *token.Token
+	cnd  *condElem
+	next *element  // next element within the same branch (nil at branch end)
+	up   *element  // the conditional element containing this one (nil at top level)
+	ord  int       // document order; queue priority
+	leaf *ast.Node // cached AST leaf: subparsers shifting the same token
+	// share one node, so stacks that parsed the same region stay
+	// pointer-comparable for merging
+}
+
+// leafNode returns the element's shared AST leaf.
+func (e *element) leafNode() *ast.Node {
+	if e.leaf == nil {
+		e.leaf = ast.Leaf(*e.tok)
+	}
+	return e.leaf
+}
+
+// condElem is a conditional in the forest.
+type condElem struct {
+	branches []branchElem
+}
+
+// branchElem is one branch of a conditional.
+type branchElem struct {
+	cond  cond.Cond
+	first *element // nil for an empty branch
+}
+
+// buildForest converts preprocessor segments into the linked forest,
+// appending a synthetic EOF token. It returns the first element and the
+// total token count.
+func buildForest(segs []preprocessor.Segment, file string) (first *element, tokens int) {
+	ord := 0
+	var convert func(segs []preprocessor.Segment, up *element) *element
+	convert = func(segs []preprocessor.Segment, up *element) *element {
+		var head, tail *element
+		link := func(e *element) {
+			if tail == nil {
+				head = e
+			} else {
+				tail.next = e
+			}
+			tail = e
+		}
+		for _, sg := range segs {
+			e := &element{up: up, ord: ord}
+			ord++
+			if sg.IsToken() {
+				e.tok = sg.Tok
+				tokens++
+				link(e)
+				continue
+			}
+			ce := &condElem{}
+			e.cnd = ce
+			link(e)
+			for _, br := range sg.Cond.Branches {
+				ce.branches = append(ce.branches, branchElem{
+					cond:  br.Cond,
+					first: convert(br.Segs, e),
+				})
+			}
+		}
+		return head
+	}
+	first = convert(segs, nil)
+	eof := &element{
+		tok: &token.Token{Kind: token.EOF, File: file},
+		ord: ord,
+	}
+	if first == nil {
+		return eof, tokens
+	}
+	// Append EOF at top level.
+	last := first
+	for last.next != nil {
+		last = last.next
+	}
+	last.next = eof
+	return first, tokens
+}
+
+// after returns the next token or conditional after e, stepping out of
+// enclosing conditionals when e ends its branch (Algorithm 3 line 28 /
+// line 21's "next token or conditional").
+func after(e *element) *element {
+	for e != nil {
+		if e.next != nil {
+			return e.next
+		}
+		e = e.up
+	}
+	return nil
+}

@@ -1,0 +1,407 @@
+// Package harness drives the paper's evaluation (§6) over the synthetic
+// corpus and renders each table and figure in the paper's format. It is
+// shared by cmd/cstats, cmd/fmlrbench, and the repository's root
+// benchmarks.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cgrammar"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/fmlr"
+	"repro/internal/preprocessor"
+	"repro/internal/stats"
+)
+
+// IncludePaths are the corpus's include directories.
+var IncludePaths = []string{"include", "include/gen", "include/linux"}
+
+// RunConfig selects one experimental arm.
+type RunConfig struct {
+	Mode       cond.Mode
+	Parser     fmlr.Options
+	Single     bool
+	KillSwitch int               // override kill switch (0: parser default)
+	Defines    map[string]string // single-configuration defines
+}
+
+// UnitResult is one compilation unit's measurements.
+type UnitResult struct {
+	File        string
+	Bytes       int
+	Tokens      int
+	Pre         preprocessor.UnitStats
+	Parse       fmlr.Stats
+	Killed      bool
+	ParseFail   bool
+	LexTime     time.Duration
+	PreTime     time.Duration // preprocessing excluding lexing
+	ParseTime   time.Duration
+	TotalTime   time.Duration
+	ChoiceNodes int
+}
+
+// Run processes every compilation unit of the corpus under cfg.
+func Run(c *corpus.Corpus, cfg RunConfig) []UnitResult {
+	parser := cfg.Parser
+	if cfg.KillSwitch != 0 {
+		parser.KillSwitch = cfg.KillSwitch
+	}
+	out := make([]UnitResult, 0, len(c.CFiles))
+	for _, cf := range c.CFiles {
+		out = append(out, runUnit(c, cfg, parser, cf))
+	}
+	return out
+}
+
+func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) UnitResult {
+	// Each unit gets a fresh tool so that condition-space growth (BDD node
+	// tables, SAT statistics) is attributed per unit, as in the paper's
+	// per-compilation-unit latency measurements.
+	tool := core.New(core.Config{
+		FS:           c.FS,
+		IncludePaths: IncludePaths,
+		CondMode:     cfg.Mode,
+		Parser:       &parser,
+		SingleConfig: cfg.Single,
+		Defines:      cfg.Defines,
+	})
+	start := time.Now()
+	unit, err := tool.Preprocess(cf)
+	preTotal := time.Since(start)
+	res := UnitResult{File: cf}
+	if err != nil {
+		res.ParseFail = true
+		return res
+	}
+	parseStart := time.Now()
+	eng := fmlr.New(tool.Space(), cgrammar.MustLoad(), parser)
+	parse := eng.Parse(unit.Segments, cf)
+	res.ParseTime = time.Since(parseStart)
+	res.Bytes = unit.Stats.Bytes
+	res.Tokens = unit.Stats.Tokens
+	res.Pre = unit.Stats
+	res.Parse = parse.Stats
+	res.Killed = parse.Killed
+	res.ParseFail = parse.AST == nil
+	res.LexTime = unit.Stats.LexTime
+	res.PreTime = preTotal - unit.Stats.LexTime
+	res.TotalTime = preTotal + res.ParseTime
+	if parse.AST != nil {
+		res.ChoiceNodes = parse.AST.CountChoices()
+	}
+	return res
+}
+
+// Table2a renders the developer's view of preprocessor usage (paper
+// Table 2a): directive counts against lines of code, split between C files
+// and headers.
+func Table2a(c *corpus.Corpus) string {
+	t := c.DeveloperView()
+	var b strings.Builder
+	pct := func(part, whole int) string {
+		if whole == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
+	}
+	fmt.Fprintf(&b, "Table 2a: developer's view (synthetic corpus)\n")
+	fmt.Fprintf(&b, "%-28s %9s %9s %9s\n", "", "Total", "C Files", "Headers")
+	fmt.Fprintf(&b, "%-28s %9d %9s %9s\n", "LoC", t.LoC, pct(t.LoC-t.LoCHeaders, t.LoC), pct(t.LoCHeaders, t.LoC))
+	fmt.Fprintf(&b, "%-28s %9d %9s %9s\n", "All Directives", t.Directives, pct(t.Directives-t.DirHeaders, t.Directives), pct(t.DirHeaders, t.Directives))
+	fmt.Fprintf(&b, "%-28s %9d %9s %9s\n", "#define", t.Defines, pct(t.Defines-t.DefinesHeaders, t.Defines), pct(t.DefinesHeaders, t.Defines))
+	fmt.Fprintf(&b, "%-28s %9d %9s %9s\n", "#if, #ifdef, #ifndef", t.Conds, pct(t.Conds-t.CondsHeaders, t.Conds), pct(t.CondsHeaders, t.Conds))
+	fmt.Fprintf(&b, "%-28s %9d %9s %9s\n", "#include", t.Includes, pct(t.Includes-t.IncludesHeaders, t.Includes), pct(t.IncludesHeaders, t.Includes))
+	return b.String()
+}
+
+// Table2b renders the most frequently included headers (paper Table 2b).
+func Table2b(c *corpus.Corpus) string {
+	counts := c.InclusionCounts()
+	type hc struct {
+		name string
+		n    int
+	}
+	var list []hc
+	for h, n := range counts {
+		list = append(list, hc{h, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].name < list[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2b: most frequently included headers\n")
+	fmt.Fprintf(&b, "%-36s %s\n", "Header Name", "C Files That Include Header")
+	for i, e := range list {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "%-36s %d (%.0f%%)\n", e.name, e.n, 100*float64(e.n)/float64(len(c.CFiles)))
+	}
+	return b.String()
+}
+
+// Table3 renders the tool's view of preprocessor usage (paper Table 3):
+// per-construct percentiles (50th · 90th · 100th) across compilation units.
+func Table3(results []UnitResult) string {
+	row := func(get func(u *preprocessor.UnitStats) int) *stats.Sample {
+		s := &stats.Sample{}
+		for i := range results {
+			s.AddInt(get(&results[i].Pre))
+		}
+		return s
+	}
+	type line struct {
+		label string
+		s     *stats.Sample
+	}
+	lines := []line{
+		{"Macro Definitions", row(func(u *preprocessor.UnitStats) int { return u.MacroDefinitions })},
+		{"  Contained in conditionals", row(func(u *preprocessor.UnitStats) int { return u.DefsInConditional })},
+		{"  Redefinitions", row(func(u *preprocessor.UnitStats) int { return u.Redefinitions })},
+		{"Macro Invocations", row(func(u *preprocessor.UnitStats) int { return u.Invocations })},
+		{"  Trimmed", row(func(u *preprocessor.UnitStats) int { return u.TrimmedInvocations })},
+		{"  Hoisted", row(func(u *preprocessor.UnitStats) int { return u.HoistedInvocations })},
+		{"  Nested invocations", row(func(u *preprocessor.UnitStats) int { return u.NestedInvocations })},
+		{"  Built-in macros", row(func(u *preprocessor.UnitStats) int { return u.BuiltinUses })},
+		{"Token-Pasting", row(func(u *preprocessor.UnitStats) int { return u.TokenPastings })},
+		{"  Hoisted", row(func(u *preprocessor.UnitStats) int { return u.HoistedPastings })},
+		{"Stringification", row(func(u *preprocessor.UnitStats) int { return u.Stringifications })},
+		{"File Includes", row(func(u *preprocessor.UnitStats) int { return u.Includes })},
+		{"  Hoisted", row(func(u *preprocessor.UnitStats) int { return u.HoistedIncludes })},
+		{"  Computed includes", row(func(u *preprocessor.UnitStats) int { return u.ComputedIncludes })},
+		{"  Reincluded headers", row(func(u *preprocessor.UnitStats) int { return u.ReincludedHeaders })},
+		{"Static Conditionals", row(func(u *preprocessor.UnitStats) int { return u.Conditionals })},
+		{"  Max. depth", row(func(u *preprocessor.UnitStats) int { return u.MaxCondDepth })},
+		{"  With non-boolean expressions", row(func(u *preprocessor.UnitStats) int { return u.NonBooleanExprs })},
+		{"Error Directives", row(func(u *preprocessor.UnitStats) int { return u.ErrorDirectives })},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: tool's view — percentiles across compilation units (50th · 90th · 100th)\n")
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%-34s %s\n", l.label, l.s.Table3Row())
+	}
+	// Parser-side rows of Table 3.
+	decls := &stats.Sample{}
+	typedefForks := &stats.Sample{}
+	for i := range results {
+		decls.AddInt(results[i].ChoiceNodes)
+		typedefForks.AddInt(results[i].Parse.TypedefForks)
+	}
+	fmt.Fprintf(&b, "%-34s %s\n", "C Constructs w/ choice nodes", decls.Table3Row())
+	fmt.Fprintf(&b, "%-34s %s\n", "Ambiguously defined names", typedefForks.Table3Row())
+	return b.String()
+}
+
+// Level is one Figure 8 optimization level.
+type Level struct {
+	Name string
+	Opts fmlr.Options
+}
+
+// Levels are Figure 8a's rows, in the paper's order.
+var Levels = []Level{
+	{"Shared, Lazy, & Early", fmlr.OptAll},
+	{"Shared & Lazy", fmlr.OptSharedLazy},
+	{"Shared", fmlr.OptShared},
+	{"Lazy", fmlr.OptLazy},
+	{"Follow-Set Only", fmlr.OptFollowOnly},
+	{"MAPR & Largest First", fmlr.OptMAPRLargest},
+	{"MAPR", fmlr.OptMAPR},
+}
+
+// Figure8Row is one optimization level's aggregate subparser statistics.
+type Figure8Row struct {
+	Name        string
+	P99         int
+	Max         int
+	KilledUnits int
+	TotalUnits  int
+}
+
+// Figure8 measures subparser counts per main-loop iteration for every
+// optimization level (paper Figure 8a).
+func Figure8(c *corpus.Corpus, killSwitch int) []Figure8Row {
+	var rows []Figure8Row
+	for _, lv := range Levels {
+		results := Run(c, RunConfig{Parser: lv.Opts, KillSwitch: killSwitch})
+		agg := &stats.Sample{}
+		killed := 0
+		for i := range results {
+			if results[i].Killed {
+				killed++
+				continue
+			}
+			for count, iters := range results[i].Parse.SubparserHist {
+				for k := 0; k < iters; k++ {
+					agg.AddInt(count)
+				}
+			}
+		}
+		rows = append(rows, Figure8Row{
+			Name:        lv.Name,
+			P99:         int(agg.Percentile(0.99)),
+			Max:         int(agg.Max()),
+			KilledUnits: killed,
+			TotalUnits:  len(results),
+		})
+	}
+	return rows
+}
+
+// RenderFigure8a prints Figure 8a's table.
+func RenderFigure8a(rows []Figure8Row, killSwitch int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8a: subparser counts per FMLR loop iteration\n")
+	fmt.Fprintf(&b, "%-24s %8s %8s\n", "Optimization Level", "99th %", "Max.")
+	for _, r := range rows {
+		if r.KilledUnits > 0 {
+			fmt.Fprintf(&b, "%-24s  >%d on %d%% of comp. units\n",
+				r.Name, killSwitch, 100*r.KilledUnits/r.TotalUnits)
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %8d %8d\n", r.Name, r.P99, r.Max)
+	}
+	return b.String()
+}
+
+// Figure8b returns, per level, the cumulative distribution of subparser
+// counts (paper Figure 8b). The MAPR rows are omitted: their distributions
+// are dominated by kill-switch aborts (see Figure 8a), and Figure 8b's
+// point in the paper is the separation between the FMLR levels.
+func Figure8b(c *corpus.Corpus, killSwitch, points int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8b: cumulative distribution of subparser counts per iteration\n")
+	for _, lv := range Levels {
+		if lv.Opts.NoChoiceMerge {
+			continue // MAPR baselines: see Figure 8a
+		}
+		results := Run(c, RunConfig{Parser: lv.Opts, KillSwitch: killSwitch})
+		agg := &stats.Sample{}
+		killed := 0
+		for i := range results {
+			if results[i].Killed {
+				killed++
+				continue
+			}
+			for count, iters := range results[i].Parse.SubparserHist {
+				for k := 0; k < iters; k++ {
+					agg.AddInt(count)
+				}
+			}
+		}
+		if killed == len(results) {
+			fmt.Fprintf(&b, "%s: all units exceeded the kill switch\n", lv.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s", stats.RenderCDF(lv.Name, agg, points))
+	}
+	return b.String()
+}
+
+// Figure9 compares per-unit latency between SuperC (BDD conditions, all
+// optimizations) and the TypeChef baseline (SAT conditions, follow-set
+// only), as in paper Figure 9.
+type Figure9Result struct {
+	SuperC   *stats.Sample // seconds per unit
+	TypeChef *stats.Sample
+}
+
+// Figure9 runs both tools over the corpus.
+func Figure9(c *corpus.Corpus) Figure9Result {
+	superc := Run(c, RunConfig{Mode: cond.ModeBDD, Parser: fmlr.OptAll})
+	chef := Run(c, RunConfig{Mode: cond.ModeSAT, Parser: fmlr.OptFollowOnly})
+	r := Figure9Result{SuperC: &stats.Sample{}, TypeChef: &stats.Sample{}}
+	for i := range superc {
+		r.SuperC.AddDuration(superc[i].TotalTime)
+	}
+	for i := range chef {
+		r.TypeChef.AddDuration(chef[i].TotalTime)
+	}
+	return r
+}
+
+// RenderFigure9 prints the latency comparison in the paper's style.
+func RenderFigure9(r Figure9Result, points int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: latency per compilation unit\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s\n", "tool", "p50", "p80", "p99", "max", "total")
+	row := func(name string, s *stats.Sample) {
+		fmt.Fprintf(&b, "%-10s %9.3fms %9.3fms %9.3fms %10.3fms %10.3fms\n", name,
+			1e3*s.Percentile(0.5), 1e3*s.Percentile(0.8), 1e3*s.Percentile(0.99),
+			1e3*s.Max(), 1e3*s.Sum())
+	}
+	row("SuperC", r.SuperC)
+	row("TypeChef", r.TypeChef)
+	if r.SuperC.Percentile(0.5) > 0 {
+		fmt.Fprintf(&b, "speedup: p50 %.1fx, p80 %.1fx, max %.1fx\n",
+			r.TypeChef.Percentile(0.5)/r.SuperC.Percentile(0.5),
+			r.TypeChef.Percentile(0.8)/r.SuperC.Percentile(0.8),
+			r.TypeChef.Max()/r.SuperC.Max())
+	}
+	b.WriteString(stats.RenderCDF("SuperC latency CDF (s)", r.SuperC, points))
+	b.WriteString(stats.RenderCDF("TypeChef latency CDF (s)", r.TypeChef, points))
+	return b.String()
+}
+
+// Figure10 renders the SuperC latency breakdown by stage against
+// compilation-unit size (paper Figure 10).
+func Figure10(c *corpus.Corpus) string {
+	results := Run(c, RunConfig{Mode: cond.ModeBDD, Parser: fmlr.OptAll})
+	sort.Slice(results, func(i, j int) bool { return results[i].Bytes < results[j].Bytes })
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: SuperC latency breakdown per compilation unit (sorted by size)\n")
+	fmt.Fprintf(&b, "%-20s %10s %10s %10s %10s %10s\n", "unit", "bytes", "lex(ms)", "preproc(ms)", "parse(ms)", "total(ms)")
+	for i := range results {
+		r := &results[i]
+		fmt.Fprintf(&b, "%-20s %10d %10.3f %10.3f %10.3f %10.3f\n",
+			r.File, r.Bytes,
+			r.LexTime.Seconds()*1e3, r.PreTime.Seconds()*1e3,
+			r.ParseTime.Seconds()*1e3, r.TotalTime.Seconds()*1e3)
+	}
+	return b.String()
+}
+
+// GccBaseline measures single-configuration processing (the paper's gcc
+// comparison: one branch per conditional, concrete macro table).
+func GccBaseline(c *corpus.Corpus, defines map[string]string) (*stats.Sample, []UnitResult) {
+	results := Run(c, RunConfig{Single: true, Defines: defines, Parser: fmlr.OptAll})
+	s := &stats.Sample{}
+	for i := range results {
+		s.AddDuration(results[i].TotalTime)
+	}
+	return s, results
+}
+
+// RenderGcc prints the single-configuration comparison.
+func RenderGcc(c *corpus.Corpus) string {
+	single, _ := GccBaseline(c, map[string]string{"CONFIG_64BIT": "1", "CONFIG_KERNEL_MODE": "1"})
+	full := Run(c, RunConfig{Mode: cond.ModeBDD, Parser: fmlr.OptAll})
+	fullS := &stats.Sample{}
+	for i := range full {
+		fullS.AddDuration(full[i].TotalTime)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gcc-like single-configuration baseline vs configuration-preserving SuperC\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s\n", "", "p50", "p90", "max")
+	fmt.Fprintf(&b, "%-22s %8.3fms %8.3fms %8.3fms\n", "single-configuration",
+		1e3*single.Percentile(0.5), 1e3*single.Percentile(0.9), 1e3*single.Max())
+	fmt.Fprintf(&b, "%-22s %8.3fms %8.3fms %8.3fms\n", "config-preserving",
+		1e3*fullS.Percentile(0.5), 1e3*fullS.Percentile(0.9), 1e3*fullS.Max())
+	if single.Percentile(0.5) > 0 {
+		fmt.Fprintf(&b, "slowdown of preservation: p50 %.1fx, p90 %.1fx, max %.1fx\n",
+			fullS.Percentile(0.5)/single.Percentile(0.5),
+			fullS.Percentile(0.9)/single.Percentile(0.9),
+			fullS.Max()/single.Max())
+	}
+	return b.String()
+}

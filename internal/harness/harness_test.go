@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/fmlr"
+)
+
+func smallCorpus() *corpus.Corpus {
+	return corpus.Generate(corpus.Params{Seed: 9, CFiles: 6, GenHeaders: 8})
+}
+
+func TestRunProducesCleanResults(t *testing.T) {
+	c := smallCorpus()
+	results := Run(c, RunConfig{Parser: fmlr.OptAll})
+	if len(results) != len(c.CFiles) {
+		t.Fatalf("results = %d, units = %d", len(results), len(c.CFiles))
+	}
+	for _, r := range results {
+		if r.ParseFail || r.Killed {
+			t.Errorf("%s: fail=%v killed=%v", r.File, r.ParseFail, r.Killed)
+		}
+		if r.Bytes == 0 || r.Tokens == 0 {
+			t.Errorf("%s: empty measurements", r.File)
+		}
+		if r.TotalTime <= 0 {
+			t.Errorf("%s: no timing", r.File)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	c := smallCorpus()
+	out := Table2a(c)
+	for _, want := range []string{"LoC", "#define", "#include", "Headers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2a missing %q:\n%s", want, out)
+		}
+	}
+	out = Table2b(c)
+	// With only six units the popular-header sample is noisy; the ranking
+	// must at least surface the shared header forest.
+	if !strings.Contains(out, "include/linux/") {
+		t.Errorf("Table2b missing the shared headers:\n%s", out)
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	c := smallCorpus()
+	results := Run(c, RunConfig{Parser: fmlr.OptAll})
+	out := Table3(results)
+	for _, want := range []string{
+		"Macro Definitions", "Macro Invocations", "Token-Pasting",
+		"File Includes", "Static Conditionals", "·",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+// TestFigure8Shape asserts the paper's qualitative result: the fully
+// optimized level needs no more subparsers than follow-set only, and the
+// MAPR baselines blow past the kill switch on some units while FMLR never
+// does.
+func TestFigure8Shape(t *testing.T) {
+	c := smallCorpus()
+	const kill = 800
+	rows := Figure8(c, kill)
+	byName := map[string]Figure8Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	all := byName["Shared, Lazy, & Early"]
+	follow := byName["Follow-Set Only"]
+	mapr := byName["MAPR"]
+	if all.KilledUnits != 0 || follow.KilledUnits != 0 {
+		t.Errorf("FMLR levels tripped the kill switch: %+v %+v", all, follow)
+	}
+	if all.Max > follow.Max {
+		t.Errorf("optimizations increased max subparsers: %d vs %d", all.Max, follow.Max)
+	}
+	if mapr.KilledUnits == 0 {
+		t.Errorf("MAPR never tripped the kill switch: %+v", mapr)
+	}
+	out := RenderFigure8a(rows, kill)
+	if !strings.Contains(out, "MAPR") || !strings.Contains(out, "99th") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestFigure9Shape asserts the latency relationship: the SAT-backed
+// TypeChef baseline is slower than SuperC at the median. The corpus slice
+// excludes the heaviest-variability units: their SAT-mode tail (the
+// Figure 9 knee) is exercised by the benchmarks, not the unit tests.
+func TestFigure9Shape(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 9, CFiles: 4, GenHeaders: 8})
+	r := Figure9(c)
+	if r.SuperC.Len() == 0 || r.TypeChef.Len() == 0 {
+		t.Fatal("empty samples")
+	}
+	if r.TypeChef.Percentile(0.5) <= r.SuperC.Percentile(0.5) {
+		t.Errorf("TypeChef p50 %.4fs should exceed SuperC p50 %.4fs",
+			r.TypeChef.Percentile(0.5), r.SuperC.Percentile(0.5))
+	}
+	out := RenderFigure9(r, 4)
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFigure10Renders(t *testing.T) {
+	c := smallCorpus()
+	out := Figure10(c)
+	if !strings.Contains(out, "lex(ms)") || !strings.Contains(out, ".c") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestGccBaselineShape asserts the structural difference between
+// single-configuration and configuration-preserving processing: the
+// baseline never forks subparsers or preserves conditionals, while the
+// preserving run does both. (The latency relationship — preservation costs
+// ~1.1-1.4x on this corpus — is timer-noise-sensitive at unit-test scale
+// and is reported by BenchmarkGccBaseline instead.)
+func TestGccBaselineShape(t *testing.T) {
+	c := smallCorpus()
+	single, results := GccBaseline(c, map[string]string{"CONFIG_64BIT": "1"})
+	for _, r := range results {
+		if r.ParseFail {
+			t.Errorf("%s failed in single-config mode", r.File)
+		}
+		if r.Parse.MaxSubparsers > 1 {
+			t.Errorf("%s: single-config mode forked %d subparsers", r.File, r.Parse.MaxSubparsers)
+		}
+		if r.ChoiceNodes != 0 {
+			t.Errorf("%s: single-config AST has %d choice nodes", r.File, r.ChoiceNodes)
+		}
+	}
+	full := Run(c, RunConfig{Parser: fmlr.OptAll})
+	forked, fullTotal := false, 0.0
+	for i := range full {
+		if full[i].Parse.MaxSubparsers > 1 {
+			forked = true
+		}
+		fullTotal += full[i].TotalTime.Seconds()
+	}
+	if !forked {
+		t.Error("configuration-preserving run never forked")
+	}
+	t.Logf("single-config total %.4fs vs preserving total %.4fs", single.Sum(), fullTotal)
+}

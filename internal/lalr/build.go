@@ -1,0 +1,454 @@
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// item is an LR(0) item: a production index and a dot position.
+type item struct {
+	prod int
+	dot  int
+}
+
+// itemSetKey canonicalizes a kernel item set for state deduplication.
+func itemSetKey(items []item) string {
+	sorted := append([]item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].prod != sorted[j].prod {
+			return sorted[i].prod < sorted[j].prod
+		}
+		return sorted[i].dot < sorted[j].dot
+	})
+	var b strings.Builder
+	for _, it := range sorted {
+		fmt.Fprintf(&b, "%d.%d;", it.prod, it.dot)
+	}
+	return b.String()
+}
+
+// state is one LR(0) automaton state.
+type state struct {
+	index   int
+	kernel  []item
+	trans   map[Symbol]int           // symbol -> next state
+	look    map[item]map[Symbol]bool // kernel item -> LALR lookaheads
+	closure []item                   // cached LR(0) closure
+}
+
+// ActionKind discriminates parse-table actions.
+type ActionKind uint8
+
+// Parse actions.
+const (
+	ActionError ActionKind = iota
+	ActionShift
+	ActionReduce
+	ActionAccept
+)
+
+// Action is one parse-table entry.
+type Action struct {
+	Kind   ActionKind
+	Target int // shift: next state; reduce: production index
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionShift:
+		return fmt.Sprintf("s%d", a.Target)
+	case ActionReduce:
+		return fmt.Sprintf("r%d", a.Target)
+	case ActionAccept:
+		return "acc"
+	}
+	return "·"
+}
+
+// Conflict records a table conflict and how it was resolved.
+type Conflict struct {
+	State    int
+	Terminal Symbol
+	Kind     string // "shift/reduce" or "reduce/reduce"
+	Chosen   Action
+	Dropped  Action
+}
+
+// Table is a complete LALR(1) parse table.
+type Table struct {
+	Grammar   *Grammar
+	NumStates int
+	// Action is indexed [state][terminal].
+	Actions [][]Action
+	// Gotos is indexed [state][symbol]; -1 when absent.
+	Gotos     [][]int
+	Conflicts []Conflict
+	// AcceptProd is the augmented production index (reduced at accept).
+	AcceptProd int
+}
+
+// Build constructs the LALR(1) table for g.
+func Build(g *Grammar) (*Table, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Augment: $accept -> start $end.
+	aug := &Production{
+		Index: len(g.prods),
+		Lhs:   g.newSymbol("$accept", false),
+		Rhs:   []Symbol{g.start, g.eof},
+		Prec:  -1,
+		Label: "$accept",
+	}
+	g.prods = append(g.prods, aug)
+	g.prodsByLhs[aug.Lhs] = []*Production{aug}
+
+	fs := g.computeFirst()
+	b := &builder{g: g, fs: fs, stateIndex: make(map[string]int)}
+	b.buildLR0(aug)
+	b.computeLookaheads(aug)
+	return b.fillTable(aug)
+}
+
+type builder struct {
+	g          *Grammar
+	fs         *firstSets
+	states     []*state
+	stateIndex map[string]int
+}
+
+// closure0 computes the LR(0) closure of a kernel.
+func (b *builder) closure0(kernel []item) []item {
+	seen := make(map[item]bool, len(kernel))
+	var out []item
+	var queue []item
+	for _, it := range kernel {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+			queue = append(queue, it)
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		p := b.g.prods[it.prod]
+		if it.dot >= len(p.Rhs) {
+			continue
+		}
+		next := p.Rhs[it.dot]
+		if b.g.isTerminal[next] {
+			continue
+		}
+		for _, np := range b.g.prodsByLhs[next] {
+			ni := item{prod: np.Index, dot: 0}
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return out
+}
+
+// buildLR0 constructs the canonical LR(0) collection.
+func (b *builder) buildLR0(aug *Production) {
+	start := &state{index: 0, kernel: []item{{prod: aug.Index, dot: 0}}, trans: map[Symbol]int{}}
+	b.states = append(b.states, start)
+	b.stateIndex[itemSetKey(start.kernel)] = 0
+
+	for i := 0; i < len(b.states); i++ {
+		st := b.states[i]
+		st.closure = b.closure0(st.kernel)
+		// Group items by the symbol after the dot.
+		moves := make(map[Symbol][]item)
+		for _, it := range st.closure {
+			p := b.g.prods[it.prod]
+			if it.dot < len(p.Rhs) {
+				x := p.Rhs[it.dot]
+				moves[x] = append(moves[x], item{prod: it.prod, dot: it.dot + 1})
+			}
+		}
+		// Deterministic order for reproducible tables.
+		syms := make([]Symbol, 0, len(moves))
+		for x := range moves {
+			syms = append(syms, x)
+		}
+		sort.Slice(syms, func(a, c int) bool { return syms[a] < syms[c] })
+		for _, x := range syms {
+			kernel := moves[x]
+			key := itemSetKey(kernel)
+			idx, ok := b.stateIndex[key]
+			if !ok {
+				idx = len(b.states)
+				b.states = append(b.states, &state{index: idx, kernel: kernel, trans: map[Symbol]int{}})
+				b.stateIndex[key] = idx
+			}
+			st.trans[x] = idx
+		}
+	}
+}
+
+// dummy is the placeholder lookahead used to discover propagation
+// (Aho et al. Algorithm 4.63's '#').
+const dummy Symbol = -1
+
+// la1Item is an LR(1) item used during closure1.
+type la1Item struct {
+	item
+	la Symbol
+}
+
+// closure1 computes the LR(1) closure of a single seeded item.
+func (b *builder) closure1(seed la1Item) []la1Item {
+	seen := map[la1Item]bool{seed: true}
+	out := []la1Item{seed}
+	queue := []la1Item{seed}
+	firstBuf := make(map[Symbol]bool)
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		p := b.g.prods[it.prod]
+		if it.dot >= len(p.Rhs) {
+			continue
+		}
+		next := p.Rhs[it.dot]
+		if b.g.isTerminal[next] {
+			continue
+		}
+		// FIRST(β la)
+		for k := range firstBuf {
+			delete(firstBuf, k)
+		}
+		beta := p.Rhs[it.dot+1:]
+		b.firstOfSeqWithDummy(beta, it.la, firstBuf)
+		for _, np := range b.g.prodsByLhs[next] {
+			for la := range firstBuf {
+				ni := la1Item{item: item{prod: np.Index, dot: 0}, la: la}
+				if !seen[ni] {
+					seen[ni] = true
+					out = append(out, ni)
+					queue = append(queue, ni)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// firstOfSeqWithDummy is firstOfSeq that tolerates the dummy lookahead.
+func (b *builder) firstOfSeqWithDummy(seq []Symbol, la Symbol, into map[Symbol]bool) {
+	for _, s := range seq {
+		for t := range b.fs.first[s] {
+			into[t] = true
+		}
+		if !b.fs.nullable[s] {
+			return
+		}
+	}
+	into[la] = true
+}
+
+// computeLookaheads runs spontaneous generation and propagation.
+func (b *builder) computeLookaheads(aug *Production) {
+	type target struct {
+		state int
+		it    item
+	}
+	// propagation edges: source kernel item -> targets
+	propag := make(map[target][]target)
+
+	for _, st := range b.states {
+		st.look = make(map[item]map[Symbol]bool, len(st.kernel))
+		for _, k := range st.kernel {
+			st.look[k] = make(map[Symbol]bool)
+		}
+	}
+	// Seed: $end on the initial item.
+	b.states[0].look[item{prod: aug.Index, dot: 0}][b.g.eof] = true
+
+	for _, st := range b.states {
+		for _, k := range st.kernel {
+			src := target{state: st.index, it: k}
+			for _, li := range b.closure1(la1Item{item: k, la: dummy}) {
+				p := b.g.prods[li.prod]
+				if li.dot >= len(p.Rhs) {
+					continue
+				}
+				x := p.Rhs[li.dot]
+				nextState, ok := st.trans[x]
+				if !ok {
+					continue
+				}
+				dst := target{state: nextState, it: item{prod: li.prod, dot: li.dot + 1}}
+				if li.la == dummy {
+					propag[src] = append(propag[src], dst)
+				} else {
+					b.states[nextState].look[dst.it][li.la] = true
+				}
+			}
+		}
+	}
+	// Propagate to fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for src, dsts := range propag {
+			srcSet := b.states[src.state].look[src.it]
+			for _, dst := range dsts {
+				dstSet := b.states[dst.state].look[dst.it]
+				for la := range srcSet {
+					if !dstSet[la] {
+						dstSet[la] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// reduceLookaheads returns, for a state, the lookaheads of each completed
+// item (dot at end). Kernel items carry their LALR lookaheads directly;
+// non-kernel completed items (empty productions) obtain theirs from one
+// dummy-seeded closure per kernel item: a closure item with the dummy
+// lookahead inherits every kernel lookahead, any other lookahead was
+// generated spontaneously.
+func (b *builder) reduceLookaheads(st *state) map[int]map[Symbol]bool {
+	out := make(map[int]map[Symbol]bool)
+	add := func(prod int, la Symbol) {
+		if out[prod] == nil {
+			out[prod] = make(map[Symbol]bool)
+		}
+		out[prod][la] = true
+	}
+	for _, k := range st.kernel {
+		p := b.g.prods[k.prod]
+		if k.dot == len(p.Rhs) {
+			for la := range st.look[k] {
+				add(k.prod, la)
+			}
+			continue
+		}
+		for _, li := range b.closure1(la1Item{item: k, la: dummy}) {
+			lp := b.g.prods[li.prod]
+			if li.dot != len(lp.Rhs) {
+				continue
+			}
+			if li.la == dummy {
+				for la := range st.look[k] {
+					add(li.prod, la)
+				}
+				continue
+			}
+			add(li.prod, li.la)
+		}
+	}
+	return out
+}
+
+// fillTable creates the action/goto tables with yacc-style conflict
+// resolution.
+func (b *builder) fillTable(aug *Production) (*Table, error) {
+	g := b.g
+	t := &Table{
+		Grammar:    g,
+		NumStates:  len(b.states),
+		Actions:    make([][]Action, len(b.states)),
+		Gotos:      make([][]int, len(b.states)),
+		AcceptProd: aug.Index,
+	}
+	numSyms := len(g.names)
+	for si, st := range b.states {
+		t.Actions[si] = make([]Action, numSyms)
+		t.Gotos[si] = make([]int, numSyms)
+		for i := range t.Gotos[si] {
+			t.Gotos[si][i] = -1
+		}
+		// Shifts and gotos.
+		for x, next := range st.trans {
+			if g.isTerminal[x] {
+				t.Actions[si][x] = Action{Kind: ActionShift, Target: next}
+			} else {
+				t.Gotos[si][x] = next
+			}
+		}
+		// Reduces (and accept).
+		for prod, las := range b.reduceLookaheads(st) {
+			for la := range las {
+				if prod == aug.Index {
+					continue // accept handled via the shift of $end below
+				}
+				red := Action{Kind: ActionReduce, Target: prod}
+				cur := t.Actions[si][la]
+				switch cur.Kind {
+				case ActionError:
+					t.Actions[si][la] = red
+				case ActionShift:
+					chosen, dropped, resolved := b.resolveSR(cur, red, la)
+					t.Actions[si][la] = chosen
+					if !resolved {
+						t.Conflicts = append(t.Conflicts, Conflict{
+							State: si, Terminal: la, Kind: "shift/reduce",
+							Chosen: chosen, Dropped: dropped,
+						})
+					}
+				case ActionReduce:
+					// Reduce/reduce: keep the earlier production.
+					chosen, dropped := cur, red
+					if red.Target < cur.Target {
+						chosen, dropped = red, cur
+					}
+					t.Actions[si][la] = chosen
+					t.Conflicts = append(t.Conflicts, Conflict{
+						State: si, Terminal: la, Kind: "reduce/reduce",
+						Chosen: chosen, Dropped: dropped,
+					})
+				}
+			}
+		}
+		// Accept: the augmented item $accept -> start · $end shifts $end;
+		// replace that shift with accept.
+		for _, k := range st.kernel {
+			if k.prod == aug.Index && k.dot == 1 {
+				t.Actions[si][g.eof] = Action{Kind: ActionAccept}
+			}
+		}
+	}
+	return t, nil
+}
+
+// resolveSR applies precedence and associativity to a shift/reduce
+// conflict. resolved reports whether precedence information decided it (as
+// opposed to the default shift).
+func (b *builder) resolveSR(shift, reduce Action, terminal Symbol) (chosen, dropped Action, resolved bool) {
+	g := b.g
+	p := g.prods[reduce.Target]
+	tPrec, tOK := g.prec[terminal]
+	var pPrec int
+	var pOK bool
+	if p.Prec >= 0 {
+		pPrec, pOK = g.prec[p.Prec]
+	}
+	if tOK && pOK {
+		switch {
+		case pPrec > tPrec:
+			return reduce, shift, true
+		case tPrec > pPrec:
+			return shift, reduce, true
+		default:
+			switch g.assoc[terminal] {
+			case AssocLeft:
+				return reduce, shift, true
+			case AssocRight:
+				return shift, reduce, true
+			case AssocNonassoc:
+				return Action{Kind: ActionError}, shift, true
+			}
+		}
+	}
+	// Default: shift, reported as an unresolved conflict.
+	return shift, reduce, false
+}

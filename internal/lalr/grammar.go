@@ -1,0 +1,284 @@
+// Package lalr implements an LALR(1) parser-table generator.
+//
+// The paper's SuperC reuses Bison-generated LALR tables and stresses that
+// only the parser *engine* is new — FMLR works with standard LR tables
+// (paper §4: "FMLR parsers can reuse existing LR grammars and parser table
+// generators"). Go has no Bison equivalent in its standard ecosystem, so
+// this package provides one: grammar definition, the canonical LR(0)
+// collection, LALR(1) lookahead computation by spontaneous-generation and
+// propagation (Aho et al., Algorithm 4.63), and yacc-style conflict
+// resolution via precedence and associativity.
+package lalr
+
+import (
+	"fmt"
+)
+
+// Symbol identifies a grammar symbol. Terminals and nonterminals share one
+// index space within a Grammar.
+type Symbol int
+
+// Assoc is an operator associativity class.
+type Assoc uint8
+
+// Associativity classes for precedence declarations.
+const (
+	AssocNone Assoc = iota
+	AssocLeft
+	AssocRight
+	AssocNonassoc
+)
+
+// Production is one grammar rule LHS -> RHS.
+type Production struct {
+	Index int
+	Lhs   Symbol
+	Rhs   []Symbol
+	// Prec is the terminal whose precedence governs this production in
+	// shift/reduce conflicts (yacc %prec). Defaults to the last terminal in
+	// Rhs; -1 when none.
+	Prec Symbol
+	// Label is a free-form name for diagnostics and semantic dispatch.
+	Label string
+}
+
+// Grammar is a mutable grammar under construction. Declare terminals first,
+// then rules; the left-hand side of the first rule is the start symbol
+// unless SetStart is called.
+type Grammar struct {
+	names      []string
+	isTerminal []bool
+	symIndex   map[string]Symbol
+	prods      []*Production
+	prodsByLhs map[Symbol][]*Production
+	start      Symbol
+	hasStart   bool
+
+	prec      map[Symbol]int
+	assoc     map[Symbol]Assoc
+	precLevel int
+
+	eof Symbol
+}
+
+// EOFName is the reserved end-of-input terminal name.
+const EOFName = "$end"
+
+// NewGrammar returns an empty grammar with the reserved $end terminal.
+func NewGrammar() *Grammar {
+	g := &Grammar{
+		symIndex:   make(map[string]Symbol),
+		prodsByLhs: make(map[Symbol][]*Production),
+		prec:       make(map[Symbol]int),
+		assoc:      make(map[Symbol]Assoc),
+		start:      -1,
+	}
+	g.eof = g.Terminal(EOFName)
+	return g
+}
+
+// Terminal declares (or returns) a terminal symbol.
+func (g *Grammar) Terminal(name string) Symbol {
+	if s, ok := g.symIndex[name]; ok {
+		if !g.isTerminal[s] {
+			panic(fmt.Sprintf("lalr: %q already a nonterminal", name))
+		}
+		return s
+	}
+	return g.newSymbol(name, true)
+}
+
+// Nonterminal declares (or returns) a nonterminal symbol.
+func (g *Grammar) Nonterminal(name string) Symbol {
+	if s, ok := g.symIndex[name]; ok {
+		if g.isTerminal[s] {
+			panic(fmt.Sprintf("lalr: %q already a terminal", name))
+		}
+		return s
+	}
+	return g.newSymbol(name, false)
+}
+
+func (g *Grammar) newSymbol(name string, terminal bool) Symbol {
+	s := Symbol(len(g.names))
+	g.names = append(g.names, name)
+	g.isTerminal = append(g.isTerminal, terminal)
+	g.symIndex[name] = s
+	return s
+}
+
+// Lookup returns the symbol with the given name, if declared.
+func (g *Grammar) Lookup(name string) (Symbol, bool) {
+	s, ok := g.symIndex[name]
+	return s, ok
+}
+
+// Name returns a symbol's name.
+func (g *Grammar) Name(s Symbol) string { return g.names[s] }
+
+// IsTerminal reports whether s is a terminal.
+func (g *Grammar) IsTerminal(s Symbol) bool { return g.isTerminal[s] }
+
+// EOF returns the end-of-input terminal.
+func (g *Grammar) EOF() Symbol { return g.eof }
+
+// NumSymbols returns the total number of declared symbols.
+func (g *Grammar) NumSymbols() int { return len(g.names) }
+
+// Productions returns the production list (index order).
+func (g *Grammar) Productions() []*Production { return g.prods }
+
+// SetStart sets the start symbol explicitly.
+func (g *Grammar) SetStart(name string) {
+	g.start = g.Nonterminal(name)
+	g.hasStart = true
+}
+
+// Precedence declares a precedence level (higher = binds tighter) for the
+// given terminals, mirroring yacc %left/%right/%nonassoc order of
+// declaration.
+func (g *Grammar) Precedence(a Assoc, terminals ...string) {
+	g.precLevel++
+	for _, name := range terminals {
+		t := g.Terminal(name)
+		g.prec[t] = g.precLevel
+		g.assoc[t] = a
+	}
+}
+
+// Rule adds a production LHS -> RHS. RHS names must already be declared as
+// terminals or are implicitly nonterminals. It returns the production for
+// further configuration.
+func (g *Grammar) Rule(lhs string, rhs ...string) *Production {
+	l := g.Nonterminal(lhs)
+	if !g.hasStart && g.start == -1 {
+		g.start = l
+	}
+	var syms []Symbol
+	for _, name := range rhs {
+		if s, ok := g.symIndex[name]; ok {
+			syms = append(syms, s)
+		} else {
+			syms = append(syms, g.Nonterminal(name))
+		}
+	}
+	p := &Production{
+		Index: len(g.prods),
+		Lhs:   l,
+		Rhs:   syms,
+		Prec:  g.defaultPrec(syms),
+		Label: lhs,
+	}
+	g.prods = append(g.prods, p)
+	g.prodsByLhs[l] = append(g.prodsByLhs[l], p)
+	return p
+}
+
+// WithPrec overrides the production's precedence terminal (yacc %prec).
+func (p *Production) WithPrec(g *Grammar, terminal string) *Production {
+	p.Prec = g.Terminal(terminal)
+	return p
+}
+
+// WithLabel sets the production's diagnostic/semantic label.
+func (p *Production) WithLabel(label string) *Production {
+	p.Label = label
+	return p
+}
+
+func (g *Grammar) defaultPrec(rhs []Symbol) Symbol {
+	for i := len(rhs) - 1; i >= 0; i-- {
+		if g.isTerminal[rhs[i]] {
+			return rhs[i]
+		}
+	}
+	return -1
+}
+
+// String renders a production for diagnostics.
+func (g *Grammar) ProdString(p *Production) string {
+	s := g.Name(p.Lhs) + " ->"
+	for _, r := range p.Rhs {
+		s += " " + g.Name(r)
+	}
+	if len(p.Rhs) == 0 {
+		s += " ε"
+	}
+	return s
+}
+
+// Validate checks that every nonterminal has at least one production and
+// that a start symbol exists.
+func (g *Grammar) Validate() error {
+	if g.start < 0 {
+		return fmt.Errorf("lalr: no start symbol")
+	}
+	for s, name := range g.names {
+		if g.isTerminal[s] {
+			continue
+		}
+		if len(g.prodsByLhs[Symbol(s)]) == 0 {
+			return fmt.Errorf("lalr: nonterminal %q has no productions", name)
+		}
+	}
+	return nil
+}
+
+// first computes FIRST sets for all symbols, plus nullability.
+type firstSets struct {
+	first    []map[Symbol]bool // per symbol: set of terminals
+	nullable []bool
+}
+
+func (g *Grammar) computeFirst() *firstSets {
+	n := len(g.names)
+	fs := &firstSets{
+		first:    make([]map[Symbol]bool, n),
+		nullable: make([]bool, n),
+	}
+	for s := 0; s < n; s++ {
+		fs.first[s] = make(map[Symbol]bool)
+		if g.isTerminal[s] {
+			fs.first[s][Symbol(s)] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range g.prods {
+			lhsFirst := fs.first[p.Lhs]
+			allNullable := true
+			for _, r := range p.Rhs {
+				for t := range fs.first[r] {
+					if !lhsFirst[t] {
+						lhsFirst[t] = true
+						changed = true
+					}
+				}
+				if !fs.nullable[r] {
+					allNullable = false
+					break
+				}
+			}
+			if allNullable && !fs.nullable[p.Lhs] {
+				fs.nullable[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+	return fs
+}
+
+// firstOfSeq returns FIRST(seq · la): the terminals that can begin seq, plus
+// la if seq is nullable.
+func (fs *firstSets) firstOfSeq(seq []Symbol, la Symbol, into map[Symbol]bool) {
+	for _, s := range seq {
+		for t := range fs.first[s] {
+			into[t] = true
+		}
+		if !fs.nullable[s] {
+			return
+		}
+	}
+	into[la] = true
+}

@@ -1,0 +1,435 @@
+package lalr
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// exprGrammar is the classic ambiguous expression grammar disambiguated by
+// precedence declarations.
+func exprGrammar() *Grammar {
+	g := NewGrammar()
+	for _, t := range []string{"NUM", "+", "-", "*", "/", "(", ")"} {
+		g.Terminal(t)
+	}
+	g.Precedence(AssocLeft, "+", "-")
+	g.Precedence(AssocLeft, "*", "/")
+	g.SetStart("E")
+	g.Rule("E", "E", "+", "E").WithLabel("add")
+	g.Rule("E", "E", "-", "E").WithLabel("sub")
+	g.Rule("E", "E", "*", "E").WithLabel("mul")
+	g.Rule("E", "E", "/", "E").WithLabel("div")
+	g.Rule("E", "(", "E", ")").WithLabel("paren")
+	g.Rule("E", "NUM").WithLabel("num")
+	return g
+}
+
+func mustBuild(t *testing.T, g *Grammar) *Table {
+	t.Helper()
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tbl
+}
+
+func symsOf(t *testing.T, g *Grammar, names ...string) []Symbol {
+	t.Helper()
+	var out []Symbol
+	for _, n := range names {
+		s, ok := g.Lookup(n)
+		if !ok {
+			t.Fatalf("unknown symbol %q", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// parseLabels parses and returns the reduction labels in order.
+func parseLabels(t *testing.T, tbl *Table, input []Symbol) ([]string, error) {
+	t.Helper()
+	var labels []string
+	err := tbl.ParseSymbols(input, func(p *Production) {
+		labels = append(labels, p.Label)
+	})
+	return labels, err
+}
+
+func TestExprGrammarPrecedence(t *testing.T) {
+	g := exprGrammar()
+	tbl := mustBuild(t, g)
+	// Precedence resolves all conflicts; none should remain unresolved.
+	if len(tbl.Conflicts) != 0 {
+		t.Errorf("unresolved conflicts: %v", tbl.Conflicts)
+	}
+
+	// 1 + 2 * 3 must reduce mul before add.
+	labels, err := parseLabels(t, tbl, symsOf(t, g, "NUM", "+", "NUM", "*", "NUM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(labels, " ")
+	if got != "num num num mul add" {
+		t.Errorf("1+2*3 reduced as %q", got)
+	}
+
+	// 1 * 2 + 3 must reduce mul first (left operand).
+	labels, err = parseLabels(t, tbl, symsOf(t, g, "NUM", "*", "NUM", "+", "NUM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = strings.Join(labels, " ")
+	if got != "num num mul num add" {
+		t.Errorf("1*2+3 reduced as %q", got)
+	}
+
+	// Left associativity: 1 - 2 - 3 is (1-2)-3.
+	labels, err = parseLabels(t, tbl, symsOf(t, g, "NUM", "-", "NUM", "-", "NUM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = strings.Join(labels, " ")
+	if got != "num num sub num sub" {
+		t.Errorf("1-2-3 reduced as %q", got)
+	}
+}
+
+func TestExprGrammarParens(t *testing.T) {
+	g := exprGrammar()
+	tbl := mustBuild(t, g)
+	labels, err := parseLabels(t, tbl, symsOf(t, g, "(", "NUM", "+", "NUM", ")", "*", "NUM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(labels, " ")
+	if got != "num num add paren num mul" {
+		t.Errorf("(1+2)*3 reduced as %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	g := exprGrammar()
+	tbl := mustBuild(t, g)
+	bad := [][]string{
+		{"NUM", "NUM"},
+		{"+", "NUM"},
+		{"(", "NUM"},
+		{"NUM", "+"},
+		{")"},
+		{},
+	}
+	for _, names := range bad {
+		if _, err := parseLabels(t, tbl, symsOf(t, g, names...)); err == nil {
+			t.Errorf("%v: expected parse error", names)
+		}
+	}
+}
+
+func TestEpsilonProductions(t *testing.T) {
+	// S -> A B ; A -> 'a' | ε ; B -> 'b'
+	g := NewGrammar()
+	g.Terminal("a")
+	g.Terminal("b")
+	g.SetStart("S")
+	g.Rule("S", "A", "B")
+	g.Rule("A", "a").WithLabel("A-a")
+	g.Rule("A").WithLabel("A-eps")
+	g.Rule("B", "b").WithLabel("B-b")
+	tbl := mustBuild(t, g)
+
+	labels, err := parseLabels(t, tbl, symsOf(t, g, "b"))
+	if err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if strings.Join(labels, " ") != "A-eps B-b S" {
+		t.Errorf("b reduced as %v", labels)
+	}
+	labels, err = parseLabels(t, tbl, symsOf(t, g, "a", "b"))
+	if err != nil {
+		t.Fatalf("ab: %v", err)
+	}
+	if strings.Join(labels, " ") != "A-a B-b S" {
+		t.Errorf("ab reduced as %v", labels)
+	}
+}
+
+func TestLeftRecursiveList(t *testing.T) {
+	// The LR-friendly left-recursive list: L -> L ',' x | x
+	g := NewGrammar()
+	g.Terminal("x")
+	g.Terminal(",")
+	g.SetStart("L")
+	g.Rule("L", "L", ",", "x").WithLabel("cons")
+	g.Rule("L", "x").WithLabel("single")
+	tbl := mustBuild(t, g)
+	input := symsOf(t, g, "x", ",", "x", ",", "x", ",", "x")
+	labels, err := parseLabels(t, tbl, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(labels, " ") != "single cons cons cons" {
+		t.Errorf("list reduced as %v", labels)
+	}
+}
+
+func TestDanglingElseResolvedToShift(t *testing.T) {
+	// The classic dangling-else: default shift binds else to the nearest if.
+	g := NewGrammar()
+	for _, t := range []string{"if", "else", "expr", "stmt"} {
+		g.Terminal(t)
+	}
+	g.SetStart("S")
+	g.Rule("S", "if", "expr", "S").WithLabel("if")
+	g.Rule("S", "if", "expr", "S", "else", "S").WithLabel("ifelse")
+	g.Rule("S", "stmt").WithLabel("stmt")
+	tbl := mustBuild(t, g)
+
+	// One shift/reduce conflict is expected, resolved in favor of shift.
+	srConflicts := 0
+	for _, c := range tbl.Conflicts {
+		if c.Kind == "shift/reduce" {
+			srConflicts++
+			if c.Chosen.Kind != ActionShift {
+				t.Errorf("dangling else resolved to %v", c.Chosen)
+			}
+		}
+	}
+	if srConflicts == 0 {
+		t.Error("expected a dangling-else shift/reduce conflict")
+	}
+
+	// if e if e s else s: else must attach to the inner if.
+	labels, err := parseLabels(t, tbl, symsOf(t, g,
+		"if", "expr", "if", "expr", "stmt", "else", "stmt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(labels, " ")
+	if got != "stmt stmt ifelse if" {
+		t.Errorf("dangling else parsed as %q", got)
+	}
+}
+
+func TestNonassocPrecedence(t *testing.T) {
+	// a < b < c must be rejected under nonassoc <.
+	g := NewGrammar()
+	g.Terminal("NUM")
+	g.Terminal("<")
+	g.Precedence(AssocNonassoc, "<")
+	g.SetStart("E")
+	g.Rule("E", "E", "<", "E").WithLabel("lt")
+	g.Rule("E", "NUM").WithLabel("num")
+	tbl := mustBuild(t, g)
+	if _, err := parseLabels(t, tbl, symsOf(t, g, "NUM", "<", "NUM")); err != nil {
+		t.Errorf("a<b should parse: %v", err)
+	}
+	if _, err := parseLabels(t, tbl, symsOf(t, g, "NUM", "<", "NUM", "<", "NUM")); err == nil {
+		t.Error("a<b<c should be rejected under nonassoc")
+	}
+}
+
+func TestReduceReduceConflictReported(t *testing.T) {
+	// S -> A | B ; A -> x ; B -> x
+	g := NewGrammar()
+	g.Terminal("x")
+	g.SetStart("S")
+	g.Rule("S", "A")
+	g.Rule("S", "B")
+	g.Rule("A", "x").WithLabel("A")
+	g.Rule("B", "x").WithLabel("B")
+	tbl := mustBuild(t, g)
+	found := false
+	for _, c := range tbl.Conflicts {
+		if c.Kind == "reduce/reduce" {
+			found = true
+			// Earlier production (A -> x) wins.
+			if tbl.Grammar.prods[c.Chosen.Target].Label != "A" {
+				t.Errorf("reduce/reduce resolved to %s", tbl.Grammar.prods[c.Chosen.Target].Label)
+			}
+		}
+	}
+	if !found {
+		t.Error("reduce/reduce conflict not reported")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := NewGrammar()
+	g.Terminal("x")
+	g.SetStart("S")
+	g.Rule("S", "Missing")
+	if _, err := Build(g); err == nil {
+		t.Error("undefined nonterminal not reported")
+	}
+}
+
+func TestMiniCSubset(t *testing.T) {
+	// A miniature C-like grammar exercising statements, expressions, and
+	// declarations together — a dry run for the real C grammar.
+	g := NewGrammar()
+	for _, term := range []string{"ID", "NUM", "int", "if", "else", "while", "return",
+		"=", "+", "*", "<", "(", ")", "{", "}", ";"} {
+		g.Terminal(term)
+	}
+	g.Precedence(AssocNonassoc, "then")
+	g.Precedence(AssocNonassoc, "else")
+	g.Precedence(AssocLeft, "<")
+	g.Precedence(AssocLeft, "+")
+	g.Precedence(AssocLeft, "*")
+	g.SetStart("Block")
+	g.Rule("Block", "{", "StmtList", "}")
+	g.Rule("StmtList")
+	g.Rule("StmtList", "StmtList", "Stmt")
+	g.Rule("Stmt", "int", "ID", ";").WithLabel("decl")
+	g.Rule("Stmt", "ID", "=", "Expr", ";").WithLabel("assign")
+	g.Rule("Stmt", "if", "(", "Expr", ")", "Stmt").WithPrec(g, "then").WithLabel("if")
+	g.Rule("Stmt", "if", "(", "Expr", ")", "Stmt", "else", "Stmt").WithLabel("ifelse")
+	g.Rule("Stmt", "while", "(", "Expr", ")", "Stmt").WithLabel("while")
+	g.Rule("Stmt", "return", "Expr", ";").WithLabel("ret")
+	g.Rule("Stmt", "Block").WithLabel("block")
+	g.Rule("Expr", "Expr", "+", "Expr").WithLabel("add")
+	g.Rule("Expr", "Expr", "*", "Expr").WithLabel("mul")
+	g.Rule("Expr", "Expr", "<", "Expr").WithLabel("lt")
+	g.Rule("Expr", "(", "Expr", ")")
+	g.Rule("Expr", "ID")
+	g.Rule("Expr", "NUM")
+	tbl := mustBuild(t, g)
+	if len(tbl.Conflicts) != 0 {
+		t.Errorf("conflicts: %+v", tbl.Conflicts)
+	}
+
+	program := symsOf(t, g,
+		"{", "int", "ID", ";",
+		"ID", "=", "NUM", "+", "NUM", "*", "NUM", ";",
+		"if", "(", "ID", "<", "NUM", ")", "ID", "=", "NUM", ";",
+		"else", "while", "(", "ID", ")", "{", "return", "ID", ";", "}",
+		"}")
+	if _, err := parseLabels(t, tbl, program); err != nil {
+		t.Fatalf("mini-C program rejected: %v", err)
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	tbl := mustBuild(t, exprGrammar())
+	st := tbl.Stats()
+	if st.States < 10 || st.Productions != 7 || st.Terminals != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func BenchmarkBuildExprGrammar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := exprGrammar()
+		if _, err := Build(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLongExpression(b *testing.B) {
+	g := exprGrammar()
+	tbl, err := Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	num, _ := g.Lookup("NUM")
+	plus, _ := g.Lookup("+")
+	var input []Symbol
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			input = append(input, plus)
+		}
+		input = append(input, num)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.ParseSymbols(input, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := exprGrammar()
+	tbl := mustBuild(t, g)
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumStates != tbl.NumStates {
+		t.Errorf("states: %d vs %d", loaded.NumStates, tbl.NumStates)
+	}
+	// The loaded table must parse identically.
+	input := symsOf(t, g, "NUM", "+", "NUM", "*", "NUM")
+	var want, got []string
+	if err := tbl.ParseSymbols(input, func(p *Production) { want = append(want, p.Label) }); err != nil {
+		t.Fatal(err)
+	}
+	// Symbols resolve by name in the loaded grammar.
+	var input2 []Symbol
+	for _, name := range []string{"NUM", "+", "NUM", "*", "NUM"} {
+		s, ok := loaded.Grammar.Lookup(name)
+		if !ok {
+			t.Fatalf("symbol %q lost", name)
+		}
+		input2 = append(input2, s)
+	}
+	if err := loaded.ParseSymbols(input2, func(p *Production) { got = append(got, p.Label) }); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("loaded table parses differently: %v vs %v", got, want)
+	}
+	// Rejects still reject.
+	bad := input2[:2]
+	if err := loaded.ParseSymbols(bad, nil); err == nil {
+		t.Error("loaded table accepted bad input")
+	}
+}
+
+func TestReadTableCorrupt(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestSerializeCGrammarScale(t *testing.T) {
+	// Round-trip a big grammar quickly: reuse the mini-C grammar at scale
+	// by duplicating rule families.
+	g := NewGrammar()
+	g.Terminal("x")
+	g.Terminal(";")
+	g.SetStart("S")
+	g.Rule("S", "L")
+	g.Rule("L", "L", "Item").WithLabel("cons")
+	g.Rule("L", "Item")
+	for i := 0; i < 50; i++ {
+		nt := fmt.Sprintf("Item%d", i)
+		if i == 0 {
+			g.Rule("Item", "x", ";")
+		}
+		g.Rule("Item", nt)
+		g.Rule(nt, "x", "x", ";")
+	}
+	tbl := mustBuild(t, g)
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := loaded.Grammar.Lookup("x")
+	semi, _ := loaded.Grammar.Lookup(";")
+	if err := loaded.ParseSymbols([]Symbol{x, x, semi, x, semi}, nil); err != nil {
+		t.Errorf("loaded big table parse: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package lalr
+
+import "fmt"
+
+// ParseSymbols runs a plain (single-configuration) LR parse over a terminal
+// sequence, invoking onReduce for each reduction. The input must not include
+// the $end terminal; it is appended implicitly. This runner exercises the
+// tables independently of the FMLR engine and serves as the parsing half of
+// the gcc-like baseline.
+func (t *Table) ParseSymbols(input []Symbol, onReduce func(*Production)) error {
+	g := t.Grammar
+	stack := []int{0}
+	pos := 0
+	cur := func() Symbol {
+		if pos < len(input) {
+			return input[pos]
+		}
+		return g.eof
+	}
+	for steps := 0; ; steps++ {
+		st := stack[len(stack)-1]
+		la := cur()
+		act := t.Actions[st][la]
+		switch act.Kind {
+		case ActionShift:
+			stack = append(stack, act.Target)
+			pos++
+		case ActionReduce:
+			p := g.prods[act.Target]
+			stack = stack[:len(stack)-len(p.Rhs)]
+			top := stack[len(stack)-1]
+			next := t.Gotos[top][p.Lhs]
+			if next < 0 {
+				return fmt.Errorf("lalr: missing goto for %s in state %d", g.Name(p.Lhs), top)
+			}
+			stack = append(stack, next)
+			if onReduce != nil {
+				onReduce(p)
+			}
+		case ActionAccept:
+			return nil
+		default:
+			return fmt.Errorf("lalr: parse error at position %d on %s (state %d)", pos, g.Name(la), st)
+		}
+	}
+}
+
+// TableStats summarizes a generated table.
+type TableStats struct {
+	States      int
+	Productions int
+	Terminals   int
+	Nonterms    int
+	Conflicts   int
+}
+
+// Stats returns summary statistics for the table.
+func (t *Table) Stats() TableStats {
+	terms := 0
+	for s := range t.Grammar.names {
+		if t.Grammar.isTerminal[s] {
+			terms++
+		}
+	}
+	return TableStats{
+		States:      t.NumStates,
+		Productions: len(t.Grammar.prods),
+		Terminals:   terms,
+		Nonterms:    len(t.Grammar.names) - terms,
+		Conflicts:   len(t.Conflicts),
+	}
+}

@@ -1,0 +1,105 @@
+package lalr
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Serialization: Bison's role in the paper includes emitting the parse
+// tables as a compiled artifact; this file provides the same capability so
+// embedders can cache generated tables (the C grammar's construction takes
+// most of a second) and tools can ship pre-built tables.
+//
+// The encoding captures everything needed to run the parser: symbols,
+// productions, actions, and gotos. The grammar's precedence tables are
+// construction-time inputs and are not preserved.
+
+// wireTable is the gob-encoded form of a Table.
+type wireTable struct {
+	Names      []string
+	IsTerminal []bool
+	Start      Symbol
+	Prods      []wireProd
+	NumStates  int
+	Actions    [][]Action
+	Gotos      [][]int
+	AcceptProd int
+}
+
+type wireProd struct {
+	Lhs   Symbol
+	Rhs   []Symbol
+	Prec  Symbol
+	Label string
+}
+
+// Encode serializes the table.
+func (t *Table) Encode(w io.Writer) error {
+	wt := wireTable{
+		Names:      t.Grammar.names,
+		IsTerminal: t.Grammar.isTerminal,
+		Start:      t.Grammar.start,
+		NumStates:  t.NumStates,
+		Actions:    t.Actions,
+		Gotos:      t.Gotos,
+		AcceptProd: t.AcceptProd,
+	}
+	for _, p := range t.Grammar.prods {
+		wt.Prods = append(wt.Prods, wireProd{Lhs: p.Lhs, Rhs: p.Rhs, Prec: p.Prec, Label: p.Label})
+	}
+	return gob.NewEncoder(w).Encode(&wt)
+}
+
+// ReadTable deserializes a table previously written with WriteTo. The
+// reconstructed Grammar supports Lookup/Name/Productions and parsing, but
+// not further rule additions.
+func ReadTable(r io.Reader) (*Table, error) {
+	var wt wireTable
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("lalr: decode table: %w", err)
+	}
+	if len(wt.Names) != len(wt.IsTerminal) {
+		return nil, fmt.Errorf("lalr: corrupt table: %d names, %d terminal flags",
+			len(wt.Names), len(wt.IsTerminal))
+	}
+	g := &Grammar{
+		names:      wt.Names,
+		isTerminal: wt.IsTerminal,
+		symIndex:   make(map[string]Symbol, len(wt.Names)),
+		prodsByLhs: make(map[Symbol][]*Production),
+		prec:       make(map[Symbol]int),
+		assoc:      make(map[Symbol]Assoc),
+		start:      wt.Start,
+		hasStart:   true,
+	}
+	for i, name := range wt.Names {
+		g.symIndex[name] = Symbol(i)
+	}
+	eof, ok := g.symIndex[EOFName]
+	if !ok {
+		return nil, fmt.Errorf("lalr: corrupt table: missing %s", EOFName)
+	}
+	g.eof = eof
+	for i, wp := range wt.Prods {
+		p := &Production{Index: i, Lhs: wp.Lhs, Rhs: wp.Rhs, Prec: wp.Prec, Label: wp.Label}
+		g.prods = append(g.prods, p)
+		g.prodsByLhs[p.Lhs] = append(g.prodsByLhs[p.Lhs], p)
+	}
+	nsyms := len(wt.Names)
+	if len(wt.Actions) != wt.NumStates || len(wt.Gotos) != wt.NumStates {
+		return nil, fmt.Errorf("lalr: corrupt table: state count mismatch")
+	}
+	for s := 0; s < wt.NumStates; s++ {
+		if len(wt.Actions[s]) != nsyms || len(wt.Gotos[s]) != nsyms {
+			return nil, fmt.Errorf("lalr: corrupt table: row width mismatch in state %d", s)
+		}
+	}
+	return &Table{
+		Grammar:    g,
+		NumStates:  wt.NumStates,
+		Actions:    wt.Actions,
+		Gotos:      wt.Gotos,
+		AcceptProd: wt.AcceptProd,
+	}, nil
+}

@@ -1,0 +1,388 @@
+// Package lexer converts C source text into tokens.
+//
+// The lexer is the first of SuperC's three steps (paper §2, Table 1 "Lexer"
+// row). It strips layout — whitespace and comments — recording only a
+// HasSpace bit on the following token (enough for correct stringification
+// and for diagnostics), splices backslash-newline continuations, and emits
+// Newline tokens so the preprocessor can recognize directive lines. All
+// words lex as identifiers; keywords are reclassified at parse time because
+// the preprocessor may define or expand macros named like keywords.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Error describes a lexical error with its position.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// punctuators, longest first within each starting byte, covering C89/C99,
+// the preprocessor operators # and ##, and the C95 digraphs (which lex to
+// their canonical spellings so the rest of the pipeline never sees them).
+var punctuators = []string{
+	"%:%:", // digraph ##
+	"...", "<<=", ">>=",
+	"<%", "%>", "<:", ":>", "%:", // digraphs { } [ ] #
+	"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "##",
+	"[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+	"/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
+}
+
+// digraphs maps the alternative spellings to their canonical punctuators.
+var digraphs = map[string]string{
+	"<%": "{", "%>": "}", "<:": "[", ":>": "]", "%:": "#", "%:%:": "##",
+}
+
+// Lexer scans one file. Create with New, then call Tokens or Next.
+type Lexer struct {
+	file string
+	src  []byte
+	pos  int
+	line int
+	col  int
+
+	// pending space flag for the next token
+	hasSpace bool
+
+	// Stats
+	Comments int // number of comments stripped
+	Splices  int // number of line continuations spliced
+}
+
+// New returns a lexer over src, reporting positions against file.
+func New(file string, src []byte) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire source, returning the token slice terminated by
+// an EOF token. Newline tokens mark logical line ends.
+func Lex(file string, src []byte) ([]token.Token, error) {
+	lx := New(file, src)
+	return lx.Tokens()
+}
+
+// Tokens scans all remaining input.
+func (l *Lexer) Tokens() ([]token.Token, error) {
+	var toks []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+// peek returns the byte at offset d from the cursor after collapsing
+// backslash-newline splices, and the number of raw bytes the splice-aware
+// step consumed. It does not advance.
+func (l *Lexer) peekByte() (byte, bool) {
+	p := l.pos
+	for {
+		if p >= len(l.src) {
+			return 0, false
+		}
+		if l.src[p] == '\\' && p+1 < len(l.src) && (l.src[p+1] == '\n' || (l.src[p+1] == '\r' && p+2 < len(l.src) && l.src[p+2] == '\n')) {
+			if l.src[p+1] == '\r' {
+				p += 3
+			} else {
+				p += 2
+			}
+			continue
+		}
+		return l.src[p], true
+	}
+}
+
+// advance consumes one logical character, handling splices and position
+// tracking, and returns it.
+func (l *Lexer) advance() (byte, bool) {
+	for {
+		if l.pos >= len(l.src) {
+			return 0, false
+		}
+		c := l.src[l.pos]
+		if c == '\\' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\n' {
+				l.pos += 2
+				l.line++
+				l.col = 1
+				l.Splices++
+				continue
+			}
+			if l.pos+2 < len(l.src) && l.src[l.pos+1] == '\r' && l.src[l.pos+2] == '\n' {
+				l.pos += 3
+				l.line++
+				l.col = 1
+				l.Splices++
+				continue
+			}
+		}
+		l.pos++
+		if c == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		return c, true
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return l.mk(token.EOF, ""), nil
+		}
+		switch {
+		case c == '\n' || c == '\r':
+			line, col := l.line, l.col
+			l.advance()
+			if c == '\r' {
+				if c2, ok := l.peekByte(); ok && c2 == '\n' {
+					l.advance()
+				}
+			}
+			t := token.Token{Kind: token.Newline, File: l.file, Line: line, Col: col, HasSpace: l.hasSpace}
+			l.hasSpace = false
+			return t, nil
+		case c == ' ' || c == '\t' || c == '\v' || c == '\f':
+			l.advance()
+			l.hasSpace = true
+		case c == '/':
+			// Possible comment.
+			save := *l
+			l.advance()
+			c2, ok := l.peekByte()
+			switch {
+			case ok && c2 == '/':
+				// Line comment: consume to (but not including) newline.
+				for {
+					c3, ok := l.peekByte()
+					if !ok || c3 == '\n' || c3 == '\r' {
+						break
+					}
+					l.advance()
+				}
+				l.Comments++
+				l.hasSpace = true
+			case ok && c2 == '*':
+				l.advance()
+				if err := l.skipBlockComment(); err != nil {
+					return token.Token{}, err
+				}
+				l.Comments++
+				l.hasSpace = true
+			default:
+				*l = save
+				return l.punct()
+			}
+		default:
+			return l.scanToken(c)
+		}
+	}
+}
+
+func (l *Lexer) skipBlockComment() error {
+	startLine, startCol := l.line, l.col
+	var prev byte
+	for {
+		c, ok := l.advance()
+		if !ok {
+			return &Error{File: l.file, Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+		}
+		if prev == '*' && c == '/' {
+			return nil
+		}
+		prev = c
+	}
+}
+
+func (l *Lexer) mk(kind token.Kind, text string) token.Token {
+	t := token.Token{
+		Kind: kind, Text: text, File: l.file,
+		Line: l.line, Col: l.col, HasSpace: l.hasSpace,
+	}
+	l.hasSpace = false
+	return t
+}
+
+func (l *Lexer) scanToken(c byte) (token.Token, error) {
+	switch {
+	case isIdentStart(c):
+		// Wide string/char prefix: L"..." or L'...'
+		if c == 'L' {
+			save := *l
+			l.advance()
+			if c2, ok := l.peekByte(); ok && (c2 == '"' || c2 == '\'') {
+				return l.scanQuoted(c2, "L")
+			}
+			*l = save
+		}
+		return l.scanIdent()
+	case c >= '0' && c <= '9':
+		return l.scanNumber()
+	case c == '.':
+		// .digit starts a pp-number; otherwise punctuator.
+		save := *l
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 >= '0' && c2 <= '9' {
+			*l = save
+			return l.scanNumber()
+		}
+		*l = save
+		return l.punct()
+	case c == '"' || c == '\'':
+		return l.scanQuoted(c, "")
+	default:
+		return l.punct()
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '$' // $ is a common extension
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *Lexer) scanIdent() (token.Token, error) {
+	line, col, space := l.line, l.col, l.hasSpace
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isIdentCont(c) {
+			break
+		}
+		l.advance()
+		b.WriteByte(c)
+	}
+	l.hasSpace = false
+	return token.Token{Kind: token.Identifier, Text: b.String(), File: l.file, Line: line, Col: col, HasSpace: space}, nil
+}
+
+// scanNumber scans a preprocessing number: a superset of C numeric literals
+// (C standard 6.4.8): digits, identifier characters, '.', and exponent signs
+// after e/E/p/P.
+func (l *Lexer) scanNumber() (token.Token, error) {
+	line, col, space := l.line, l.col, l.hasSpace
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if isIdentCont(c) || c == '.' {
+			l.advance()
+			b.WriteByte(c)
+			if c == 'e' || c == 'E' || c == 'p' || c == 'P' {
+				if c2, ok := l.peekByte(); ok && (c2 == '+' || c2 == '-') {
+					l.advance()
+					b.WriteByte(c2)
+				}
+			}
+			continue
+		}
+		break
+	}
+	l.hasSpace = false
+	return token.Token{Kind: token.Number, Text: b.String(), File: l.file, Line: line, Col: col, HasSpace: space}, nil
+}
+
+func (l *Lexer) scanQuoted(quote byte, prefix string) (token.Token, error) {
+	line, col, space := l.line, l.col, l.hasSpace
+	var b strings.Builder
+	b.WriteString(prefix)
+	c, _ := l.advance() // opening quote
+	b.WriteByte(c)
+	for {
+		c, ok := l.advance()
+		if !ok || c == '\n' {
+			return token.Token{}, &Error{File: l.file, Line: line, Col: col,
+				Msg: fmt.Sprintf("unterminated %c literal", quote)}
+		}
+		b.WriteByte(c)
+		if c == '\\' {
+			// Escaped character: consume it blindly.
+			c2, ok := l.advance()
+			if !ok {
+				return token.Token{}, &Error{File: l.file, Line: line, Col: col,
+					Msg: "unterminated escape"}
+			}
+			b.WriteByte(c2)
+			continue
+		}
+		if c == quote {
+			break
+		}
+	}
+	kind := token.String
+	if quote == '\'' {
+		kind = token.Char
+	}
+	l.hasSpace = false
+	return token.Token{Kind: kind, Text: b.String(), File: l.file, Line: line, Col: col, HasSpace: space}, nil
+}
+
+func (l *Lexer) punct() (token.Token, error) {
+	line, col, space := l.line, l.col, l.hasSpace
+	// Longest-match against the punctuator table using splice-aware peeking.
+	for _, p := range punctuators {
+		if l.matches(p) {
+			for range p {
+				l.advance()
+			}
+			l.hasSpace = false
+			text := p
+			if canon, ok := digraphs[p]; ok {
+				text = canon
+			}
+			return token.Token{Kind: token.Punct, Text: text, File: l.file, Line: line, Col: col, HasSpace: space}, nil
+		}
+	}
+	c, _ := l.advance()
+	l.hasSpace = false
+	return token.Token{Kind: token.Other, Text: string(c), File: l.file, Line: line, Col: col, HasSpace: space}, nil
+}
+
+// matches reports whether the splice-collapsed input starts with s.
+func (l *Lexer) matches(s string) bool {
+	save := *l
+	defer func() { *l = save }()
+	for i := 0; i < len(s); i++ {
+		c, ok := l.peekByte()
+		if !ok || c != s[i] {
+			return false
+		}
+		l.advance()
+	}
+	return true
+}
+
+// StripEOF removes the trailing EOF token if present; convenient for
+// splicing token slices.
+func StripEOF(toks []token.Token) []token.Token {
+	if n := len(toks); n > 0 && toks[n-1].Kind == token.EOF {
+		return toks[:n-1]
+	}
+	return toks
+}

@@ -1,0 +1,97 @@
+package preprocessor
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"sort"
+)
+
+// FileSystem abstracts source-file access so that corpora can live in memory
+// (the synthetic kernel) or on disk.
+type FileSystem interface {
+	// ReadFile returns the contents of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// Exists reports whether the file exists.
+	Exists(path string) bool
+}
+
+// OSFileSystem reads from the real filesystem.
+type OSFileSystem struct{}
+
+// ReadFile implements FileSystem.
+func (OSFileSystem) ReadFile(p string) ([]byte, error) { return os.ReadFile(p) }
+
+// Exists implements FileSystem.
+func (OSFileSystem) Exists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}
+
+// MapFS is an in-memory file system keyed by slash-separated paths.
+type MapFS map[string]string
+
+// ReadFile implements FileSystem.
+func (m MapFS) ReadFile(p string) ([]byte, error) {
+	if s, ok := m[path.Clean(p)]; ok {
+		return []byte(s), nil
+	}
+	return nil, fmt.Errorf("file not found: %s", p)
+}
+
+// Exists implements FileSystem.
+func (m MapFS) Exists(p string) bool {
+	_, ok := m[path.Clean(p)]
+	return ok
+}
+
+// Files returns the sorted list of paths in the map.
+func (m MapFS) Files() []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveInclude maps an include spec to a path. Quoted includes search the
+// including file's directory first, then the include paths; angle includes
+// search only the include paths. It returns "" when not found.
+func resolveInclude(fs FileSystem, includePaths []string, fromFile, name string, angled bool) string {
+	if !angled {
+		dir := path.Dir(fromFile)
+		cand := path.Clean(path.Join(dir, name))
+		if fs.Exists(cand) {
+			return cand
+		}
+	}
+	for _, dir := range includePaths {
+		cand := path.Clean(path.Join(dir, name))
+		if fs.Exists(cand) {
+			return cand
+		}
+	}
+	return ""
+}
+
+// resolveIncludeNext implements gcc's #include_next: the search starts in
+// the include path *after* the one that supplied the current file, letting
+// wrapper headers defer to the underlying header of the same name.
+func resolveIncludeNext(fs FileSystem, includePaths []string, fromFile, name string) string {
+	fromDir := path.Dir(fromFile)
+	start := 0
+	for i, dir := range includePaths {
+		if path.Clean(dir) == path.Clean(fromDir) {
+			start = i + 1
+			break
+		}
+	}
+	for _, dir := range includePaths[start:] {
+		cand := path.Clean(path.Join(dir, name))
+		if fs.Exists(cand) {
+			return cand
+		}
+	}
+	return ""
+}

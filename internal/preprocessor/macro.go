@@ -1,0 +1,190 @@
+package preprocessor
+
+import (
+	"sort"
+
+	"repro/internal/cexpr"
+	"repro/internal/cond"
+	"repro/internal/token"
+)
+
+// MacroDef is one macro definition. A nil *MacroDef in a table entry records
+// an explicit #undef.
+type MacroDef struct {
+	Name     string
+	FuncLike bool
+	Params   []string
+	Variadic bool // gcc-style named or C99 ... variadics; extra args bind to the last param
+	Body     []token.Token
+}
+
+// sameDef reports whether two definitions are token-identical (a benign
+// redefinition).
+func sameDef(a, b *MacroDef) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.FuncLike != b.FuncLike || a.Variadic != b.Variadic || len(a.Params) != len(b.Params) || len(a.Body) != len(b.Body) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	for i := range a.Body {
+		if a.Body[i].Text != b.Body[i].Text || a.Body[i].Kind != b.Body[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// macroEntry is one conditional table entry: under cond, the macro has this
+// definition (or is explicitly undefined when Def is nil).
+type macroEntry struct {
+	cond cond.Cond
+	def  *MacroDef
+}
+
+// MacroTable is the conditional macro table (paper §2, "Macro
+// (Un)Definition" row): each name maps to a set of entries tagged with
+// presence conditions. Conditions of a name's entries are pairwise disjoint;
+// the remainder of the configuration space is the name's free condition.
+type MacroTable struct {
+	space   *cond.Space
+	entries map[string][]macroEntry
+	guards  map[string]bool // names recognized as include-guard macros
+
+	// Stats
+	Definitions   int // #define directives recorded
+	Redefinitions int // #defines that trimmed earlier entries
+	Undefinitions int // #undef directives recorded
+}
+
+// NewMacroTable returns an empty table over the given condition space.
+func NewMacroTable(s *cond.Space) *MacroTable {
+	return &MacroTable{
+		space:   s,
+		entries: make(map[string][]macroEntry),
+		guards:  make(map[string]bool),
+	}
+}
+
+// Define records def for name under presence condition c, trimming
+// infeasible earlier entries (Table 1: "Trim infeasible entries on
+// redefinition").
+func (t *MacroTable) Define(name string, def *MacroDef, c cond.Cond) {
+	t.Definitions++
+	t.add(name, def, c)
+}
+
+// Undefine records an explicit #undef for name under c.
+func (t *MacroTable) Undefine(name string, c cond.Cond) {
+	t.Undefinitions++
+	t.add(name, nil, c)
+}
+
+func (t *MacroTable) add(name string, def *MacroDef, c cond.Cond) {
+	if t.space.IsFalse(c) {
+		return
+	}
+	old := t.entries[name]
+	kept := old[:0:0]
+	trimmed := false
+	for _, e := range old {
+		nc := t.space.AndNot(e.cond, c)
+		if t.space.IsFalse(nc) {
+			// Token-identical redefinition is benign (C99 6.10.3p2; gcc
+			// accepts it silently) and common via repeated headers; it does
+			// not count toward Table 3's redefinitions.
+			if !sameDef(e.def, def) {
+				trimmed = true
+			}
+			continue
+		}
+		if !t.space.Equal(nc, e.cond) && !sameDef(e.def, def) {
+			trimmed = true
+		}
+		kept = append(kept, macroEntry{cond: nc, def: e.def})
+	}
+	if trimmed {
+		t.Redefinitions++
+	}
+	t.entries[name] = append(kept, macroEntry{cond: c, def: def})
+}
+
+// ActiveDef is one definition alternative of a macro at a use site: under
+// Cond, the macro has definition Def. Def == nil means explicitly undefined.
+type ActiveDef struct {
+	Cond cond.Cond
+	Def  *MacroDef
+}
+
+// Lookup returns the definition alternatives of name that are feasible under
+// the use site's presence condition c, plus the condition under which the
+// name is free (neither defined nor undefined). Infeasible definitions are
+// ignored (Table 1: "Ignore infeasible definitions").
+func (t *MacroTable) Lookup(name string, c cond.Cond) (defs []ActiveDef, free cond.Cond) {
+	covered := t.space.False()
+	for _, e := range t.entries[name] {
+		ec := t.space.And(e.cond, c)
+		if t.space.IsFalse(ec) {
+			continue
+		}
+		defs = append(defs, ActiveDef{Cond: ec, Def: e.def})
+		covered = t.space.Or(covered, ec)
+	}
+	return defs, t.space.AndNot(c, covered)
+}
+
+// IsEverDefined reports whether the name has at least one feasible
+// definition entry under c.
+func (t *MacroTable) IsEverDefined(name string, c cond.Cond) bool {
+	for _, e := range t.entries[name] {
+		if e.def != nil && !t.space.IsFalse(t.space.And(e.cond, c)) {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkGuard records that name is an include-guard macro (gcc's reinclusion
+// heuristic, paper §3.2 rule 4a).
+func (t *MacroTable) MarkGuard(name string) { t.guards[name] = true }
+
+// IsGuard reports whether name was recognized as a guard macro.
+func (t *MacroTable) IsGuard(name string) bool { return t.guards[name] }
+
+// DefinedInfo supplies cexpr's conversion rule 4 with the name's
+// definedness: the disjunction of conditions with an active definition, the
+// free condition, and whether the name is a guard macro.
+func (t *MacroTable) DefinedInfo(name string) cexpr.DefinedInfo {
+	s := t.space
+	defined := s.False()
+	covered := s.False()
+	for _, e := range t.entries[name] {
+		covered = s.Or(covered, e.cond)
+		if e.def != nil {
+			defined = s.Or(defined, e.cond)
+		}
+	}
+	return cexpr.DefinedInfo{
+		Defined: defined,
+		Free:    s.Not(covered),
+		IsGuard: t.guards[name],
+	}
+}
+
+// Names returns the sorted macro names present in the table.
+func (t *MacroTable) Names() []string {
+	out := make([]string, 0, len(t.entries))
+	for n := range t.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumEntries returns the number of entries for name, for tests and stats.
+func (t *MacroTable) NumEntries(name string) int { return len(t.entries[name]) }

@@ -1,0 +1,876 @@
+package preprocessor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cexpr"
+	"repro/internal/cond"
+	"repro/internal/lexer"
+	"repro/internal/token"
+)
+
+// Options configures a Preprocessor.
+type Options struct {
+	Space        *cond.Space       // required
+	FS           FileSystem        // required
+	IncludePaths []string          // directories searched for includes
+	Builtins     map[string]string // name -> body; nil means DefaultBuiltins
+	// SingleConfig selects single-configuration ("gcc-like") mode: static
+	// conditionals are evaluated concretely against the macro table and only
+	// one branch survives; the output contains no conditionals. This is the
+	// paper's §6.3 performance baseline.
+	SingleConfig bool
+	// MaxIncludeDepth bounds include recursion (default 128).
+	MaxIncludeDepth int
+}
+
+// Diagnostic is a preprocessing error or warning.
+type Diagnostic struct {
+	Tok     token.Token
+	Msg     string
+	Warning bool
+}
+
+func (d Diagnostic) String() string {
+	kind := "error"
+	if d.Warning {
+		kind = "warning"
+	}
+	return fmt.Sprintf("%s: %s: %s", d.Tok.Pos(), kind, d.Msg)
+}
+
+// Unit is the result of preprocessing one compilation unit: the token forest
+// with static conditionals intact, per-unit statistics, and diagnostics.
+type Unit struct {
+	File     string
+	Segments []Segment
+	Stats    UnitStats
+	Diags    []Diagnostic
+}
+
+// Preprocessor is SuperC's configuration-preserving preprocessor. A
+// Preprocessor may process several units; the macro table persists across
+// them only if Reset is not called (units normally get a fresh table, as
+// each compilation unit is independent).
+type Preprocessor struct {
+	space        *cond.Space
+	fs           FileSystem
+	includePaths []string
+	builtins     map[string]string
+	builtinNames map[string]bool
+	singleConfig bool
+	maxInclude   int
+
+	macros       *MacroTable
+	stats        *UnitStats
+	diags        []Diagnostic
+	includeDepth int
+	condDepth    int
+	guardOf      map[string]string // file -> guard macro name ("" = none)
+	timesInc     map[string]int    // file -> times included
+	counter      int               // __COUNTER__ state
+}
+
+// nextCounter returns successive __COUNTER__ values.
+func (p *Preprocessor) nextCounter() int {
+	v := p.counter
+	p.counter++
+	return v
+}
+
+// New returns a preprocessor with a fresh macro table seeded with built-ins.
+func New(opts Options) *Preprocessor {
+	if opts.Space == nil {
+		panic("preprocessor: Options.Space is required")
+	}
+	if opts.FS == nil {
+		panic("preprocessor: Options.FS is required")
+	}
+	builtins := opts.Builtins
+	if builtins == nil {
+		builtins = DefaultBuiltins
+	}
+	maxInc := opts.MaxIncludeDepth
+	if maxInc == 0 {
+		maxInc = 128
+	}
+	p := &Preprocessor{
+		space:        opts.Space,
+		fs:           opts.FS,
+		includePaths: opts.IncludePaths,
+		builtins:     builtins,
+		builtinNames: make(map[string]bool, len(builtins)),
+		singleConfig: opts.SingleConfig,
+		maxInclude:   maxInc,
+		guardOf:      make(map[string]string),
+		timesInc:     make(map[string]int),
+	}
+	for name := range builtins {
+		p.builtinNames[name] = true
+	}
+	p.resetTable()
+	return p
+}
+
+// ResetTable discards all macro definitions and reinstalls the built-ins.
+// Use before Define + PreprocessKeepTable to process a fresh unit with
+// command-line definitions.
+func (p *Preprocessor) ResetTable() { p.resetTable() }
+
+// resetTable installs a fresh macro table seeded with the built-ins.
+func (p *Preprocessor) resetTable() {
+	p.macros = NewMacroTable(p.space)
+	for name, body := range p.builtins {
+		toks, err := lexer.Lex("<builtin>", []byte(body))
+		if err != nil {
+			continue
+		}
+		p.macros.Define(name, &MacroDef{Name: name, Body: lexer.StripEOF(toks)}, p.space.True())
+	}
+	// Built-in installs are not user definitions: zero the counters.
+	p.macros.Definitions = 0
+}
+
+// Macros exposes the macro table (for the parser's defined-ness queries and
+// for tests).
+func (p *Preprocessor) Macros() *MacroTable { return p.macros }
+
+// Define installs a command-line style definition (-D) under the True
+// condition. Call before Preprocess.
+func (p *Preprocessor) Define(name, body string) error {
+	toks, err := lexer.Lex("<cmdline>", []byte(body))
+	if err != nil {
+		return err
+	}
+	p.macros.Define(name, &MacroDef{Name: name, Body: lexer.StripEOF(toks)}, p.space.True())
+	p.macros.Definitions--
+	return nil
+}
+
+// Preprocess processes one compilation unit starting at path, returning the
+// configuration-preserving token forest. The macro table is reset first (a
+// compilation unit stands alone).
+func (p *Preprocessor) Preprocess(path string) (*Unit, error) {
+	p.resetTable()
+	return p.PreprocessKeepTable(path)
+}
+
+// PreprocessKeepTable is Preprocess without resetting the macro table,
+// allowing callers to pre-install definitions with Define.
+func (p *Preprocessor) PreprocessKeepTable(path string) (*Unit, error) {
+	p.stats = &UnitStats{File: path}
+	p.diags = nil
+	p.includeDepth = 0
+	p.condDepth = 0
+	p.counter = 0
+	p.timesInc = make(map[string]int)
+
+	segs, err := p.processFile(path, p.space.True())
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Tokens = CountTokens(segs)
+	return &Unit{File: path, Segments: segs, Stats: *p.stats, Diags: p.diags}, nil
+}
+
+func (p *Preprocessor) errorf(tok token.Token, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{Tok: tok, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Preprocessor) warnf(tok token.Token, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{Tok: tok, Msg: fmt.Sprintf(format, args...), Warning: true})
+}
+
+// processFile lexes and processes one file under presence condition c.
+func (p *Preprocessor) processFile(path string, c cond.Cond) ([]Segment, error) {
+	src, err := p.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Bytes += len(src)
+	lexStart := time.Now()
+	toks, err := lexer.Lex(path, src)
+	p.stats.LexTime += time.Since(lexStart)
+	if err != nil {
+		return nil, err
+	}
+	toks = lexer.StripEOF(toks)
+	lines := splitLines(toks)
+	if guard := detectGuard(lines); guard != "" {
+		p.guardOf[path] = guard
+		p.macros.MarkGuard(guard)
+	}
+	return p.processLines(lines, c, path)
+}
+
+// splitLines groups tokens into logical lines (Newline tokens removed).
+func splitLines(toks []token.Token) [][]token.Token {
+	var lines [][]token.Token
+	var cur []token.Token
+	for _, t := range toks {
+		if t.Kind == token.Newline {
+			lines = append(lines, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+// isDirective reports whether the line is a preprocessor directive and
+// returns its name ("" for the null directive) and argument tokens.
+func isDirective(line []token.Token) (name string, args []token.Token, ok bool) {
+	if len(line) == 0 || !line[0].Is("#") {
+		return "", nil, false
+	}
+	if len(line) == 1 {
+		return "", nil, true // null directive
+	}
+	if line[1].Kind != token.Identifier {
+		return "", nil, false
+	}
+	return line[1].Text, line[2:], true
+}
+
+// detectGuard recognizes the include-guard pattern (paper §3.2 rule 4a,
+// modeled on gcc): the file's first directive tests !defined(G), is followed
+// by #define G, and the matching #endif ends the file.
+func detectGuard(lines [][]token.Token) string {
+	type dline struct {
+		name string
+		args []token.Token
+	}
+	var dirs []dline
+	trailingTokens := false
+	firstDirSeen := false
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		if name, args, ok := isDirective(line); ok {
+			dirs = append(dirs, dline{name, args})
+			firstDirSeen = true
+			trailingTokens = false
+			continue
+		}
+		if !firstDirSeen {
+			return "" // tokens before the guard conditional
+		}
+		trailingTokens = true
+	}
+	if len(dirs) < 3 || trailingTokens {
+		return ""
+	}
+	// First directive: #ifndef G or #if !defined(G) / #if !defined G.
+	var guard string
+	first := dirs[0]
+	switch first.name {
+	case "ifndef":
+		if len(first.args) == 1 && first.args[0].Kind == token.Identifier {
+			guard = first.args[0].Text
+		}
+	case "if":
+		a := first.args
+		if len(a) >= 3 && a[0].Is("!") && a[1].IsIdent("defined") {
+			if len(a) == 3 && a[2].Kind == token.Identifier {
+				guard = a[2].Text
+			} else if len(a) == 5 && a[2].Is("(") && a[3].Kind == token.Identifier && a[4].Is(")") {
+				guard = a[3].Text
+			}
+		}
+	}
+	if guard == "" {
+		return ""
+	}
+	// Second directive: #define G.
+	second := dirs[1]
+	if second.name != "define" || len(second.args) == 0 || second.args[0].Text != guard {
+		return ""
+	}
+	// The matching #endif must be the last directive: depth returns to zero
+	// exactly at the end.
+	depth := 0
+	for i, d := range dirs {
+		switch d.name {
+		case "if", "ifdef", "ifndef":
+			depth++
+		case "endif":
+			depth--
+			if depth == 0 && i != len(dirs)-1 {
+				return ""
+			}
+		}
+	}
+	if depth != 0 || dirs[len(dirs)-1].name != "endif" {
+		return ""
+	}
+	return guard
+}
+
+// outFrame accumulates output for one nesting level: expanded segments in
+// out, unexpanded trailing segments in pending. Conditionals enter pending
+// so that macro invocations spanning conditional boundaries can be hoisted
+// during a later expansion pass over the pending list.
+type outFrame struct {
+	cond    cond.Cond
+	out     []Segment
+	pending []Segment
+}
+
+func (f *outFrame) appendPending(segs ...Segment) {
+	f.pending = append(f.pending, segs...)
+}
+
+// flush expands pending and moves it to out.
+func (p *Preprocessor) flush(f *outFrame) {
+	if len(f.pending) == 0 {
+		return
+	}
+	f.out = append(f.out, p.expandSegments(f.pending, f.cond, 0)...)
+	f.pending = nil
+}
+
+// take returns out ++ pending, expanding pending when it is self-contained
+// (balanced and not ending in a callable macro name); otherwise pending is
+// left raw for the enclosing level to expand, enabling invocations that
+// span the conditional boundary.
+func (p *Preprocessor) take(f *outFrame) []Segment {
+	if len(f.pending) > 0 && p.selfContained(f.pending, f.cond) {
+		p.flush(f)
+	}
+	segs := append(f.out, f.pending...)
+	f.out, f.pending = nil, nil
+	return segs
+}
+
+// selfContained reports whether the pending segments can be expanded in
+// isolation: plain tokens with balanced parentheses not ending in an active
+// function-like macro name.
+func (p *Preprocessor) selfContained(segs []Segment, c cond.Cond) bool {
+	depth := 0
+	for _, s := range segs {
+		if s.Cond != nil {
+			return false
+		}
+		switch {
+		case s.Tok.Is("("):
+			depth++
+		case s.Tok.Is(")"):
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	if depth != 0 {
+		return false
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1].Tok
+		if last.Kind == token.Identifier && !last.Hide.Contains(last.Text) {
+			if defs, _ := p.macros.Lookup(last.Text, c); anyFuncLike(defs) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// condFrame tracks one open static conditional.
+type condFrame struct {
+	base     cond.Cond // condition outside this conditional
+	taken    cond.Cond // disjunction of previous branch conditions
+	branches []Branch  // committed feasible branches
+	rel      cond.Cond // current branch's condition
+	skip     bool      // current branch is infeasible: drop its content
+	errInfe  bool      // current branch hit #error: drop at commit
+	out      outFrame  // current branch accumulation
+	sawElse  bool
+	inert    bool // frame opened inside a dropped branch: track nesting only
+}
+
+// processLines runs the directive machine over one file's lines.
+func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, file string) ([]Segment, error) {
+	unit := &outFrame{cond: fileCond}
+	var stack []*condFrame
+
+	curFrame := func() *outFrame {
+		if len(stack) > 0 {
+			return &stack[len(stack)-1].out
+		}
+		return unit
+	}
+	curCond := func() cond.Cond {
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			return p.space.And(top.base, top.rel)
+		}
+		return fileCond
+	}
+	skipping := func() bool {
+		return len(stack) > 0 && stack[len(stack)-1].skip
+	}
+	flushAll := func() {
+		p.flush(unit)
+		for _, fr := range stack {
+			if !fr.skip {
+				p.flush(&fr.out)
+			}
+		}
+	}
+	// commitBranch finalizes the current branch of the top frame.
+	commitBranch := func() {
+		top := stack[len(stack)-1]
+		if top.skip || top.errInfe || p.space.IsFalse(p.space.And(top.base, top.rel)) {
+			top.out = outFrame{}
+			return
+		}
+		segs := p.take(&top.out)
+		if len(segs) > 0 {
+			top.branches = append(top.branches, Branch{Cond: top.rel, Segs: segs})
+		}
+		top.taken = p.space.Or(top.taken, top.rel)
+	}
+	// beginBranch starts a new branch with relative condition rel.
+	beginBranch := func(top *condFrame, rel cond.Cond) {
+		top.rel = rel
+		full := p.space.And(top.base, rel)
+		top.skip = p.space.IsFalse(full)
+		top.errInfe = false
+		top.out = outFrame{cond: full}
+	}
+
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		name, args, isDir := isDirective(line)
+		if !isDir {
+			if skipping() {
+				continue
+			}
+			curFrame().appendPending(TokensOf(line)...)
+			continue
+		}
+		p.stats.Directives++
+		switch name {
+		case "":
+			// Null directive.
+		case "define":
+			if skipping() {
+				continue
+			}
+			flushAll()
+			p.handleDefine(args, curCond())
+		case "undef":
+			if skipping() {
+				continue
+			}
+			flushAll()
+			if len(args) == 1 && args[0].Kind == token.Identifier {
+				p.macros.Undefine(args[0].Text, curCond())
+				p.stats.Undefs++
+			} else {
+				p.errorf(line[0], "malformed #undef")
+			}
+		case "include", "include_next":
+			if skipping() {
+				continue
+			}
+			flushAll()
+			segs := p.handleInclude(args, curCond(), file, line[0], name == "include_next")
+			cf := curFrame()
+			cf.out = append(cf.out, segs...)
+		case "if", "ifdef", "ifndef":
+			p.condDepth++
+			if p.condDepth > p.stats.MaxCondDepth {
+				p.stats.MaxCondDepth = p.condDepth
+			}
+			if skipping() {
+				// Inside a dropped branch: push an inert frame to track
+				// nesting without evaluating the expression.
+				stack = append(stack, &condFrame{base: p.space.False(), taken: p.space.True(), rel: p.space.False(), skip: true, inert: true})
+				continue
+			}
+			p.stats.Conditionals++
+			base := curCond()
+			rel := p.evalConditionalDirective(name, args, base, line[0])
+			fr := &condFrame{base: base, taken: p.space.False()}
+			stack = append(stack, fr)
+			beginBranch(fr, rel)
+			fr.taken = rel // taken accumulates at commit; seed here for elif math
+		case "elif", "else":
+			if len(stack) == 0 {
+				p.errorf(line[0], "#%s without #if", name)
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.inert {
+				continue
+			}
+			if top.sawElse {
+				p.errorf(line[0], "#%s after #else", name)
+				continue
+			}
+			commitBranch()
+			remaining := p.space.Not(top.taken)
+			if name == "else" {
+				top.sawElse = true
+				beginBranch(top, remaining)
+				top.taken = p.space.True()
+				continue
+			}
+			p.stats.Conditionals++
+			rel := p.space.And(remaining, p.evalConditionalDirective("if", args, p.space.And(top.base, remaining), line[0]))
+			beginBranch(top, rel)
+			top.taken = p.space.Or(top.taken, rel)
+		case "endif":
+			if len(stack) == 0 {
+				p.errorf(line[0], "#endif without #if")
+				continue
+			}
+			p.condDepth--
+			top := stack[len(stack)-1]
+			if top.inert {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			// Commit the final branch, then pop.
+			commitBranch()
+			stack = stack[:len(stack)-1]
+			switch {
+			case len(top.branches) == 0:
+			case len(top.branches) == 1 && p.space.IsTrue(top.branches[0].Cond):
+				// Degenerate conditional (single always-true branch, e.g.
+				// "#if 1" or any conditional in single-configuration mode):
+				// splice the content inline.
+				curFrame().appendPending(top.branches[0].Segs...)
+			default:
+				curFrame().appendPending(CondSeg(&Conditional{Branches: top.branches}))
+			}
+		case "error":
+			if skipping() {
+				continue
+			}
+			p.stats.ErrorDirectives++
+			msg := tokensText(args)
+			if len(stack) == 0 {
+				p.errorf(line[0], "#error %s", msg)
+			} else {
+				// Branch becomes infeasible and its content is dropped
+				// (paper: error branches are ignored and not parsed).
+				top := stack[len(stack)-1]
+				top.errInfe = true
+				top.skip = true
+			}
+		case "warning":
+			if skipping() {
+				continue
+			}
+			p.stats.WarningDirectives++
+			p.warnf(line[0], "#warning %s", tokensText(args))
+		case "pragma":
+			if !skipping() {
+				p.stats.PragmaDirectives++
+			}
+		case "line":
+			if !skipping() {
+				p.stats.LineDirectives++
+			}
+		default:
+			if !skipping() {
+				p.errorf(line[0], "unknown directive #%s", name)
+			}
+		}
+	}
+	for range stack {
+		p.errorf(token.Token{File: file}, "unterminated #if")
+	}
+	p.flush(unit)
+	return unit.out, nil
+}
+
+func tokensText(toks []token.Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && t.HasSpace {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// handleDefine parses and records a #define line.
+func (p *Preprocessor) handleDefine(args []token.Token, c cond.Cond) {
+	if len(args) == 0 || args[0].Kind != token.Identifier {
+		p.errorf(token.Token{}, "malformed #define")
+		return
+	}
+	name := args[0]
+	def := &MacroDef{Name: name.Text}
+	rest := args[1:]
+	// Function-like only when "(" immediately follows the name.
+	if len(rest) > 0 && rest[0].Is("(") && !rest[0].HasSpace {
+		def.FuncLike = true
+		i := 1
+		for i < len(rest) && !rest[i].Is(")") {
+			t := rest[i]
+			switch {
+			case t.Kind == token.Identifier:
+				def.Params = append(def.Params, t.Text)
+				// gcc named variadics: name...
+				if i+1 < len(rest) && rest[i+1].Is("...") {
+					def.Variadic = true
+					i++
+				}
+			case t.Is("..."):
+				def.Params = append(def.Params, "__VA_ARGS__")
+				def.Variadic = true
+			case t.Is(","):
+			default:
+				p.errorf(t, "malformed macro parameter list")
+			}
+			i++
+		}
+		if i < len(rest) {
+			i++ // consume ")"
+		}
+		rest = rest[i:]
+	}
+	def.Body = append([]token.Token(nil), rest...)
+	p.stats.MacroDefinitions++
+	if p.condDepth > 0 {
+		p.stats.DefsInConditional++
+	}
+	before := p.macros.Redefinitions
+	p.macros.Define(name.Text, def, c)
+	if p.macros.Redefinitions > before {
+		p.stats.Redefinitions++
+	}
+}
+
+// handleInclude resolves and processes a #include or #include_next
+// directive under c.
+func (p *Preprocessor) handleInclude(args []token.Token, c cond.Cond, fromFile string, at token.Token, next bool) []Segment {
+	if p.includeDepth >= p.maxInclude {
+		p.errorf(at, "include depth limit exceeded")
+		return nil
+	}
+	// Direct forms need no expansion.
+	if name, angled, ok := includeSpec(args); ok {
+		return p.spliceInclude(name, angled || next, c, fromFile, at, next)
+	}
+	// Computed include: expand, hoist, resolve per alternative.
+	p.stats.ComputedIncludes++
+	expanded := p.expandSegments(TokensOf(args), c, 0)
+	alts, ok := Hoist(p.space, c, expanded, hoistLimit)
+	if !ok {
+		p.stats.HoistOverflows++
+		p.errorf(at, "computed include too complex")
+		return nil
+	}
+	if len(alts) > 1 {
+		p.stats.HoistedIncludes++
+	}
+	var branches []Branch
+	for _, alt := range alts {
+		name, angled, ok := includeSpec(alt.Toks)
+		if !ok {
+			p.errorf(at, "malformed include after expansion")
+			continue
+		}
+		segs := p.spliceInclude(name, angled || next, alt.Cond, fromFile, at, next)
+		if len(segs) > 0 {
+			branches = append(branches, Branch{Cond: alt.Cond, Segs: segs})
+		}
+	}
+	switch len(branches) {
+	case 0:
+		return nil
+	case 1:
+		if p.space.Equal(branches[0].Cond, c) {
+			return branches[0].Segs
+		}
+	}
+	return []Segment{CondSeg(&Conditional{Branches: branches})}
+}
+
+// includeSpec extracts the include file name: "name" or <name>.
+func includeSpec(args []token.Token) (name string, angled bool, ok bool) {
+	if len(args) == 1 && args[0].Kind == token.String {
+		s := args[0].Text
+		if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+			return s[1 : len(s)-1], false, true
+		}
+		return "", false, false
+	}
+	if len(args) >= 3 && args[0].Is("<") && args[len(args)-1].Is(">") {
+		var b strings.Builder
+		for _, t := range args[1 : len(args)-1] {
+			b.WriteString(t.Text)
+		}
+		return b.String(), true, true
+	}
+	return "", false, false
+}
+
+// spliceInclude processes one resolved include target under c.
+func (p *Preprocessor) spliceInclude(name string, angled bool, c cond.Cond, fromFile string, at token.Token, next bool) []Segment {
+	var path string
+	if next {
+		path = resolveIncludeNext(p.fs, p.includePaths, fromFile, name)
+	} else {
+		path = resolveInclude(p.fs, p.includePaths, fromFile, name, angled)
+	}
+	if path == "" {
+		p.errorf(at, "include not found: %s", name)
+		return nil
+	}
+	p.stats.Includes++
+	// Guard-based skip: when the file's guard macro is already defined
+	// everywhere under c, reprocessing would contribute nothing.
+	if guard, ok := p.guardOf[path]; ok && guard != "" {
+		di := p.macros.DefinedInfo(guard)
+		if p.space.Implies(c, di.Defined) {
+			p.stats.GuardSkips++
+			return nil
+		}
+	}
+	if p.timesInc[path] > 0 {
+		p.stats.ReincludedHeaders++
+	}
+	p.timesInc[path]++
+	p.includeDepth++
+	segs, err := p.processFile(path, c)
+	p.includeDepth--
+	if err != nil {
+		p.errorf(at, "include %s: %v", name, err)
+		return nil
+	}
+	return segs
+}
+
+// evalConditionalDirective converts #if/#ifdef/#ifndef arguments into a
+// presence condition relative to base (or a concrete constant in
+// single-configuration mode).
+func (p *Preprocessor) evalConditionalDirective(kind string, args []token.Token, base cond.Cond, at token.Token) cond.Cond {
+	switch kind {
+	case "ifdef", "ifndef":
+		if len(args) != 1 || args[0].Kind != token.Identifier {
+			p.errorf(at, "malformed #%s", kind)
+			return p.space.False()
+		}
+		name := args[0].Text
+		var c cond.Cond
+		if p.singleConfig {
+			if p.macros.IsEverDefined(name, p.space.True()) {
+				c = p.space.True()
+			} else {
+				c = p.space.False()
+			}
+		} else {
+			ctx := &cexpr.Context{Space: p.space, DefinedLookup: p.macros.DefinedInfo}
+			c, _ = ctx.Convert(&cexpr.Expr{Kind: cexpr.KindDefined, Name: name})
+		}
+		if kind == "ifndef" {
+			c = p.space.Not(c)
+		}
+		return c
+	}
+	return p.evalIfExpr(args, base, at)
+}
+
+// evalIfExpr evaluates a #if/#elif expression: it expands macros outside
+// defined(), hoists any implicit conditionals introduced by multiply-defined
+// macros around the expression, folds constants, and converts each hoisted
+// alternative to a presence condition (paper §3.2).
+func (p *Preprocessor) evalIfExpr(args []token.Token, base cond.Cond, at token.Token) cond.Cond {
+	segs := p.expandGuardingDefined(args, base)
+	if p.singleConfig {
+		// Concrete evaluation; expansion produced plain tokens.
+		toks := make([]token.Token, 0, len(segs))
+		for _, s := range segs {
+			if s.IsToken() {
+				toks = append(toks, *s.Tok)
+			}
+		}
+		e, err := cexpr.Parse(toks)
+		if err != nil {
+			p.errorf(at, "bad conditional expression: %v", err)
+			return p.space.False()
+		}
+		v, err := cexpr.Eval(e, cexpr.EvalContext{
+			Defined: func(name string) bool { return p.macros.IsEverDefined(name, p.space.True()) },
+		})
+		if err != nil {
+			p.errorf(at, "bad conditional expression: %v", err)
+			return p.space.False()
+		}
+		if v != 0 {
+			return p.space.True()
+		}
+		return p.space.False()
+	}
+	alts, ok := Hoist(p.space, base, segs, hoistLimit)
+	if !ok {
+		p.stats.HoistOverflows++
+		p.errorf(at, "conditional expression too complex")
+		return p.space.False()
+	}
+	ctx := &cexpr.Context{Space: p.space, DefinedLookup: p.macros.DefinedInfo}
+	result := p.space.False()
+	for _, alt := range alts {
+		e, err := cexpr.Parse(alt.Toks)
+		if err != nil {
+			p.errorf(at, "bad conditional expression: %v", err)
+			continue
+		}
+		c, info := ctx.Convert(e)
+		if info.NonBoolean {
+			p.stats.NonBooleanExprs++
+		}
+		result = p.space.Or(result, p.space.And(alt.Cond, c))
+	}
+	return result
+}
+
+// expandGuardingDefined macro-expands the expression tokens while protecting
+// the operands of defined() from expansion.
+func (p *Preprocessor) expandGuardingDefined(args []token.Token, c cond.Cond) []Segment {
+	var out []Segment
+	var run []token.Token
+	flushRun := func() {
+		if len(run) > 0 {
+			out = append(out, p.expandSegments(TokensOf(run), c, 0)...)
+			run = nil
+		}
+	}
+	for i := 0; i < len(args); i++ {
+		t := args[i]
+		if t.IsIdent("defined") {
+			flushRun()
+			out = append(out, TokSeg(t))
+			switch {
+			case i+3 < len(args) && args[i+1].Is("(") && args[i+2].Kind == token.Identifier && args[i+3].Is(")"):
+				// defined ( NAME )
+				out = append(out, TokSeg(args[i+1]), TokSeg(args[i+2]), TokSeg(args[i+3]))
+				i += 3
+			case i+1 < len(args) && args[i+1].Kind == token.Identifier:
+				// defined NAME
+				out = append(out, TokSeg(args[i+1]))
+				i++
+			}
+			continue
+		}
+		run = append(run, t)
+	}
+	flushRun()
+	return out
+}

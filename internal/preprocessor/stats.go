@@ -1,0 +1,94 @@
+package preprocessor
+
+import "time"
+
+// UnitStats instruments one compilation unit's preprocessing, feeding the
+// paper's Table 3 ("a tool's view of preprocessor usage"). Counters name the
+// same phenomena as the table's rows.
+type UnitStats struct {
+	File   string
+	Bytes  int // total bytes read (C file plus the closure of headers)
+	Tokens int // ordinary tokens in the preprocessed forest
+	// LexTime is the portion of preprocessing spent in the lexer, for the
+	// Figure 10 stage breakdown.
+	LexTime time.Duration
+
+	// Directives
+	Directives        int // total directive lines processed
+	MacroDefinitions  int // #define directives
+	DefsInConditional int // #defines nested inside static conditionals
+	Redefinitions     int // #defines that trimmed existing entries
+	Undefs            int // #undef directives
+
+	// Macro invocations
+	Invocations        int // macro expansions performed
+	NestedInvocations  int // expansions of tokens that were themselves produced by expansion
+	TrimmedInvocations int // uses of multiply-defined macros (infeasible defs trimmed)
+	HoistedInvocations int // function-like invocations hoisted around conditionals
+	BuiltinUses        int // built-in macro expansions
+
+	// Operators
+	TokenPastings    int // ## applications
+	HoistedPastings  int // pastings that required hoisting
+	Stringifications int // # applications
+	// (hoisted stringifications are included in HoistedPastings when both
+	// occur; tracked separately below for fidelity)
+	HoistedStringifications int
+
+	// Includes
+	Includes          int // #include directives resolved
+	ComputedIncludes  int // includes whose file name needed macro expansion
+	HoistedIncludes   int // computed includes hoisted over conditionals
+	ReincludedHeaders int // headers included more than once (guard not yet true)
+	GuardSkips        int // includes skipped because the guard was defined
+
+	// Conditionals
+	Conditionals    int // #if/#ifdef/#ifndef directives
+	MaxCondDepth    int // deepest conditional nesting
+	NonBooleanExprs int // conditional expressions with opaque arithmetic subterms
+
+	// Other directives
+	ErrorDirectives   int
+	WarningDirectives int
+	PragmaDirectives  int
+	LineDirectives    int
+
+	// Safety valves
+	HoistOverflows int // operations left unexpanded due to the hoist limit
+}
+
+// Add accumulates o into s (for corpus-level aggregation).
+func (s *UnitStats) Add(o UnitStats) {
+	s.Bytes += o.Bytes
+	s.Tokens += o.Tokens
+	s.LexTime += o.LexTime
+	s.Directives += o.Directives
+	s.MacroDefinitions += o.MacroDefinitions
+	s.DefsInConditional += o.DefsInConditional
+	s.Redefinitions += o.Redefinitions
+	s.Undefs += o.Undefs
+	s.Invocations += o.Invocations
+	s.NestedInvocations += o.NestedInvocations
+	s.TrimmedInvocations += o.TrimmedInvocations
+	s.HoistedInvocations += o.HoistedInvocations
+	s.BuiltinUses += o.BuiltinUses
+	s.TokenPastings += o.TokenPastings
+	s.HoistedPastings += o.HoistedPastings
+	s.Stringifications += o.Stringifications
+	s.HoistedStringifications += o.HoistedStringifications
+	s.Includes += o.Includes
+	s.ComputedIncludes += o.ComputedIncludes
+	s.HoistedIncludes += o.HoistedIncludes
+	s.ReincludedHeaders += o.ReincludedHeaders
+	s.GuardSkips += o.GuardSkips
+	s.Conditionals += o.Conditionals
+	if o.MaxCondDepth > s.MaxCondDepth {
+		s.MaxCondDepth = o.MaxCondDepth
+	}
+	s.NonBooleanExprs += o.NonBooleanExprs
+	s.ErrorDirectives += o.ErrorDirectives
+	s.WarningDirectives += o.WarningDirectives
+	s.PragmaDirectives += o.PragmaDirectives
+	s.LineDirectives += o.LineDirectives
+	s.HoistOverflows += o.HoistOverflows
+}

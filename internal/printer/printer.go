@@ -1,0 +1,209 @@
+// Package printer renders preprocessed token forests and
+// configuration-preserving ASTs back to C source text.
+//
+// The paper's Table 1 notes that automated refactorings must restore
+// program text as originally written (the lexer's layout row) and that
+// conditionals must be emitted around the constructs they bracket. This
+// package provides that output path: tokens carry their original spacing
+// hints (HasSpace), conditionals render as #if/#elif/#endif directives over
+// their presence conditions, and ASTs print per configuration or with
+// their full variability.
+package printer
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/preprocessor"
+	"repro/internal/token"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Indent is the indentation unit for conditional nesting in forest
+	// output (default two spaces).
+	Indent string
+}
+
+func (o Options) indent() string {
+	if o.Indent == "" {
+		return "  "
+	}
+	return o.Indent
+}
+
+// Tokens renders a flat token sequence with original-spacing fidelity:
+// a space appears exactly where the lexer recorded one (HasSpace), plus
+// protective spaces where gluing two tokens would form a different token
+// (e.g. "+" "+" must not become "++").
+func Tokens(toks []token.Token) string {
+	var b strings.Builder
+	var prev *token.Token
+	for i := range toks {
+		t := &toks[i]
+		if t.Kind == token.EOF || t.Kind == token.Newline {
+			continue
+		}
+		if prev != nil && (t.HasSpace || needsSpace(prev, t)) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+		prev = t
+	}
+	return b.String()
+}
+
+// needsSpace reports whether gluing a directly after b would lex
+// differently than the two tokens separately.
+func needsSpace(a, b *token.Token) bool {
+	if a.Text == "" || b.Text == "" {
+		return false
+	}
+	last := a.Text[len(a.Text)-1]
+	first := b.Text[0]
+	alnum := func(c byte) bool {
+		return c == '_' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	if alnum(last) && alnum(first) {
+		return true
+	}
+	// Operator gluing hazards: ++, --, <<, >>, etc. A conservative check:
+	// same-class punctuation that could extend the operator.
+	if a.Kind == token.Punct && b.Kind == token.Punct {
+		switch {
+		case last == first: // "+" "+", "-" "-", "<" "<", "&" "&", "=" "="
+			return true
+		case last == '<' || last == '>' || last == '=' || last == '!' ||
+			last == '+' || last == '-' || last == '*' || last == '/' ||
+			last == '&' || last == '|' || last == '^' || last == '%':
+			return first == '=' || (last == '-' && first == '>') || (last == '#' && first == '#')
+		case last == '#':
+			return first == '#'
+		}
+	}
+	return false
+}
+
+// Forest renders a preprocessed unit with its static conditionals as
+// #if/#elif/#endif lines over rendered presence conditions, one branch per
+// block — the textual form of configuration-preserving preprocessing
+// (paper Figure 1b).
+func Forest(s *cond.Space, segs []preprocessor.Segment, opts Options) string {
+	var b strings.Builder
+	writeForest(s, &b, segs, 0, opts)
+	return b.String()
+}
+
+func writeForest(s *cond.Space, b *strings.Builder, segs []preprocessor.Segment, depth int, opts Options) {
+	ind := strings.Repeat(opts.indent(), depth)
+	var run []token.Token
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		b.WriteString(ind)
+		b.WriteString(Tokens(run))
+		b.WriteByte('\n')
+		run = nil
+	}
+	for _, sg := range segs {
+		if sg.IsToken() {
+			run = append(run, *sg.Tok)
+			continue
+		}
+		flush()
+		for i, br := range sg.Cond.Branches {
+			directive := "#if"
+			if i > 0 {
+				directive = "#elif"
+			}
+			b.WriteString(ind)
+			b.WriteString(directive)
+			b.WriteByte(' ')
+			b.WriteString(s.String(br.Cond))
+			b.WriteByte('\n')
+			writeForest(s, b, br.Segs, depth+1, opts)
+		}
+		b.WriteString(ind)
+		b.WriteString("#endif\n")
+	}
+	flush()
+}
+
+// Config renders one configuration's source text from a
+// configuration-preserving AST: choices are resolved under assign and the
+// surviving leaves printed with spacing fidelity.
+func Config(s *cond.Space, root *ast.Node, assign map[string]bool) string {
+	proj := ast.Project(s, root, assign)
+	if proj == nil {
+		return ""
+	}
+	return Tokens(proj.Tokens())
+}
+
+// AST renders the full variability of an AST: maximal choice-free runs
+// print as source text, and choice nodes expand to #if blocks. This is the
+// "output program text, modulo intended changes" path a refactoring tool
+// needs.
+func AST(s *cond.Space, root *ast.Node, opts Options) string {
+	var b strings.Builder
+	writeAST(s, &b, root, 0, opts)
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
+func writeAST(s *cond.Space, b *strings.Builder, n *ast.Node, depth int, opts Options) {
+	if n == nil {
+		return
+	}
+	ind := strings.Repeat(opts.indent(), depth)
+	if n.Kind == ast.KindChoice {
+		for i, alt := range n.Alts {
+			directive := "#if"
+			if i > 0 {
+				directive = "#elif"
+			}
+			b.WriteString(ind)
+			b.WriteString(directive)
+			b.WriteByte(' ')
+			b.WriteString(s.String(alt.Cond))
+			b.WriteByte('\n')
+			writeAST(s, b, alt.Node, depth+1, opts)
+		}
+		b.WriteString(ind)
+		b.WriteString("#endif\n")
+		return
+	}
+	// Collect the maximal choice-free token run under n; recurse at
+	// embedded choices.
+	var run []token.Token
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		b.WriteString(ind)
+		b.WriteString(Tokens(run))
+		b.WriteByte('\n')
+		run = nil
+	}
+	var collect func(m *ast.Node)
+	collect = func(m *ast.Node) {
+		if m == nil {
+			return
+		}
+		switch m.Kind {
+		case ast.KindToken:
+			run = append(run, *m.Tok)
+		case ast.KindChoice:
+			flush()
+			writeAST(s, b, m, depth, opts)
+		default:
+			for _, c := range m.Children {
+				collect(c)
+			}
+		}
+	}
+	collect(n)
+	flush()
+}

@@ -1,0 +1,229 @@
+package sat
+
+// Lit is a literal: a positive or negative variable index. Variable indices
+// start at 1; literal +v is the variable, -v its negation, matching DIMACS
+// conventions.
+type Lit int
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// CNF is a conjunction of clauses over NumVars variables.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+	names   []string       // 1-based: names[v-1] is variable v's name
+	index   map[string]int // name -> variable index
+}
+
+// NewCNF returns an empty formula.
+func NewCNF() *CNF {
+	return &CNF{index: make(map[string]int)}
+}
+
+// VarIndex returns the variable index for name, allocating one if needed.
+func (c *CNF) VarIndex(name string) int {
+	if v, ok := c.index[name]; ok {
+		return v
+	}
+	c.NumVars++
+	c.names = append(c.names, name)
+	c.index[name] = c.NumVars
+	return c.NumVars
+}
+
+// VarName returns the name of variable v, or "" for auxiliary (Tseitin)
+// variables that have no source name.
+func (c *CNF) VarName(v int) string {
+	if v >= 1 && v <= len(c.names) {
+		return c.names[v-1]
+	}
+	return ""
+}
+
+// freshVar allocates an unnamed auxiliary variable (used by Tseitin).
+func (c *CNF) freshVar() int {
+	c.NumVars++
+	c.names = append(c.names, "")
+	return c.NumVars
+}
+
+// AddClause appends a clause.
+func (c *CNF) AddClause(lits ...Lit) {
+	c.Clauses = append(c.Clauses, Clause(lits))
+}
+
+// ConversionStats reports the work done by a CNF conversion; the TypeChef
+// baseline uses it to account for conversion cost.
+type ConversionStats struct {
+	Clauses  int
+	Literals int
+	AuxVars  int
+}
+
+// NaiveCNF converts e to an equivalent CNF by recursive distribution of
+// disjunction over conjunction — the textbook conversion, exponential in the
+// worst case. This models the cost source the paper identifies in TypeChef's
+// long tail (§6.3). The limit parameter caps the number of generated clauses;
+// conversion stops and returns ok=false when exceeded (a "kill switch").
+func NaiveCNF(e *Expr, limit int) (cnf *CNF, stats ConversionStats, ok bool) {
+	cnf = NewCNF()
+	// Convert to negation normal form first, then distribute.
+	nnf := toNNF(e, false)
+	clauses, ok := distribute(cnf, nnf, limit)
+	if !ok {
+		return cnf, stats, false
+	}
+	cnf.Clauses = clauses
+	stats.Clauses = len(clauses)
+	for _, cl := range clauses {
+		stats.Literals += len(cl)
+	}
+	return cnf, stats, true
+}
+
+// toNNF pushes negations down to the leaves.
+func toNNF(e *Expr, negate bool) *Expr {
+	switch e.Op {
+	case OpConst:
+		return Const(e.Value != negate)
+	case OpVar:
+		if negate {
+			return Not(e)
+		}
+		return e
+	case OpNot:
+		return toNNF(e.Args[0], !negate)
+	case OpAnd, OpOr:
+		op := e.Op
+		if negate { // De Morgan
+			if op == OpAnd {
+				op = OpOr
+			} else {
+				op = OpAnd
+			}
+		}
+		args := make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = toNNF(a, negate)
+		}
+		return nary(op, args)
+	}
+	panic("sat: bad op")
+}
+
+// distribute converts an NNF expression into clauses by distributing OR over
+// AND. Returns ok=false if the clause count would exceed limit.
+func distribute(cnf *CNF, e *Expr, limit int) ([]Clause, bool) {
+	switch e.Op {
+	case OpConst:
+		if e.Value {
+			return nil, true // no constraints
+		}
+		return []Clause{{}}, true // empty clause: unsatisfiable
+	case OpVar:
+		return []Clause{{Lit(cnf.VarIndex(e.Name))}}, true
+	case OpNot:
+		v := e.Args[0] // NNF guarantees a variable under Not
+		return []Clause{{-Lit(cnf.VarIndex(v.Name))}}, true
+	case OpAnd:
+		var all []Clause
+		for _, a := range e.Args {
+			cs, ok := distribute(cnf, a, limit)
+			if !ok {
+				return nil, false
+			}
+			all = append(all, cs...)
+			if limit > 0 && len(all) > limit {
+				return nil, false
+			}
+		}
+		return all, true
+	case OpOr:
+		// Cross product of the operands' clause sets.
+		acc := []Clause{{}}
+		for _, a := range e.Args {
+			cs, ok := distribute(cnf, a, limit)
+			if !ok {
+				return nil, false
+			}
+			var next []Clause
+			for _, left := range acc {
+				for _, right := range cs {
+					merged := make(Clause, 0, len(left)+len(right))
+					merged = append(merged, left...)
+					merged = append(merged, right...)
+					next = append(next, merged)
+					if limit > 0 && len(next) > limit {
+						return nil, false
+					}
+				}
+			}
+			acc = next
+		}
+		return acc, true
+	}
+	panic("sat: bad op")
+}
+
+// TseitinCNF converts e to an equisatisfiable CNF in linear time by
+// introducing one auxiliary variable per internal node. Provided for
+// completeness and for ablation against NaiveCNF.
+func TseitinCNF(e *Expr) (*CNF, ConversionStats) {
+	cnf := NewCNF()
+	var stats ConversionStats
+	root := tseitin(cnf, toNNF(e, false), &stats)
+	cnf.AddClause(root)
+	stats.Clauses = len(cnf.Clauses)
+	for _, cl := range cnf.Clauses {
+		stats.Literals += len(cl)
+	}
+	return cnf, stats
+}
+
+func tseitin(cnf *CNF, e *Expr, stats *ConversionStats) Lit {
+	switch e.Op {
+	case OpConst:
+		v := cnf.freshVar()
+		stats.AuxVars++
+		if e.Value {
+			cnf.AddClause(Lit(v))
+		} else {
+			cnf.AddClause(-Lit(v))
+		}
+		return Lit(v)
+	case OpVar:
+		return Lit(cnf.VarIndex(e.Name))
+	case OpNot:
+		return -tseitin(cnf, e.Args[0], stats)
+	case OpAnd:
+		out := Lit(cnf.freshVar())
+		stats.AuxVars++
+		var lits []Lit
+		for _, a := range e.Args {
+			lits = append(lits, tseitin(cnf, a, stats))
+		}
+		// out -> each lit; all lits -> out
+		all := make(Clause, 0, len(lits)+1)
+		for _, l := range lits {
+			cnf.AddClause(-out, l)
+			all = append(all, -l)
+		}
+		cnf.AddClause(append(all, out)...)
+		return out
+	case OpOr:
+		out := Lit(cnf.freshVar())
+		stats.AuxVars++
+		var lits []Lit
+		any := make(Clause, 0, len(e.Args)+1)
+		for _, a := range e.Args {
+			l := tseitin(cnf, a, stats)
+			lits = append(lits, l)
+			cnf.AddClause(out, -l) // lit -> out
+			any = append(any, l)
+		}
+		cnf.AddClause(append(any, -out)...) // out -> some lit
+		return out
+	}
+	panic("sat: bad op")
+}

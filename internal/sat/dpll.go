@@ -1,0 +1,253 @@
+package sat
+
+// Solver is a DPLL satisfiability solver with unit propagation and
+// pure-literal elimination. It is deliberately classic rather than
+// CDCL-modern: the point of this substrate is to reproduce the cost profile
+// of a straightforward SAT pipeline, not to win competitions.
+type Solver struct {
+	// MaxDecisions bounds the search; when exceeded the solver gives up and
+	// Solve reports satisfiable (the conservative answer for feasibility
+	// pruning: an unproven-infeasible branch is simply kept). Production
+	// solvers (TypeChef uses sat4j) decide these instances easily — the
+	// TypeChef cost driver under study is CNF conversion, not search — so
+	// the bound keeps the cost model honest without DPLL's worst case.
+	// 0 means DefaultMaxDecisions.
+	MaxDecisions int
+	// Stats accumulate across Solve calls.
+	Decisions    int
+	Propagations int
+	GaveUp       bool // the last Solve hit MaxDecisions
+
+	budget int // decision count at which the current Solve gives up
+	steps  int // simplify passes this Solve (propagation effort bound)
+}
+
+// DefaultMaxDecisions bounds DPLL search when Solver.MaxDecisions is unset.
+const DefaultMaxDecisions = 2000
+
+// maxStepsPerSolve bounds total simplify passes per Solve; together with
+// MaxDecisions it keeps one query's cost proportional to the formula size
+// rather than the search tree (give-up is the conservative "satisfiable").
+const maxStepsPerSolve = 20000
+
+// Solve reports whether the formula is satisfiable and, if so, returns a
+// satisfying assignment indexed by variable (1-based; index 0 unused).
+func (s *Solver) Solve(c *CNF) (assign []int8, sat bool) {
+	assign = make([]int8, c.NumVars+1) // 0 = unassigned, +1 = true, -1 = false
+	clauses := make([]Clause, len(c.Clauses))
+	copy(clauses, c.Clauses)
+	s.GaveUp = false
+	budget := s.MaxDecisions
+	if budget == 0 {
+		budget = DefaultMaxDecisions
+	}
+	s.budget = s.Decisions + budget
+	s.steps = 0
+	if s.dpll(clauses, assign) {
+		return assign, true
+	}
+	if s.GaveUp {
+		return assign, true // conservative: keep unproven branches
+	}
+	return nil, false
+}
+
+// Satisfiable is a convenience wrapper that discards the model.
+func (s *Solver) Satisfiable(c *CNF) bool {
+	_, ok := s.Solve(c)
+	return ok
+}
+
+// dpll runs on a simplified copy of the clause set. Clauses are simplified
+// functionally: each recursion level builds the reduced clause list.
+func (s *Solver) dpll(clauses []Clause, assign []int8) bool {
+	for {
+		s.steps++
+		if s.steps > maxStepsPerSolve {
+			s.GaveUp = true
+			return false
+		}
+		simplified, empty, units := simplify(clauses, assign)
+		if empty {
+			return false
+		}
+		if len(simplified) == 0 {
+			return true
+		}
+		if len(units) > 0 {
+			// Batch unit propagation: assign every unit found this pass;
+			// contradictory units are a conflict.
+			for _, u := range units {
+				if value(assign, u) == -1 {
+					return false
+				}
+				s.Propagations++
+				assignLit(assign, u)
+			}
+			clauses = simplified
+			continue
+		}
+		// Pure-literal elimination is quadratic per node; restrict it to
+		// small formulas where its pruning pays for itself.
+		if len(simplified) <= 200 {
+			if pure := findPureLiteral(simplified, assign); pure != 0 {
+				s.Propagations++
+				assignLit(assign, pure)
+				clauses = simplified
+				continue
+			}
+		}
+		// Branch on the first literal of the first clause.
+		lit := simplified[0][0]
+		s.Decisions++
+		if s.Decisions > s.budget {
+			s.GaveUp = true
+			return false
+		}
+
+		saved := make([]int8, len(assign))
+		copy(saved, assign)
+		assignLit(assign, lit)
+		if s.dpll(simplified, assign) {
+			return true
+		}
+		copy(assign, saved)
+		assignLit(assign, -lit)
+		return s.dpll(simplified, assign)
+	}
+}
+
+// simplify drops satisfied clauses and false literals. It reports an empty
+// clause (conflict) and every unit literal found, so the caller propagates
+// them in one batch. Clauses with no falsified literals are passed through
+// unchanged (no allocation) — under one new assignment most clauses are
+// untouched, and rebuilding them dominated solver time before this fast
+// path.
+func simplify(clauses []Clause, assign []int8) (out []Clause, conflict bool, units []Lit) {
+	out = make([]Clause, 0, len(clauses))
+	for _, cl := range clauses {
+		satisfied := false
+		falsified := 0
+		for _, l := range cl {
+			switch value(assign, l) {
+			case 1:
+				satisfied = true
+			case -1:
+				falsified++
+			}
+		}
+		if satisfied {
+			continue
+		}
+		live := len(cl) - falsified
+		if live == 0 {
+			return nil, true, nil
+		}
+		if falsified == 0 {
+			if len(cl) == 1 {
+				units = append(units, cl[0])
+			}
+			out = append(out, cl)
+			continue
+		}
+		reduced := make(Clause, 0, live)
+		for _, l := range cl {
+			if value(assign, l) == 0 {
+				reduced = append(reduced, l)
+			}
+		}
+		if len(reduced) == 1 {
+			units = append(units, reduced[0])
+		}
+		out = append(out, reduced)
+	}
+	return out, false, units
+}
+
+// findPureLiteral returns a literal whose variable occurs with a single
+// polarity among the unassigned clauses, or 0 if none exists.
+func findPureLiteral(clauses []Clause, assign []int8) Lit {
+	polarity := make(map[int]int8) // var -> +1, -1, or 2 (both)
+	for _, cl := range clauses {
+		for _, l := range cl {
+			v := varOf(l)
+			if assign[v] != 0 {
+				continue
+			}
+			p := int8(1)
+			if l < 0 {
+				p = -1
+			}
+			switch polarity[v] {
+			case 0:
+				polarity[v] = p
+			case p:
+			default:
+				polarity[v] = 2
+			}
+		}
+	}
+	for v, p := range polarity {
+		if p == 1 {
+			return Lit(v)
+		}
+		if p == -1 {
+			return -Lit(v)
+		}
+	}
+	return 0
+}
+
+func varOf(l Lit) int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+func value(assign []int8, l Lit) int8 {
+	v := assign[varOf(l)]
+	if v == 0 {
+		return 0
+	}
+	if (l > 0) == (v > 0) {
+		return 1
+	}
+	return -1
+}
+
+func assignLit(assign []int8, l Lit) {
+	if l > 0 {
+		assign[varOf(l)] = 1
+	} else {
+		assign[varOf(l)] = -1
+	}
+}
+
+// ExprSatisfiable converts e to CNF (naive, with the given clause limit,
+// falling back to Tseitin above the limit) and runs DPLL. It returns the
+// satisfiability verdict, the conversion statistics — the cost model of a
+// TypeChef-style feasibility check — and whether the solver hit its budget
+// (in which case the verdict is the conservative "satisfiable" and the
+// caller may consult an oracle).
+func ExprSatisfiable(e *Expr, naiveLimit int) (satisfiable bool, stats ConversionStats, gaveUp bool) {
+	cnf, stats, ok := NaiveCNF(e, naiveLimit)
+	if !ok {
+		cnf, stats = TseitinCNF(e)
+	}
+	var s Solver
+	sat := s.Satisfiable(cnf)
+	return sat, stats, s.GaveUp
+}
+
+// ExprEquivalent reports whether a and b denote the same boolean function,
+// via two satisfiability checks (a ∧ ¬b and ¬a ∧ b both unsatisfiable).
+func ExprEquivalent(a, b *Expr, naiveLimit int) bool {
+	if s, _, _ := ExprSatisfiable(And(a, Not(b)), naiveLimit); s {
+		return false
+	}
+	if s, _, _ := ExprSatisfiable(And(Not(a), b), naiveLimit); s {
+		return false
+	}
+	return true
+}

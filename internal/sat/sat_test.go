@@ -1,0 +1,316 @@
+package sat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprConstructors(t *testing.T) {
+	a, b := Var("A"), Var("B")
+	cases := []struct {
+		name string
+		e    *Expr
+		want string
+	}{
+		{"var", a, "A"},
+		{"not", Not(a), "!A"},
+		{"double not", Not(Not(a)), "A"},
+		{"and", And(a, b), "A && B"},
+		{"or", Or(a, b), "A || B"},
+		{"and true", And(a, TrueExpr), "A"},
+		{"and false", And(a, FalseExpr), "0"},
+		{"or true", Or(a, TrueExpr), "1"},
+		{"or false", Or(a, FalseExpr), "A"},
+		{"implies", Implies(a, b), "!A || B"},
+		{"nested paren", And(Or(a, b), Not(And(a, b))), "(A || B) && !(A && B)"},
+		{"flatten and", And(And(a, b), a), "A && B && A"},
+		{"empty and", And(), "1"},
+		{"empty or", Or(), "0"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	a, b := Var("A"), Var("B")
+	e := Or(And(a, Not(b)), And(Not(a), b)) // xor
+	cases := []struct {
+		m    map[string]bool
+		want bool
+	}{
+		{map[string]bool{"A": true}, true},
+		{map[string]bool{"B": true}, true},
+		{map[string]bool{"A": true, "B": true}, false},
+		{map[string]bool{}, false},
+	}
+	for _, c := range cases {
+		if got := e.Eval(c.m); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestExprVarsAndSize(t *testing.T) {
+	e := And(Var("A"), Or(Var("B"), Not(Var("A"))))
+	vars := e.Vars()
+	if len(vars) != 2 || !vars["A"] || !vars["B"] {
+		t.Errorf("Vars = %v", vars)
+	}
+	if e.Size() != 6 {
+		t.Errorf("Size = %d, want 6", e.Size())
+	}
+}
+
+func TestNNF(t *testing.T) {
+	a, b := Var("A"), Var("B")
+	e := Not(And(a, Not(Or(b, a))))
+	nnf := toNNF(e, false)
+	// Check no Not above non-variables.
+	var checkNNF func(e *Expr) bool
+	checkNNF = func(e *Expr) bool {
+		if e.Op == OpNot && e.Args[0].Op != OpVar {
+			return false
+		}
+		for _, x := range e.Args {
+			if !checkNNF(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if !checkNNF(nnf) {
+		t.Errorf("not in NNF: %s", nnf)
+	}
+	// Semantic equivalence on all assignments.
+	for bits := 0; bits < 4; bits++ {
+		m := map[string]bool{"A": bits&1 != 0, "B": bits&2 != 0}
+		if e.Eval(m) != nnf.Eval(m) {
+			t.Errorf("NNF changed semantics at %v", m)
+		}
+	}
+}
+
+func TestNaiveCNFSimple(t *testing.T) {
+	a, b := Var("A"), Var("B")
+	cnf, stats, ok := NaiveCNF(And(a, Or(b, Not(a))), 0)
+	if !ok {
+		t.Fatal("conversion failed without a limit")
+	}
+	if stats.Clauses != 2 {
+		t.Errorf("clauses = %d, want 2", stats.Clauses)
+	}
+	var s Solver
+	model, sat := s.Solve(cnf)
+	if !sat {
+		t.Fatal("A && (B || !A) should be satisfiable")
+	}
+	// Check the model satisfies the original.
+	m := map[string]bool{}
+	for v := 1; v <= cnf.NumVars; v++ {
+		if name := cnf.VarName(v); name != "" {
+			m[name] = model[v] > 0
+		}
+	}
+	if !And(a, Or(b, Not(a))).Eval(m) {
+		t.Errorf("model %v does not satisfy the source expression", m)
+	}
+}
+
+func TestNaiveCNFLimit(t *testing.T) {
+	// OR of many ANDs distributes into an exponential number of clauses.
+	var ors []*Expr
+	for i := 0; i < 12; i++ {
+		ors = append(ors, And(Var(vn(2*i)), Var(vn(2*i+1))))
+	}
+	e := Or(ors...)
+	if _, _, ok := NaiveCNF(e, 100); ok {
+		t.Error("expected the clause limit to trip")
+	}
+	if _, _, ok := NaiveCNF(e, 0); !ok {
+		t.Error("unlimited conversion should succeed")
+	}
+}
+
+func TestTseitinEquisatisfiable(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		e := randomSatExpr(r, 4, 4)
+		naive, _, ok := NaiveCNF(e, 0)
+		if !ok {
+			t.Fatal("unlimited naive conversion failed")
+		}
+		tseitin, _ := TseitinCNF(e)
+		var s1, s2 Solver
+		if s1.Satisfiable(naive) != s2.Satisfiable(tseitin) {
+			t.Fatalf("trial %d: naive and Tseitin disagree on %s", trial, e)
+		}
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	a := Var("A")
+	cases := []*Expr{
+		And(a, Not(a)),
+		And(Or(a, Var("B")), Not(a), Not(Var("B"))),
+		FalseExpr,
+	}
+	for _, e := range cases {
+		if sat, _, _ := ExprSatisfiable(e, 0); sat {
+			t.Errorf("%s should be unsatisfiable", e)
+		}
+	}
+}
+
+func TestExprEquivalent(t *testing.T) {
+	a, b := Var("A"), Var("B")
+	if !ExprEquivalent(Not(And(a, b)), Or(Not(a), Not(b)), 0) {
+		t.Error("De Morgan equivalence not detected")
+	}
+	if ExprEquivalent(a, b, 0) {
+		t.Error("distinct variables reported equivalent")
+	}
+	if !ExprEquivalent(And(a, Not(a)), FalseExpr, 0) {
+		t.Error("contradiction should equal false")
+	}
+}
+
+func TestPureLiteralAndUnits(t *testing.T) {
+	// (A) && (A || B) — unit A then B pure.
+	cnf := NewCNF()
+	va := Lit(cnf.VarIndex("A"))
+	vb := Lit(cnf.VarIndex("B"))
+	cnf.AddClause(va)
+	cnf.AddClause(va, vb)
+	var s Solver
+	if !s.Satisfiable(cnf) {
+		t.Fatal("should be satisfiable")
+	}
+	if s.Decisions != 0 {
+		t.Errorf("expected no branching, got %d decisions", s.Decisions)
+	}
+}
+
+func randomSatExpr(r *rand.Rand, nvars, depth int) *Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(8) {
+		case 0:
+			return TrueExpr
+		case 1:
+			return FalseExpr
+		default:
+			return Var(vn(r.Intn(nvars)))
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return And(randomSatExpr(r, nvars, depth-1), randomSatExpr(r, nvars, depth-1))
+	case 1:
+		return Or(randomSatExpr(r, nvars, depth-1), randomSatExpr(r, nvars, depth-1))
+	default:
+		return Not(randomSatExpr(r, nvars, depth-1))
+	}
+}
+
+func vn(i int) string { return "V" + string(rune('A'+i%26)) }
+
+// TestQuickDPLLAgainstTruthTable: DPLL's verdict must match brute-force
+// enumeration for random small formulas.
+func TestQuickDPLLAgainstTruthTable(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randomSatExpr(rr, 4, 4)
+		vars := []string{vn(0), vn(1), vn(2), vn(3)}
+		bruteSat := false
+		for bits := 0; bits < 16; bits++ {
+			m := map[string]bool{}
+			for i, v := range vars {
+				m[v] = bits&(1<<i) != 0
+			}
+			if e.Eval(m) {
+				bruteSat = true
+				break
+			}
+		}
+		got, _, _ := ExprSatisfiable(e, 0)
+		return got == bruteSat
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNNFPreservesSemantics: the NNF transform must preserve evaluation.
+func TestQuickNNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randomSatExpr(rr, 3, 5)
+		nnf := toNNF(e, false)
+		for bits := 0; bits < 8; bits++ {
+			m := map[string]bool{vn(0): bits&1 != 0, vn(1): bits&2 != 0, vn(2): bits&4 != 0}
+			if e.Eval(m) != nnf.Eval(m) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNaiveCNFWide(b *testing.B) {
+	var ors []*Expr
+	for i := 0; i < 10; i++ {
+		ors = append(ors, And(Var(vn(2*i%26)), Not(Var(vn((2*i+1)%26)))))
+	}
+	e := Or(ors...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveCNF(e, 0)
+	}
+}
+
+func BenchmarkTseitinWide(b *testing.B) {
+	var ors []*Expr
+	for i := 0; i < 10; i++ {
+		ors = append(ors, And(Var(vn(2*i%26)), Not(Var(vn((2*i+1)%26)))))
+	}
+	e := Or(ors...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TseitinCNF(e)
+	}
+}
+
+func BenchmarkDPLLChain(b *testing.B) {
+	// Conjunction of negated distinct variables, the common presence-
+	// condition shape from conditional sequences.
+	var conj []*Expr
+	for i := 0; i < 26; i++ {
+		conj = append(conj, Not(Var(vn(i))))
+	}
+	e := And(conj...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExprSatisfiable(e, 0)
+	}
+}

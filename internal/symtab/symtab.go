@@ -1,0 +1,182 @@
+// Package symtab implements the configuration-dependent symbol table behind
+// SuperC's context-management plugin (paper §5.2).
+//
+// C is context-sensitive: a name is either a typedef name or an
+// object/function/enum-constant name, and the two parse differently
+// ("T * p;" is a declaration or a multiplication). In the presence of
+// static conditionals a name can be *both*, under different presence
+// conditions. The table therefore maps, per C scope, each name to the
+// conditions under which it denotes a type and under which it denotes a
+// value. The parser's reclassify hook consults it for every identifier; an
+// ambiguously-defined name forces an extra subparser fork even without an
+// explicit conditional.
+package symtab
+
+import (
+	"repro/internal/cond"
+)
+
+// entry records one name's classification conditions within a scope.
+type entry struct {
+	typedefCond cond.Cond // name denotes a type
+	objectCond  cond.Cond // name denotes a value (object/function/enum constant)
+}
+
+// scope is one C language scope.
+type scope struct {
+	names map[string]entry
+}
+
+// Table is the conditional symbol table. The zero value is not usable; call
+// New.
+type Table struct {
+	space  *cond.Space
+	scopes []scope
+}
+
+// New returns a table with the file scope open.
+func New(s *cond.Space) *Table {
+	return &Table{space: s, scopes: []scope{{names: map[string]entry{}}}}
+}
+
+// Clone deep-copies the table (the forkContext callback).
+func (t *Table) Clone() *Table {
+	nt := &Table{space: t.space, scopes: make([]scope, len(t.scopes))}
+	for i, sc := range t.scopes {
+		names := make(map[string]entry, len(sc.names))
+		for k, v := range sc.names {
+			names[k] = v
+		}
+		nt.scopes[i] = scope{names: names}
+	}
+	return nt
+}
+
+// EnterScope opens a nested scope.
+func (t *Table) EnterScope() {
+	t.scopes = append(t.scopes, scope{names: map[string]entry{}})
+}
+
+// ExitScope closes the innermost scope.
+func (t *Table) ExitScope() {
+	if len(t.scopes) > 1 {
+		t.scopes = t.scopes[:len(t.scopes)-1]
+	}
+}
+
+// Depth returns the scope nesting depth.
+func (t *Table) Depth() int { return len(t.scopes) }
+
+func (t *Table) top() *scope { return &t.scopes[len(t.scopes)-1] }
+
+// DefineTypedef records that name denotes a type under c in the current
+// scope.
+func (t *Table) DefineTypedef(name string, c cond.Cond) {
+	sc := t.top()
+	e := sc.names[name]
+	if e.typedefCond == (cond.Cond{}) {
+		e.typedefCond = c
+	} else {
+		e.typedefCond = t.space.Or(e.typedefCond, c)
+	}
+	if e.objectCond == (cond.Cond{}) {
+		e.objectCond = t.space.False()
+	} else {
+		// A later typedef shadows an object declaration under c.
+		e.objectCond = t.space.AndNot(e.objectCond, c)
+	}
+	sc.names[name] = e
+}
+
+// DefineObject records that name denotes a value under c in the current
+// scope (shadowing any typedef meaning under c).
+func (t *Table) DefineObject(name string, c cond.Cond) {
+	sc := t.top()
+	e := sc.names[name]
+	if e.objectCond == (cond.Cond{}) {
+		e.objectCond = c
+	} else {
+		e.objectCond = t.space.Or(e.objectCond, c)
+	}
+	if e.typedefCond == (cond.Cond{}) {
+		e.typedefCond = t.space.False()
+	} else {
+		e.typedefCond = t.space.AndNot(e.typedefCond, c)
+	}
+	sc.names[name] = e
+}
+
+// Classification reports under which conditions a name denotes a type. The
+// lookup honors shadowing: an inner-scope entry hides outer entries only
+// under the conditions where the inner entry says something.
+type Classification struct {
+	TypedefCond cond.Cond // name is a typedef name
+	OtherCond   cond.Cond // name is an ordinary identifier
+}
+
+// Classify resolves name under use condition c.
+func (t *Table) Classify(name string, c cond.Cond) Classification {
+	s := t.space
+	remaining := c
+	td := s.False()
+	for i := len(t.scopes) - 1; i >= 0 && !s.IsFalse(remaining); i-- {
+		e, ok := t.scopes[i].names[name]
+		if !ok {
+			continue
+		}
+		td = s.Or(td, s.And(remaining, e.typedefCond))
+		covered := s.Or(e.typedefCond, e.objectCond)
+		remaining = s.AndNot(remaining, covered)
+	}
+	// Names never declared (remaining) are ordinary identifiers.
+	return Classification{
+		TypedefCond: td,
+		OtherCond:   s.AndNot(c, td),
+	}
+}
+
+// MayMerge allows merging only at the same scope nesting level (paper
+// §5.2).
+func (t *Table) MayMerge(o *Table) bool {
+	return len(t.scopes) == len(o.scopes)
+}
+
+// Merge combines another table into this one: for each scope level, names'
+// conditions are disjoined. Both subparsers' registrations were made under
+// their own presence conditions, so a plain disjunction is sound.
+func (t *Table) Merge(o *Table) *Table {
+	s := t.space
+	merged := t.Clone()
+	for i := range merged.scopes {
+		if i >= len(o.scopes) {
+			break
+		}
+		for name, oe := range o.scopes[i].names {
+			e, ok := merged.scopes[i].names[name]
+			if !ok {
+				merged.scopes[i].names[name] = oe
+				continue
+			}
+			e.typedefCond = orDefined(s, e.typedefCond, oe.typedefCond)
+			e.objectCond = orDefined(s, e.objectCond, oe.objectCond)
+			merged.scopes[i].names[name] = e
+		}
+	}
+	return merged
+}
+
+func orDefined(s *cond.Space, a, b cond.Cond) cond.Cond {
+	zero := cond.Cond{}
+	switch {
+	case a == zero:
+		return b
+	case b == zero:
+		return a
+	default:
+		return s.Or(a, b)
+	}
+}
+
+// Names returns the number of distinct names in the innermost scope (for
+// tests).
+func (t *Table) Names() int { return len(t.top().names) }

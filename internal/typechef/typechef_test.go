@@ -1,0 +1,59 @@
+package typechef
+
+import (
+	"testing"
+
+	"repro/internal/preprocessor"
+)
+
+func TestBaselineParses(t *testing.T) {
+	fs := preprocessor.MapFS{
+		"main.c": `
+#ifdef CONFIG_A
+#define WIDTH 64
+#else
+#define WIDTH 32
+#endif
+int width = WIDTH;
+#if WIDTH == 64
+long wide;
+#endif
+`,
+	}
+	tool := New(fs, nil)
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AST == nil {
+		t.Fatalf("baseline failed to parse: %v", res.Parse.Diags)
+	}
+	// The defining property of the baseline: feasibility checks went
+	// through CNF + DPLL.
+	st := SatStats(tool)
+	if st.Checks == 0 {
+		t.Error("baseline performed no SAT checks")
+	}
+	if st.Clauses == 0 {
+		t.Error("baseline generated no CNF clauses")
+	}
+}
+
+func TestBaselineAgreesWithSuperCOnProjections(t *testing.T) {
+	fs := preprocessor.MapFS{
+		"main.c": "#ifdef A\nint a;\n#else\nint b;\n#endif\n",
+	}
+	tool := New(fs, nil)
+	res, err := tool.ParseFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := tool.Project(res, map[string]bool{"(defined A)": true})
+	off := tool.Project(res, nil)
+	if len(on.Tokens()) != 3 || on.Tokens()[1].Text != "a" {
+		t.Errorf("A projection: %v", on.Tokens())
+	}
+	if len(off.Tokens()) != 3 || off.Tokens()[1].Text != "b" {
+		t.Errorf("!A projection: %v", off.Tokens())
+	}
+}
