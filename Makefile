@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci build test race vet fmt bench
+
+ci: fmt vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench . -benchmem -timeout 60m

@@ -10,7 +10,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -322,6 +324,42 @@ func BenchmarkParseOnly(b *testing.B) {
 				b.Fatal("parse failed")
 			}
 		}
+	}
+}
+
+// BenchmarkParallelHarness sweeps the worker-pool width over the full
+// instrumented corpus run and reports the harness metrics as benchmark
+// metrics. On a multicore machine the -j 4 row should show ≥2x the
+// units/sec of -j 1 with identical per-unit results (the parallel
+// harness's tentpole invariant, asserted by internal/harness's race
+// tests); on a single-core machine the rows coincide.
+func BenchmarkParallelHarness(b *testing.B) {
+	c := getCorpus()
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, j := range widths {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			var m harness.Metrics
+			units := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var results []harness.UnitResult
+				results, m = harness.RunMetered(context.Background(), c,
+					harness.RunConfig{Parser: fmlr.OptAll, Jobs: j})
+				units += len(results)
+			}
+			b.StopTimer()
+			if m.FailedUnits > 0 {
+				b.Fatalf("%d units failed", m.FailedUnits)
+			}
+			b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/sec")
+			b.ReportMetric(float64(m.MaxInFlight), "max-in-flight")
+			b.ReportMetric(float64(m.Forks)/float64(m.Units), "forks/unit")
+			hits, _ := cgrammar.TableCacheStats()
+			b.ReportMetric(float64(hits), "table-cache-hits")
+		})
 	}
 }
 

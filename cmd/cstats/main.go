@@ -1,17 +1,23 @@
 // Command cstats reproduces the paper's preprocessor-usage measurements
-// (Tables 2a, 2b, and 3 of §6.1) over the synthetic corpus.
+// (Tables 2a, 2b, and 3 of §6.1) over the synthetic corpus. Table 3's
+// instrumented sweep runs on the parallel harness (-j workers); the C
+// parse tables come from the on-disk cache after the first run
+// (-no-table-cache rebuilds them).
 //
 // Usage:
 //
 //	cstats                  # all tables, default corpus
 //	cstats -table 3         # just Table 3
 //	cstats -seed 7 -cfiles 200 -headers 48
+//	cstats -table 3 -j 8 -metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
+	"repro/internal/cgrammar"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
 	"repro/internal/harness"
@@ -22,7 +28,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	cfiles := flag.Int("cfiles", 40, "number of compilation units")
 	headers := flag.Int("headers", 24, "number of generated headers")
+	jobs := flag.Int("j", 0, "worker-pool width for the Table 3 sweep (0: GOMAXPROCS)")
+	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
+	metrics := flag.Bool("metrics", false, "print the harness metrics snapshot after the Table 3 sweep")
 	flag.Parse()
+
+	cgrammar.DisableTableCache(*noCache)
+	harness.DefaultJobs = *jobs
 
 	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
 
@@ -33,7 +45,10 @@ func main() {
 		fmt.Println(harness.Table2b(c))
 	}
 	if *table == "all" || *table == "3" {
-		results := harness.Run(c, harness.RunConfig{Parser: fmlr.OptAll})
+		results, m := harness.RunMetered(context.Background(), c, harness.RunConfig{Parser: fmlr.OptAll})
 		fmt.Println(harness.Table3(results))
+		if *metrics {
+			fmt.Print(m)
+		}
 	}
 }

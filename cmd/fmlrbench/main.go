@@ -3,18 +3,27 @@
 // TypeChef latency comparison, Figure 10's stage breakdown, and the gcc-like
 // single-configuration baseline.
 //
+// Units are processed by the parallel harness (-j workers, GOMAXPROCS by
+// default); the C parse tables are loaded from the on-disk cache after the
+// first run (-no-table-cache rebuilds them instead). A per-stage metrics
+// snapshot for one instrumented sweep is printed at the end.
+//
 // Usage:
 //
 //	fmlrbench                 # every figure, default corpus
 //	fmlrbench -fig 8a         # one figure
 //	fmlrbench -fig 9 -cfiles 120
+//	fmlrbench -j 1            # sequential (for speedup comparisons)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
+	"repro/internal/cgrammar"
 	"repro/internal/corpus"
+	"repro/internal/fmlr"
 	"repro/internal/harness"
 )
 
@@ -25,7 +34,12 @@ func main() {
 	headers := flag.Int("headers", 24, "number of generated headers")
 	kill := flag.Int("kill", 1000, "subparser kill switch for the MAPR rows")
 	points := flag.Int("points", 10, "CDF resolution")
+	jobs := flag.Int("j", 0, "worker-pool width for corpus runs (0: GOMAXPROCS)")
+	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	flag.Parse()
+
+	cgrammar.DisableTableCache(*noCache)
+	harness.DefaultJobs = *jobs
 
 	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
 
@@ -52,4 +66,10 @@ func main() {
 	if *fig == "all" || *fig == "gcc" {
 		fmt.Println(harness.RenderGcc(c))
 	}
+
+	// One instrumented sweep for the per-stage observability snapshot
+	// (units in flight, stage wall time, forks/merges, BDD nodes, table
+	// cache hit/miss).
+	_, m := harness.RunMetered(context.Background(), c, harness.RunConfig{Parser: fmlr.OptAll})
+	fmt.Print(m)
 }

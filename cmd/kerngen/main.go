@@ -1,6 +1,7 @@
 // Command kerngen materializes the synthetic Linux-like corpus (package
 // corpus) onto disk, so that superc, cstats, and fmlrbench can run against
-// real files, and so the corpus can be inspected by hand.
+// real files, and so the corpus can be inspected by hand. File writes fan
+// out over a worker pool (-j wide, GOMAXPROCS by default).
 //
 // Usage:
 //
@@ -12,6 +13,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
 
 	"repro/internal/corpus"
 )
@@ -23,6 +27,7 @@ func main() {
 	headers := flag.Int("headers", 24, "number of generated headers")
 	configs := flag.Int("configs", 32, "number of CONFIG_* variables")
 	blocks := flag.Int("blocks", 10, "average top-level constructs per C file")
+	jobs := flag.Int("j", 0, "worker-pool width for file writes (0: GOMAXPROCS)")
 	flag.Parse()
 
 	c := corpus.Generate(corpus.Params{
@@ -33,17 +38,59 @@ func main() {
 		BlocksPerFile: *blocks,
 	})
 
-	for path, src := range c.FS {
-		full := filepath.Join(*out, filepath.FromSlash(path))
-		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "kerngen: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+	paths := make([]string, 0, len(c.FS))
+	for path := range c.FS {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	// Create directories up front (sequentially, deduplicated) so workers
+	// only write files and never race on MkdirAll of a shared parent.
+	dirs := map[string]bool{}
+	for _, path := range paths {
+		dirs[filepath.Dir(filepath.Join(*out, filepath.FromSlash(path)))] = true
+	}
+	for dir := range dirs {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "kerngen: %v\n", err)
 			os.Exit(1)
 		}
 	}
+
+	nWorkers := *jobs
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > len(paths) {
+		nWorkers = len(paths)
+	}
+	work := make(chan string)
+	errs := make([]error, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for path := range work {
+				full := filepath.Join(*out, filepath.FromSlash(path))
+				if err := os.WriteFile(full, []byte(c.FS[path]), 0o644); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for _, path := range paths {
+		work <- path
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kerngen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	t2 := c.DeveloperView()
 	fmt.Printf("kerngen: wrote %d files (%d compilation units, %d headers) to %s\n",
 		len(c.FS), len(c.CFiles), len(c.Headers), *out)

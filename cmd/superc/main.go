@@ -3,9 +3,16 @@
 // static variability, and reports the AST, per-configuration projections,
 // and instrumentation statistics.
 //
+// Given multiple files, units are processed on a worker pool (-j wide,
+// GOMAXPROCS by default) with per-file output buffered and printed in
+// argument order; -check forces sequential processing because the
+// cross-unit conflict index shares one presence-condition space. The C
+// parse tables are loaded from the on-disk cache after the first run
+// (-no-table-cache rebuilds them).
+//
 // Usage:
 //
-//	superc [flags] file.c
+//	superc [flags] file.c [file2.c ...]
 //
 // Examples:
 //
@@ -15,15 +22,21 @@
 //	superc -single -D CONFIG_SMP=1 file.c        # gcc-like single-config mode
 //	superc -mode sat file.c                      # TypeChef-style conditions
 //	superc -opt mapr file.c                      # naive forking baseline
+//	superc -j 8 drivers/*.c                      # parallel corpus sweep
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/cgrammar"
 	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/fmlr"
@@ -72,6 +85,8 @@ func main() {
 	check := flag.Bool("check", false, "run configuration-preserving analyses (conflicting definitions, coverage)")
 	printSrc := flag.Bool("print", false, "print the preprocessed unit as conditional C source")
 	rename := flag.String("rename", "", "configuration-preserving rename: OLD=NEW")
+	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
+	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -79,6 +94,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	cgrammar.DisableTableCache(*noCache)
 
 	condMode := cond.ModeBDD
 	if *mode == "sat" {
@@ -102,32 +119,89 @@ func main() {
 		defs[name] = val
 	}
 
-	tool := core.New(core.Config{
+	cfg := core.Config{
 		IncludePaths: includes,
 		Defines:      defs,
 		CondMode:     condMode,
 		Parser:       &opts,
 		SingleConfig: *single,
-	})
+	}
+	ff := fileFlags{
+		printAST: *printAST, project: *project, showStats: *showStats,
+		check: *check, printSrc: *printSrc, rename: *rename,
+	}
+	files := flag.Args()
+
+	nWorkers := *jobs
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > len(files) {
+		nWorkers = len(files)
+	}
+	if *check && len(files) > 1 && nWorkers > 1 {
+		// The cross-unit conflict index compares presence conditions, and
+		// conditions from different spaces must not mix — so -check keeps
+		// every unit in one tool/space, sequentially.
+		fmt.Fprintln(os.Stderr, "superc: -check shares one condition space across units; forcing -j 1")
+		nWorkers = 1
+	}
 
 	exit := 0
-	ix := analysis.NewIndex(tool.Space())
-	for _, file := range flag.Args() {
-		exit |= processFile(tool, ix, file, condMode, fileFlags{
-			printAST: *printAST, project: *project, showStats: *showStats,
-			check: *check, printSrc: *printSrc, rename: *rename,
-		})
-	}
-	if *check && flag.NArg() > 1 {
-		// Cross-unit conflicts (same symbol defined in several files under
-		// overlapping conditions).
-		for _, c := range ix.ConflictingDefinitions() {
-			if c.A.File != c.B.File {
-				fmt.Printf("cross-unit conflict: %s defined in %s and %s under %s\n",
-					c.Name, c.A.File, c.B.File, tool.Space().String(c.Under))
-				exit = 1
+	if nWorkers <= 1 {
+		// Sequential: one tool (and one condition space) for every file, as
+		// the cross-unit analyses require.
+		tool := core.New(cfg)
+		ix := analysis.NewIndex(tool.Space())
+		for _, file := range files {
+			exit |= processFile(tool, ix, file, condMode, ff, os.Stdout, os.Stderr)
+		}
+		if *check && len(files) > 1 {
+			// Cross-unit conflicts (same symbol defined in several files under
+			// overlapping conditions).
+			for _, c := range ix.ConflictingDefinitions() {
+				if c.A.File != c.B.File {
+					fmt.Printf("cross-unit conflict: %s defined in %s and %s under %s\n",
+						c.Name, c.A.File, c.B.File, tool.Space().String(c.Under))
+					exit = 1
+				}
 			}
 		}
+		os.Exit(exit)
+	}
+
+	// Parallel: each file gets its own tool (fresh condition space and
+	// macro table, exactly like the evaluation harness), workers buffer
+	// their output, and buffers are flushed in argument order so the
+	// output is byte-identical to a sequential run.
+	type fileOut struct {
+		stdout, stderr bytes.Buffer
+		exit           int
+	}
+	outs := make([]fileOut, len(files))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				o := &outs[i]
+				tool := core.New(cfg)
+				ix := analysis.NewIndex(tool.Space())
+				o.exit = processFile(tool, ix, files[i], condMode, ff, &o.stdout, &o.stderr)
+			}
+		}()
+	}
+	for i := range files {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i := range outs {
+		io.Copy(os.Stdout, &outs[i].stdout)
+		io.Copy(os.Stderr, &outs[i].stderr)
+		exit |= outs[i].exit
 	}
 	os.Exit(exit)
 }
@@ -142,50 +216,50 @@ type fileFlags struct {
 	rename    string
 }
 
-func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond.Mode, ff fileFlags) int {
+func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond.Mode, ff fileFlags, stdout, stderr io.Writer) int {
 	res, err := tool.ParseFile(file)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "superc: %v\n", err)
+		fmt.Fprintf(stderr, "superc: %v\n", err)
 		return 1
 	}
 	printAST, project, showStats, check := ff.printAST, ff.project, ff.showStats, ff.check
 
 	exit := 0
 	for _, d := range res.Unit.Diags {
-		fmt.Fprintln(os.Stderr, d)
+		fmt.Fprintln(stderr, d)
 		if !d.Warning {
 			exit = 1
 		}
 	}
 	for _, d := range res.Parse.Diags {
-		fmt.Fprintf(os.Stderr, "%s: parse error under %s: %s\n",
+		fmt.Fprintf(stderr, "%s: parse error under %s: %s\n",
 			d.Tok.Pos(), tool.Space().String(d.Cond), d.Msg)
 		exit = 1
 	}
 	if res.Parse.Killed {
-		fmt.Fprintln(os.Stderr, "superc: subparser kill switch tripped")
+		fmt.Fprintln(stderr, "superc: subparser kill switch tripped")
 		exit = 1
 	}
 
 	if res.AST != nil && printAST {
-		fmt.Println(res.AST.StringWithConds(tool.Space()))
+		fmt.Fprintln(stdout, res.AST.StringWithConds(tool.Space()))
 	}
 	if ff.printSrc {
-		fmt.Print(printer.Forest(tool.Space(), res.Unit.Segments, printer.Options{}))
+		fmt.Fprint(stdout, printer.Forest(tool.Space(), res.Unit.Segments, printer.Options{}))
 	}
 	if res.AST != nil && ff.rename != "" {
 		parts := strings.SplitN(ff.rename, "=", 2)
 		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-			fmt.Fprintln(os.Stderr, "superc: -rename wants OLD=NEW")
+			fmt.Fprintln(stderr, "superc: -rename wants OLD=NEW")
 			return 1
 		}
 		if col := refactor.CheckCollisions(tool.Space(), res.AST, parts[0], parts[1]); len(col) > 0 {
-			fmt.Fprintf(os.Stderr, "superc: rename collides under %s\n", tool.Space().String(col[0].Cond))
+			fmt.Fprintf(stderr, "superc: rename collides under %s\n", tool.Space().String(col[0].Cond))
 			return 1
 		}
 		renamed, rep := refactor.Rename(tool.Space(), res.AST, parts[0], parts[1])
-		fmt.Fprintf(os.Stderr, "superc: %s\n", rep)
-		fmt.Print(printer.AST(tool.Space(), renamed, printer.Options{}))
+		fmt.Fprintf(stderr, "superc: %s\n", rep)
+		fmt.Fprint(stdout, printer.AST(tool.Space(), renamed, printer.Options{}))
 	}
 	if res.AST != nil && project != "" {
 		assign := map[string]bool{}
@@ -200,20 +274,21 @@ func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond
 		for _, tk := range proj.Tokens() {
 			texts = append(texts, tk.Text)
 		}
-		fmt.Println(strings.Join(texts, " "))
+		fmt.Fprintln(stdout, strings.Join(texts, " "))
 	}
 	if showStats {
 		u := res.Unit.Stats
 		p := res.Parse.Stats
-		fmt.Printf("preprocess: %d bytes, %d tokens, %d directives, %d defines, %d invocations (%d nested, %d trimmed, %d hoisted), %d includes, %d conditionals (depth %d)\n",
+		fmt.Fprintf(stdout, "preprocess: %d bytes, %d tokens, %d directives, %d defines, %d invocations (%d nested, %d trimmed, %d hoisted), %d includes, %d conditionals (depth %d)\n",
 			u.Bytes, u.Tokens, u.Directives, u.MacroDefinitions,
 			u.Invocations, u.NestedInvocations, u.TrimmedInvocations, u.HoistedInvocations,
 			u.Includes, u.Conditionals, u.MaxCondDepth)
 		if res.AST != nil {
-			fmt.Printf("parse: %d iterations, max %d subparsers (p99 %d), %d forks, %d merges, %d typedef forks; AST: %d nodes, %d choice nodes\n",
+			fmt.Fprintf(stdout, "parse: %d iterations, max %d subparsers (p99 %d), %d forks, %d merges, %d typedef forks; AST: %d nodes, %d choice nodes\n",
 				p.Iterations, p.MaxSubparsers, p.Percentile(0.99), p.Forks, p.Merges, p.TypedefForks,
 				res.AST.Count(), res.AST.CountChoices())
 		}
+		fmt.Fprintf(stdout, "tables: cache %s\n", cgrammar.TableCacheState())
 	}
 	if res.AST != nil && check {
 		unitIx := analysis.NewIndex(tool.Space())
@@ -221,24 +296,24 @@ func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond
 		ix.AddUnit(file, res.AST)
 		conflicts := unitIx.ConflictingDefinitions()
 		for _, c := range conflicts {
-			fmt.Printf("conflict: %s (%s) defined twice under %s\n",
+			fmt.Fprintf(stdout, "conflict: %s (%s) defined twice under %s\n",
 				c.Name, c.A.Kind, tool.Space().String(c.Under))
 			exit = 1
 		}
 		if len(conflicts) == 0 {
-			fmt.Printf("check: %s: no conflicting definitions\n", file)
+			fmt.Fprintf(stdout, "check: %s: no conflicting definitions\n", file)
 		}
 		if condMode == cond.ModeBDD {
 			for _, cov := range unitIx.CoverageReport() {
 				if cov.Fraction < 1 {
-					fmt.Printf("coverage: %s %s exists in %.1f%% of configurations\n",
+					fmt.Fprintf(stdout, "coverage: %s %s exists in %.1f%% of configurations\n",
 						cov.Symbol.Kind, cov.Symbol.Name, 100*cov.Fraction)
 				}
 			}
 		}
 	}
 	if res.AST == nil {
-		fmt.Fprintln(os.Stderr, "superc: no configuration parsed successfully")
+		fmt.Fprintln(stderr, "superc: no configuration parsed successfully")
 		exit = 1
 	}
 	return exit

@@ -144,7 +144,23 @@ var completeNonterminals = []string{
 	"ArgumentExpressionList", "DeclarationList",
 }
 
+// build constructs the singleton C grammar, obtaining its parse table from
+// the on-disk cache when a valid entry exists (see cache.go) and generating
+// it otherwise.
 func build() (*C, error) {
+	c, info := newSkeleton()
+	table, err := tableFor(c.Grammar)
+	if err != nil {
+		return nil, err
+	}
+	finish(c, info, table)
+	return c, nil
+}
+
+// newSkeleton declares the full grammar — symbols, rules, annotations — but
+// does not generate the parse table, which is the dominant cost and the
+// part the cache avoids.
+func newSkeleton() (*C, *infoBuilder) {
 	g := lalr.NewGrammar()
 	c := &C{
 		Grammar:  g,
@@ -176,18 +192,36 @@ func build() (*C, error) {
 	defineDeclarations(g, info)
 	defineStatements(g, info)
 	defineTopLevel(g, info)
+	return c, info
+}
 
-	table, err := lalr.Build(g)
-	if err != nil {
-		return nil, err
-	}
+// finish attaches a parse table to the skeleton. The table may come from
+// lalr.Build on c.Grammar itself or from the cache; in the latter case the
+// decoded grammar replica is adopted wholesale so that production indices,
+// reduce actions, and symbol lookups all resolve against one grammar object
+// (symbol and production indices are identical by construction — the cache
+// loader validates this before finish runs).
+func finish(c *C, info *infoBuilder, table *lalr.Table) {
+	c.Grammar = table.Grammar
 	c.Table = table
-	c.Info = info.finish(len(g.Productions()))
+	c.Info = info.finish(len(c.Grammar.Productions()))
 	for _, name := range completeNonterminals {
-		if s, ok := g.Lookup(name); ok {
+		if s, ok := c.Grammar.Lookup(name); ok {
 			c.complete[s] = true
 		}
 	}
+}
+
+// Rebuild constructs a fresh C with newly generated tables, bypassing both
+// the package singleton and the table cache. It is the reference against
+// which cached tables are verified in tests; embedders should use Load.
+func Rebuild() (*C, error) {
+	c, info := newSkeleton()
+	table, err := lalr.Build(c.Grammar)
+	if err != nil {
+		return nil, err
+	}
+	finish(c, info, table)
 	return c, nil
 }
 

@@ -2,12 +2,32 @@
 // corpus and renders each table and figure in the paper's format. It is
 // shared by cmd/cstats, cmd/fmlrbench, and the repository's root
 // benchmarks.
+//
+// # Concurrent design
+//
+// Compilation units are independent — each gets a fresh core.Tool with its
+// own presence-condition space and macro table — so Run fans them out over
+// a bounded worker pool (RunConfig.Jobs wide, GOMAXPROCS by default).
+// Results land in a slice indexed by the unit's corpus position, so output
+// ordering is deterministic regardless of scheduling, and per-unit timing
+// is measured inside the worker exactly as in the sequential harness. A
+// unit that panics or trips the subparser kill switch degrades to a
+// recorded failure in its UnitResult instead of taking down the run, and a
+// cancelled context marks the not-yet-processed remainder as skipped at
+// unit granularity.
+//
+// While a run is in flight the workers maintain lock-free counters
+// (stats.Counter/Timer/HighWater); RunMetered returns their final values as
+// a Metrics snapshot alongside the results.
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cgrammar"
@@ -22,6 +42,11 @@ import (
 // IncludePaths are the corpus's include directories.
 var IncludePaths = []string{"include", "include/gen", "include/linux"}
 
+// DefaultJobs is the worker-pool width used when RunConfig.Jobs is zero;
+// zero means runtime.GOMAXPROCS(0). The cmd tools' -j flag sets it once at
+// startup, before any runs.
+var DefaultJobs int
+
 // RunConfig selects one experimental arm.
 type RunConfig struct {
 	Mode       cond.Mode
@@ -29,6 +54,27 @@ type RunConfig struct {
 	Single     bool
 	KillSwitch int               // override kill switch (0: parser default)
 	Defines    map[string]string // single-configuration defines
+	// Jobs bounds the worker pool: 0 defers to DefaultJobs (then
+	// GOMAXPROCS), 1 is fully sequential.
+	Jobs int
+}
+
+// jobs resolves the effective worker count for n units.
+func (cfg RunConfig) jobs(n int) int {
+	j := cfg.Jobs
+	if j <= 0 {
+		j = DefaultJobs
+	}
+	if j <= 0 {
+		j = runtime.GOMAXPROCS(0)
+	}
+	if j > n {
+		j = n
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
 }
 
 // UnitResult is one compilation unit's measurements.
@@ -40,30 +86,176 @@ type UnitResult struct {
 	Parse       fmlr.Stats
 	Killed      bool
 	ParseFail   bool
+	Err         string // non-parse failure: panic recovered or run cancelled
 	LexTime     time.Duration
 	PreTime     time.Duration // preprocessing excluding lexing
 	ParseTime   time.Duration
 	TotalTime   time.Duration
 	ChoiceNodes int
+	BDDNodes    int // presence-condition nodes allocated for this unit (BDD mode)
+}
+
+// Metrics is a snapshot of one run's per-stage observability counters.
+type Metrics struct {
+	Jobs        int // effective worker-pool width
+	Units       int // units processed (== corpus size unless cancelled)
+	FailedUnits int // ParseFail or recorded Err
+	KilledUnits int // subparser kill switch trips
+	MaxInFlight int // high-water mark of concurrently processing units
+
+	// Cumulative per-stage work across all units (sums of per-unit wall
+	// time; with N workers this can exceed WallTime by up to N×).
+	LexTime        time.Duration
+	PreprocessTime time.Duration
+	ParseTime      time.Duration
+	WallTime       time.Duration // elapsed time of the whole run
+
+	// Engine totals across units.
+	Forks        int64
+	Merges       int64
+	TypedefForks int64
+	BDDNodes     int64 // presence-condition nodes allocated, summed over units
+
+	// Parse-table cache outcome (process-wide, from package cgrammar).
+	TableCacheHits   int64
+	TableCacheMisses int64
+	TableCacheState  string
+}
+
+// String renders the snapshot as the block cmd/fmlrbench prints.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness metrics (jobs=%d)\n", m.Jobs)
+	fmt.Fprintf(&b, "  units: %d processed, %d failed, %d killed; max in flight %d\n",
+		m.Units, m.FailedUnits, m.KilledUnits, m.MaxInFlight)
+	fmt.Fprintf(&b, "  stage time: lex %.3fms, preprocess %.3fms, parse %.3fms (wall %.3fms)\n",
+		1e3*m.LexTime.Seconds(), 1e3*m.PreprocessTime.Seconds(),
+		1e3*m.ParseTime.Seconds(), 1e3*m.WallTime.Seconds())
+	fmt.Fprintf(&b, "  engine: %d forks (%d typedef), %d merges, %d BDD nodes\n",
+		m.Forks, m.TypedefForks, m.Merges, m.BDDNodes)
+	fmt.Fprintf(&b, "  table cache: %s (%d hits, %d misses this process)\n",
+		m.TableCacheState, m.TableCacheHits, m.TableCacheMisses)
+	return b.String()
+}
+
+// collector accumulates metrics from worker goroutines.
+type collector struct {
+	failed, killed  stats.Counter
+	inFlight        stats.HighWater
+	lex, pre, parse stats.Timer
+	forks, merges   stats.Counter
+	typedefForks    stats.Counter
+	bddNodes        stats.Counter
+}
+
+// add folds one finished unit into the collector.
+func (col *collector) add(r *UnitResult) {
+	if r.ParseFail || r.Err != "" {
+		col.failed.Inc()
+	}
+	if r.Killed {
+		col.killed.Inc()
+	}
+	col.lex.Add(r.LexTime)
+	col.pre.Add(r.PreTime)
+	col.parse.Add(r.ParseTime)
+	col.forks.Add(int64(r.Parse.Forks))
+	col.merges.Add(int64(r.Parse.Merges))
+	col.typedefForks.Add(int64(r.Parse.TypedefForks))
+	col.bddNodes.Add(int64(r.BDDNodes))
 }
 
 // Run processes every compilation unit of the corpus under cfg.
 func Run(c *corpus.Corpus, cfg RunConfig) []UnitResult {
+	results, _ := RunMetered(context.Background(), c, cfg)
+	return results
+}
+
+// RunMetered is Run with cancellation and a metrics snapshot. Units are
+// distributed over cfg.Jobs workers; results keep corpus order. When ctx is
+// cancelled, units not yet started are recorded as failed with Err
+// "run cancelled" and the call returns after in-flight units finish.
+func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitResult, Metrics) {
 	parser := cfg.Parser
 	if cfg.KillSwitch != 0 {
 		parser.KillSwitch = cfg.KillSwitch
 	}
-	out := make([]UnitResult, 0, len(c.CFiles))
-	for _, cf := range c.CFiles {
-		out = append(out, runUnit(c, cfg, parser, cf))
+	jobs := cfg.jobs(len(c.CFiles))
+	out := make([]UnitResult, len(c.CFiles))
+	col := &collector{}
+	start := time.Now()
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					out[i] = UnitResult{File: c.CFiles[i], ParseFail: true, Err: "run cancelled"}
+					col.add(&out[i])
+					continue
+				}
+				col.inFlight.Enter()
+				out[i] = runUnitSafe(c, cfg, parser, c.CFiles[i])
+				col.inFlight.Exit()
+				col.add(&out[i])
+			}
+		}()
 	}
-	return out
+	for i := range c.CFiles {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	hits, misses := cgrammar.TableCacheStats()
+	m := Metrics{
+		Jobs:             jobs,
+		Units:            len(out),
+		FailedUnits:      int(col.failed.Load()),
+		KilledUnits:      int(col.killed.Load()),
+		MaxInFlight:      int(col.inFlight.Max()),
+		LexTime:          col.lex.Total(),
+		PreprocessTime:   col.pre.Total(),
+		ParseTime:        col.parse.Total(),
+		WallTime:         time.Since(start),
+		Forks:            col.forks.Load(),
+		Merges:           col.merges.Load(),
+		TypedefForks:     col.typedefForks.Load(),
+		BDDNodes:         col.bddNodes.Load(),
+		TableCacheHits:   hits,
+		TableCacheMisses: misses,
+		TableCacheState:  cgrammar.TableCacheState(),
+	}
+	return out, m
+}
+
+// testHookUnitStart, when set, runs at the top of every unit (inside the
+// panic barrier); tests use it to inject worker panics.
+var testHookUnitStart func(file string)
+
+// runUnitSafe is runUnit behind a panic barrier: a poisoned unit (lexer
+// panic, grammar bug) is recorded as that unit's failure instead of
+// crashing the whole corpus run.
+func runUnitSafe(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) (res UnitResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = UnitResult{File: cf, ParseFail: true, Err: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	return runUnit(c, cfg, parser, cf)
 }
 
 func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) UnitResult {
+	if testHookUnitStart != nil {
+		testHookUnitStart(cf)
+	}
 	// Each unit gets a fresh tool so that condition-space growth (BDD node
 	// tables, SAT statistics) is attributed per unit, as in the paper's
-	// per-compilation-unit latency measurements.
+	// per-compilation-unit latency measurements — and so that units share
+	// no mutable state and can run on any worker.
 	tool := core.New(core.Config{
 		FS:           c.FS,
 		IncludePaths: IncludePaths,
@@ -78,6 +270,7 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) Un
 	res := UnitResult{File: cf}
 	if err != nil {
 		res.ParseFail = true
+		res.Err = err.Error()
 		return res
 	}
 	parseStart := time.Now()
@@ -95,6 +288,9 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) Un
 	res.TotalTime = preTotal + res.ParseTime
 	if parse.AST != nil {
 		res.ChoiceNodes = parse.AST.CountChoices()
+	}
+	if bf := tool.Space().BDD(); bf != nil {
+		res.BDDNodes = bf.NumNodes()
 	}
 	return res
 }

@@ -12,6 +12,7 @@ package lalr
 
 import (
 	"fmt"
+	"io"
 )
 
 // Symbol identifies a grammar symbol. Terminals and nonterminals share one
@@ -132,6 +133,25 @@ func (g *Grammar) Productions() []*Production { return g.prods }
 func (g *Grammar) SetStart(name string) {
 	g.start = g.Nonterminal(name)
 	g.hasStart = true
+}
+
+// Start returns the start symbol (-1 when none is declared yet).
+func (g *Grammar) Start() Symbol { return g.start }
+
+// WriteSignature writes a canonical description of the grammar — symbols,
+// productions, labels, and precedence declarations — everything that
+// determines the generated table and its semantic-action linkage. Embedders
+// hash it to fingerprint cached tables: any grammar change yields a new
+// signature and therefore a new cache key.
+func (g *Grammar) WriteSignature(w io.Writer) {
+	fmt.Fprintf(w, "start %d\n", g.start)
+	for i, name := range g.names {
+		s := Symbol(i)
+		fmt.Fprintf(w, "sym %d %q %v %d %d\n", i, name, g.isTerminal[i], g.prec[s], g.assoc[s])
+	}
+	for _, p := range g.prods {
+		fmt.Fprintf(w, "prod %d %d %v %d %q\n", p.Index, p.Lhs, p.Rhs, p.Prec, p.Label)
+	}
 }
 
 // Precedence declares a precedence level (higher = binds tighter) for the

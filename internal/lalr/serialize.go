@@ -8,19 +8,33 @@ import (
 
 // Serialization: Bison's role in the paper includes emitting the parse
 // tables as a compiled artifact; this file provides the same capability so
-// embedders can cache generated tables (the C grammar's construction takes
-// most of a second) and tools can ship pre-built tables.
+// embedders can cache generated tables (the C grammar's construction is the
+// dominant startup cost) and tools can ship pre-built tables.
 //
-// The encoding captures everything needed to run the parser: symbols,
-// productions, actions, and gotos. The grammar's precedence tables are
-// construction-time inputs and are not preserved.
+// The encoding captures everything needed to run the parser and to dispatch
+// semantic actions: symbols, productions (including their labels, indices,
+// and precedence terminals), precedence/associativity declarations, actions,
+// and gotos. Semantic actions are linked to productions by index and label
+// (package cgrammar keys its per-production annotations by index; package
+// fmlr dispatches on Label), so decode reconstructs productions in their
+// exact original order and the reader re-validates every action's
+// production reference before returning a table.
+
+// wireVersion guards against decoding tables written by an older or newer
+// layout of wireTable; a mismatch is reported as corruption so callers
+// rebuild instead of mis-parsing.
+const wireVersion = 2
 
 // wireTable is the gob-encoded form of a Table.
 type wireTable struct {
+	Version    int
 	Names      []string
 	IsTerminal []bool
 	Start      Symbol
 	Prods      []wireProd
+	Prec       map[Symbol]int
+	Assoc      map[Symbol]Assoc
+	PrecLevel  int
 	NumStates  int
 	Actions    [][]Action
 	Gotos      [][]int
@@ -37,9 +51,13 @@ type wireProd struct {
 // Encode serializes the table.
 func (t *Table) Encode(w io.Writer) error {
 	wt := wireTable{
+		Version:    wireVersion,
 		Names:      t.Grammar.names,
 		IsTerminal: t.Grammar.isTerminal,
 		Start:      t.Grammar.start,
+		Prec:       t.Grammar.prec,
+		Assoc:      t.Grammar.assoc,
+		PrecLevel:  t.Grammar.precLevel,
 		NumStates:  t.NumStates,
 		Actions:    t.Actions,
 		Gotos:      t.Gotos,
@@ -51,13 +69,19 @@ func (t *Table) Encode(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&wt)
 }
 
-// ReadTable deserializes a table previously written with WriteTo. The
-// reconstructed Grammar supports Lookup/Name/Productions and parsing, but
-// not further rule additions.
+// ReadTable deserializes a table previously written with Encode. The
+// reconstructed Grammar supports Lookup/Name/Productions and parsing, and
+// preserves production order, labels, and precedence declarations, so
+// production indices and labels — the linkage semantic actions dispatch on —
+// are identical to the encoding grammar's. It does not support further rule
+// additions.
 func ReadTable(r io.Reader) (*Table, error) {
 	var wt wireTable
 	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
 		return nil, fmt.Errorf("lalr: decode table: %w", err)
+	}
+	if wt.Version != wireVersion {
+		return nil, fmt.Errorf("lalr: table format version %d, want %d", wt.Version, wireVersion)
 	}
 	if len(wt.Names) != len(wt.IsTerminal) {
 		return nil, fmt.Errorf("lalr: corrupt table: %d names, %d terminal flags",
@@ -68,10 +92,17 @@ func ReadTable(r io.Reader) (*Table, error) {
 		isTerminal: wt.IsTerminal,
 		symIndex:   make(map[string]Symbol, len(wt.Names)),
 		prodsByLhs: make(map[Symbol][]*Production),
-		prec:       make(map[Symbol]int),
-		assoc:      make(map[Symbol]Assoc),
+		prec:       wt.Prec,
+		assoc:      wt.Assoc,
+		precLevel:  wt.PrecLevel,
 		start:      wt.Start,
 		hasStart:   true,
+	}
+	if g.prec == nil {
+		g.prec = make(map[Symbol]int)
+	}
+	if g.assoc == nil {
+		g.assoc = make(map[Symbol]Assoc)
 	}
 	for i, name := range wt.Names {
 		g.symIndex[name] = Symbol(i)
@@ -81,12 +112,21 @@ func ReadTable(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("lalr: corrupt table: missing %s", EOFName)
 	}
 	g.eof = eof
+	nsyms := len(wt.Names)
+	inRange := func(s Symbol) bool { return s >= 0 && int(s) < nsyms }
 	for i, wp := range wt.Prods {
+		if !inRange(wp.Lhs) {
+			return nil, fmt.Errorf("lalr: corrupt table: production %d lhs out of range", i)
+		}
+		for _, r := range wp.Rhs {
+			if !inRange(r) {
+				return nil, fmt.Errorf("lalr: corrupt table: production %d rhs out of range", i)
+			}
+		}
 		p := &Production{Index: i, Lhs: wp.Lhs, Rhs: wp.Rhs, Prec: wp.Prec, Label: wp.Label}
 		g.prods = append(g.prods, p)
 		g.prodsByLhs[p.Lhs] = append(g.prodsByLhs[p.Lhs], p)
 	}
-	nsyms := len(wt.Names)
 	if len(wt.Actions) != wt.NumStates || len(wt.Gotos) != wt.NumStates {
 		return nil, fmt.Errorf("lalr: corrupt table: state count mismatch")
 	}
@@ -94,6 +134,23 @@ func ReadTable(r io.Reader) (*Table, error) {
 		if len(wt.Actions[s]) != nsyms || len(wt.Gotos[s]) != nsyms {
 			return nil, fmt.Errorf("lalr: corrupt table: row width mismatch in state %d", s)
 		}
+		// Re-validate the action/production linkage: a reduce action whose
+		// production index is stale would run the wrong semantic action.
+		for sym, act := range wt.Actions[s] {
+			switch act.Kind {
+			case ActionShift:
+				if act.Target < 0 || act.Target >= wt.NumStates {
+					return nil, fmt.Errorf("lalr: corrupt table: shift target out of range in state %d on %s", s, wt.Names[sym])
+				}
+			case ActionReduce:
+				if act.Target < 0 || act.Target >= len(g.prods) {
+					return nil, fmt.Errorf("lalr: corrupt table: reduce production out of range in state %d on %s", s, wt.Names[sym])
+				}
+			}
+		}
+	}
+	if wt.AcceptProd < 0 || wt.AcceptProd >= len(g.prods) {
+		return nil, fmt.Errorf("lalr: corrupt table: accept production %d out of range", wt.AcceptProd)
 	}
 	return &Table{
 		Grammar:    g,

@@ -1,0 +1,120 @@
+package lalr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// TestRoundTripPreservesSemanticLinkage asserts that decode reconstructs
+// the exact production order, labels, and precedence declarations, so that
+// index- and label-keyed semantic actions attach to the same productions on
+// a decoded table as on the freshly built one.
+func TestRoundTripPreservesSemanticLinkage(t *testing.T) {
+	g := NewGrammar()
+	g.Terminal("NUM")
+	g.Precedence(AssocLeft, "+")
+	g.Precedence(AssocLeft, "*")
+	g.Terminal("-")
+	g.SetStart("E")
+	g.Rule("E", "E", "+", "E").WithLabel("add")
+	g.Rule("E", "E", "*", "E").WithLabel("mul")
+	g.Rule("E", "-", "E").WithLabel("neg").WithPrec(g, "*")
+	g.Rule("E", "NUM").WithLabel("num")
+	tbl := mustBuild(t, g)
+
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := loaded.Grammar
+	if len(lg.prods) != len(g.prods) {
+		t.Fatalf("production count: %d vs %d", len(lg.prods), len(g.prods))
+	}
+	for i, p := range g.prods {
+		lp := lg.prods[i]
+		if lp.Index != p.Index || lp.Label != p.Label || lp.Lhs != p.Lhs || lp.Prec != p.Prec {
+			t.Errorf("production %d: %+v vs %+v", i, lp, p)
+		}
+		if g.ProdString(p) != lg.ProdString(lp) {
+			t.Errorf("production %d: %q vs %q", i, lg.ProdString(lp), g.ProdString(p))
+		}
+	}
+	// Precedence/associativity declarations survive the round trip.
+	for sym, lvl := range g.prec {
+		if lg.prec[sym] != lvl {
+			t.Errorf("prec[%s] = %d, want %d", g.Name(sym), lg.prec[sym], lvl)
+		}
+	}
+	for sym, a := range g.assoc {
+		if lg.assoc[sym] != a {
+			t.Errorf("assoc[%s] = %d, want %d", g.Name(sym), lg.assoc[sym], a)
+		}
+	}
+	if lg.precLevel != g.precLevel {
+		t.Errorf("precLevel = %d, want %d", lg.precLevel, g.precLevel)
+	}
+}
+
+func TestReadTableRejectsVersionMismatch(t *testing.T) {
+	g := exprGrammar()
+	tbl := mustBuild(t, g)
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wt wireTable
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&wt); err != nil {
+		t.Fatal(err)
+	}
+	wt.Version = wireVersion + 1
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&wt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTable(&out); err == nil {
+		t.Error("future-version table decoded without error")
+	}
+}
+
+func TestReadTableRejectsDanglingReduce(t *testing.T) {
+	g := exprGrammar()
+	tbl := mustBuild(t, g)
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wt wireTable
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&wt); err != nil {
+		t.Fatal(err)
+	}
+	// Point one reduce action past the production list: the decoded table
+	// would dispatch a nonexistent semantic action.
+	patched := false
+	for s := range wt.Actions {
+		for i, act := range wt.Actions[s] {
+			if act.Kind == ActionReduce {
+				wt.Actions[s][i].Target = len(wt.Prods) + 3
+				patched = true
+				break
+			}
+		}
+		if patched {
+			break
+		}
+	}
+	if !patched {
+		t.Fatal("no reduce action found to corrupt")
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&wt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTable(&out); err == nil {
+		t.Error("table with dangling reduce decoded without error")
+	}
+}

@@ -2,6 +2,15 @@
 // evaluation harness: percentiles over per-unit measurements (Table 3's
 // 50th·90th·100th format), cumulative distributions (Figures 8b and 9),
 // and simple aggregation helpers.
+//
+// Two kinds of instruments live here with different concurrency rules:
+//
+//   - Sample (this file) collects observations after the fact and is NOT
+//     safe for concurrent use; the harness aggregates per-unit results
+//     into Samples only once a run has completed.
+//   - Counter, Timer, and HighWater (metrics.go) are lock-free atomics
+//     written by the harness's worker goroutines while a parallel run is
+//     in progress and read via harness.Metrics snapshots.
 package stats
 
 import (
