@@ -30,11 +30,13 @@ func main() {
 	headers := flag.Int("headers", 24, "number of generated headers")
 	jobs := flag.Int("j", 0, "worker-pool width for the Table 3 sweep (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
+	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	metrics := flag.Bool("metrics", false, "print the harness metrics snapshot after the Table 3 sweep")
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
 	harness.DefaultJobs = *jobs
+	harness.DisableHeaderCache = *noHeaderCache
 
 	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
 

@@ -36,10 +36,12 @@ func main() {
 	points := flag.Int("points", 10, "CDF resolution")
 	jobs := flag.Int("j", 0, "worker-pool width for corpus runs (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
+	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
 	harness.DefaultJobs = *jobs
+	harness.DisableHeaderCache = *noHeaderCache
 
 	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/fmlr"
+	"repro/internal/hcache"
 	"repro/internal/printer"
 	"repro/internal/refactor"
 )
@@ -87,6 +88,7 @@ func main() {
 	rename := flag.String("rename", "", "configuration-preserving rename: OLD=NEW")
 	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
+	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -125,6 +127,11 @@ func main() {
 		CondMode:     condMode,
 		Parser:       &opts,
 		SingleConfig: *single,
+	}
+	if !*noHeaderCache && !*single {
+		// One cache shared by every unit (and every worker: it is
+		// concurrency-safe, unlike the per-unit condition spaces).
+		cfg.HeaderCache = hcache.New(hcache.Options{})
 	}
 	ff := fileFlags{
 		printAST: *printAST, project: *project, showStats: *showStats,

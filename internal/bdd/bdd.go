@@ -111,6 +111,18 @@ func (f *Factory) HasVar(name string) bool {
 	return ok
 }
 
+// At decomposes an internal node into its root variable name and children
+// (the Shannon cofactors n = name ? hi : lo). internal is false for the two
+// terminals, whose other return values are meaningless. Package cond uses it
+// to export conditions into space-independent formulas.
+func (f *Factory) At(n Node) (name string, lo, hi Node, internal bool) {
+	nd := f.nodes[n]
+	if nd.level == terminalLevel {
+		return "", 0, 0, false
+	}
+	return f.names[nd.level], nd.lo, nd.hi, true
+}
+
 // mk returns the canonical node (level, lo, hi), applying the reduction
 // rules: identical children collapse, duplicates are shared.
 func (f *Factory) mk(level int32, lo, hi Node) Node {

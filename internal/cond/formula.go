@@ -1,0 +1,237 @@
+package cond
+
+import (
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/sat"
+)
+
+// Formula is a space-independent presence condition: a plain boolean formula
+// over named configuration variables, with no ties to any Space, factory
+// node table, or variable order. It is the transfer format for moving
+// conditions between per-unit condition spaces — the "renaming" step the
+// cross-unit header cache performs when it replays a header recorded in one
+// unit's space into another unit's space.
+//
+// Formulas form a DAG: shared subtrees are represented by shared pointers,
+// so exporting a BDD costs O(nodes), not O(paths), and importers memoize on
+// pointer identity. A Formula is immutable after creation and safe to share
+// across goroutines.
+type Formula struct {
+	Op   FOp
+	Name string     // FVar only
+	Args []*Formula // FNot: 1 arg; FAnd, FOr: 2 args
+}
+
+// FOp is a Formula node kind.
+type FOp uint8
+
+// Formula node kinds.
+const (
+	FFalse FOp = iota
+	FTrue
+	FVar
+	FNot
+	FAnd
+	FOr
+)
+
+// Shared constant formulas, so exporters of True/False allocate nothing.
+var (
+	formulaTrue  = &Formula{Op: FTrue}
+	formulaFalse = &Formula{Op: FFalse}
+)
+
+// String renders the formula for diagnostics and tests.
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.write(&b)
+	return b.String()
+}
+
+func (f *Formula) write(b *strings.Builder) {
+	switch f.Op {
+	case FFalse:
+		b.WriteByte('0')
+	case FTrue:
+		b.WriteByte('1')
+	case FVar:
+		b.WriteString(f.Name)
+	case FNot:
+		b.WriteByte('!')
+		b.WriteByte('(')
+		f.Args[0].write(b)
+		b.WriteByte(')')
+	case FAnd, FOr:
+		op := " & "
+		if f.Op == FOr {
+			op = " | "
+		}
+		b.WriteByte('(')
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteString(op)
+			}
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Exporter converts conditions of one Space into Formulas, memoizing shared
+// structure so conditions exported repeatedly (macro-table entry conditions,
+// branch conditions of the same header) reuse their formula DAG. An Exporter
+// is bound to the Space it was created from and is not safe for concurrent
+// use (neither is the Space).
+type Exporter struct {
+	s       *Space
+	bddMemo map[bdd.Node]*Formula
+	satMemo map[*sat.Expr]*Formula
+}
+
+// NewExporter returns an exporter for s.
+func (s *Space) NewExporter() *Exporter {
+	e := &Exporter{s: s}
+	if s.mode == ModeBDD {
+		e.bddMemo = map[bdd.Node]*Formula{bdd.False: formulaFalse, bdd.True: formulaTrue}
+	} else {
+		e.satMemo = make(map[*sat.Expr]*Formula)
+	}
+	return e
+}
+
+// Export converts c into a space-independent Formula.
+func (e *Exporter) Export(c Cond) *Formula {
+	if e.s.mode == ModeBDD {
+		return e.exportBDD(c.n)
+	}
+	return e.exportSAT(c.e)
+}
+
+// exportBDD rebuilds the node's Shannon decomposition as a formula:
+// n = (v ∧ hi) ∨ (¬v ∧ lo), memoized per node so the result is a DAG the
+// size of the diagram.
+func (e *Exporter) exportBDD(n bdd.Node) *Formula {
+	if f, ok := e.bddMemo[n]; ok {
+		return f
+	}
+	name, lo, hi, _ := e.s.bf.At(n)
+	v := &Formula{Op: FVar, Name: name}
+	fhi := e.exportBDD(hi)
+	flo := e.exportBDD(lo)
+	var f *Formula
+	switch {
+	case fhi.Op == FTrue && flo.Op == FFalse:
+		f = v
+	case fhi.Op == FFalse && flo.Op == FTrue:
+		f = &Formula{Op: FNot, Args: []*Formula{v}}
+	case flo.Op == FFalse:
+		f = &Formula{Op: FAnd, Args: []*Formula{v, fhi}}
+	case fhi.Op == FFalse:
+		f = &Formula{Op: FAnd, Args: []*Formula{{Op: FNot, Args: []*Formula{v}}, flo}}
+	case fhi.Op == FTrue:
+		f = &Formula{Op: FOr, Args: []*Formula{v, flo}}
+	case flo.Op == FTrue:
+		f = &Formula{Op: FOr, Args: []*Formula{{Op: FNot, Args: []*Formula{v}}, fhi}}
+	default:
+		f = &Formula{Op: FOr, Args: []*Formula{
+			{Op: FAnd, Args: []*Formula{v, fhi}},
+			{Op: FAnd, Args: []*Formula{{Op: FNot, Args: []*Formula{v}}, flo}},
+		}}
+	}
+	e.bddMemo[n] = f
+	return f
+}
+
+func (e *Exporter) exportSAT(x *sat.Expr) *Formula {
+	if f, ok := e.satMemo[x]; ok {
+		return f
+	}
+	var f *Formula
+	switch x.Op {
+	case sat.OpConst:
+		if x.Value {
+			f = formulaTrue
+		} else {
+			f = formulaFalse
+		}
+	case sat.OpVar:
+		f = &Formula{Op: FVar, Name: x.Name}
+	case sat.OpNot:
+		f = &Formula{Op: FNot, Args: []*Formula{e.exportSAT(x.Args[0])}}
+	case sat.OpAnd, sat.OpOr:
+		op := FAnd
+		if x.Op == sat.OpOr {
+			op = FOr
+		}
+		args := make([]*Formula, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = e.exportSAT(a)
+		}
+		f = &Formula{Op: op, Args: args}
+	}
+	e.satMemo[x] = f
+	return f
+}
+
+// Importer converts Formulas into conditions of one Space, memoizing on
+// formula pointer identity so a payload's shared subformulas — and repeated
+// replays of the same cached entries within one unit — convert once.
+type Importer struct {
+	s    *Space
+	memo map[*Formula]Cond
+}
+
+// NewImporter returns an importer into s.
+func (s *Space) NewImporter() *Importer {
+	return &Importer{s: s, memo: make(map[*Formula]Cond)}
+}
+
+// Import rebuilds f as a condition of the importer's space. Variables are
+// resolved by name, creating them on first use — the renaming that maps one
+// unit's variables onto another's.
+func (im *Importer) Import(f *Formula) Cond {
+	if c, ok := im.memo[f]; ok {
+		return c
+	}
+	var c Cond
+	switch f.Op {
+	case FFalse:
+		c = im.s.False()
+	case FTrue:
+		c = im.s.True()
+	case FVar:
+		c = im.s.Var(f.Name)
+	case FNot:
+		c = im.s.Not(im.Import(f.Args[0]))
+	case FAnd:
+		c = im.s.True()
+		for _, a := range f.Args {
+			c = im.s.And(c, im.Import(a))
+		}
+	case FOr:
+		c = im.s.False()
+		for _, a := range f.Args {
+			c = im.s.Or(c, im.Import(a))
+		}
+	}
+	im.memo[f] = c
+	return c
+}
+
+// Export is one-shot Exporter convenience (tests, single conditions).
+func (s *Space) Export(c Cond) *Formula { return s.NewExporter().Export(c) }
+
+// Import is one-shot Importer convenience.
+func (s *Space) Import(f *Formula) Cond { return s.NewImporter().Import(f) }
+
+// NodeID returns the condition's canonical BDD node id. Two conditions of
+// the same ModeBDD space have equal ids exactly when they denote the same
+// boolean function; ok is false in ModeSAT, where no canonical id exists.
+func (s *Space) NodeID(c Cond) (uint32, bool) {
+	if s.mode != ModeBDD {
+		return 0, false
+	}
+	return uint32(c.n), true
+}

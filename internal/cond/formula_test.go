@@ -1,0 +1,103 @@
+package cond
+
+import "testing"
+
+// buildTestCond constructs (A & !B) | (C & (B | !A)) in s.
+func buildTestCond(s *Space) Cond {
+	a, b, c := s.Var("A"), s.Var("B"), s.Var("C")
+	return s.Or(s.And(a, s.Not(b)), s.And(c, s.Or(b, s.Not(a))))
+}
+
+// evalAll compares two conditions, possibly from different spaces, by
+// evaluating both under every assignment of the given variables.
+func evalAll(t *testing.T, sa *Space, ca Cond, sb *Space, cb Cond, vars []string) {
+	t.Helper()
+	n := len(vars)
+	for bits := 0; bits < 1<<n; bits++ {
+		assign := make(map[string]bool, n)
+		for i, v := range vars {
+			assign[v] = bits&(1<<i) != 0
+		}
+		if ga, gb := sa.Eval(ca, assign), sb.Eval(cb, assign); ga != gb {
+			t.Fatalf("assignment %v: %v vs %v", assign, ga, gb)
+		}
+	}
+}
+
+func TestFormulaRoundTrip(t *testing.T) {
+	vars := []string{"A", "B", "C"}
+	for _, mode := range []Mode{ModeBDD, ModeSAT} {
+		src := NewSpace(mode)
+		orig := buildTestCond(src)
+		f := src.Export(orig)
+		// Back into the same space: must be the same boolean function.
+		back := src.Import(f)
+		if !src.Equal(orig, back) {
+			t.Errorf("mode %v: same-space round trip not equal", mode)
+		}
+		// Into a fresh space of each mode, with a different variable
+		// creation order so BDD node ids cannot accidentally line up.
+		for _, dstMode := range []Mode{ModeBDD, ModeSAT} {
+			dst := NewSpace(dstMode)
+			dst.Var("C")
+			dst.Var("B")
+			imported := dst.Import(f)
+			evalAll(t, src, orig, dst, imported, vars)
+		}
+	}
+}
+
+func TestFormulaConstants(t *testing.T) {
+	s := NewSpace(ModeBDD)
+	if f := s.Export(s.True()); f.Op != FTrue {
+		t.Errorf("True exports as %v", f)
+	}
+	if f := s.Export(s.False()); f.Op != FFalse {
+		t.Errorf("False exports as %v", f)
+	}
+	// A & !A collapses to the False terminal before export.
+	a := s.Var("A")
+	if f := s.Export(s.And(a, s.Not(a))); f.Op != FFalse {
+		t.Errorf("contradiction exports as %v", f)
+	}
+}
+
+func TestExporterMemoSharesDAG(t *testing.T) {
+	s := NewSpace(ModeBDD)
+	c := buildTestCond(s)
+	ex := s.NewExporter()
+	f1 := ex.Export(c)
+	f2 := ex.Export(c)
+	if f1 != f2 {
+		t.Error("repeated export of the same condition should share the formula")
+	}
+}
+
+func TestImporterMemo(t *testing.T) {
+	src := NewSpace(ModeBDD)
+	f := src.Export(buildTestCond(src))
+	dst := NewSpace(ModeBDD)
+	im := dst.NewImporter()
+	c1 := im.Import(f)
+	c2 := im.Import(f)
+	if !dst.Equal(c1, c2) {
+		t.Error("repeated import should be identical")
+	}
+}
+
+func TestNodeIDCanonical(t *testing.T) {
+	s := NewSpace(ModeBDD)
+	a, b := s.Var("A"), s.Var("B")
+	// Two syntactically different constructions of the same function.
+	c1 := s.Not(s.Or(s.Not(a), s.Not(b))) // !(!A | !B) == A & B
+	c2 := s.And(a, b)
+	id1, ok1 := s.NodeID(c1)
+	id2, ok2 := s.NodeID(c2)
+	if !ok1 || !ok2 || id1 != id2 {
+		t.Errorf("equal functions got ids %d,%v and %d,%v", id1, ok1, id2, ok2)
+	}
+	sat := NewSpace(ModeSAT)
+	if _, ok := sat.NodeID(sat.True()); ok {
+		t.Error("NodeID must report no canonical id in ModeSAT")
+	}
+}

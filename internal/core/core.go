@@ -32,6 +32,7 @@ import (
 	"repro/internal/cgrammar"
 	"repro/internal/cond"
 	"repro/internal/fmlr"
+	"repro/internal/hcache"
 	"repro/internal/preprocessor"
 )
 
@@ -54,6 +55,11 @@ type Config struct {
 	// SingleConfig processes exactly one configuration (conditionals are
 	// evaluated concretely against Defines), like an ordinary compiler.
 	SingleConfig bool
+	// HeaderCache, when non-nil, shares lexed and preprocessed header
+	// results across compilation units. The cache is concurrency-safe and
+	// may be shared by Tools running in different goroutines; cached results
+	// are replayed into each unit's own condition space.
+	HeaderCache *hcache.Cache
 }
 
 // Tool is a configured SuperC instance. A Tool processes one compilation
@@ -90,6 +96,7 @@ func New(cfg Config) *Tool {
 		IncludePaths: cfg.IncludePaths,
 		Builtins:     cfg.Builtins,
 		SingleConfig: cfg.SingleConfig,
+		HeaderCache:  cfg.HeaderCache,
 	})
 	return &Tool{cfg: cfg, space: space, pp: pp, lang: cgrammar.MustLoad()}
 }
@@ -144,6 +151,7 @@ func (t *Tool) ParseString(name, src string) (*Result, error) {
 		IncludePaths: t.cfg.IncludePaths,
 		Builtins:     t.cfg.Builtins,
 		SingleConfig: t.cfg.SingleConfig,
+		HeaderCache:  t.cfg.HeaderCache,
 	})
 	for nm, body := range t.cfg.Defines {
 		if err := pp.Define(nm, body); err != nil {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
+	"repro/internal/hcache"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
 )
@@ -47,6 +48,33 @@ var IncludePaths = []string{"include", "include/gen", "include/linux"}
 // startup, before any runs.
 var DefaultJobs int
 
+// DisableHeaderCache turns off the shared cross-unit header cache for runs
+// that do not override RunConfig.HeaderCache. The cmd tools' -no-header-cache
+// flag sets it once at startup.
+var DisableHeaderCache bool
+
+// sharedHeaderCache is the process-wide default header cache, created on
+// first cached run so that repeated runs (benchmark arms, Figure sweeps)
+// keep sharing header work.
+var (
+	headerCacheOnce   sync.Once
+	sharedHeaderCache *hcache.Cache
+)
+
+// headerCache resolves the cache a run should use: an explicit override, the
+// process-wide default, or nil when disabled (including single-configuration
+// mode, which the preprocessor would ignore the cache for anyway).
+func (cfg RunConfig) headerCache() *hcache.Cache {
+	if cfg.NoHeaderCache || DisableHeaderCache || cfg.Single {
+		return nil
+	}
+	if cfg.HeaderCache != nil {
+		return cfg.HeaderCache
+	}
+	headerCacheOnce.Do(func() { sharedHeaderCache = hcache.New(hcache.Options{}) })
+	return sharedHeaderCache
+}
+
 // RunConfig selects one experimental arm.
 type RunConfig struct {
 	Mode       cond.Mode
@@ -57,6 +85,12 @@ type RunConfig struct {
 	// Jobs bounds the worker pool: 0 defers to DefaultJobs (then
 	// GOMAXPROCS), 1 is fully sequential.
 	Jobs int
+	// HeaderCache overrides the shared cross-unit header cache for this run.
+	// nil uses the process-wide default cache unless NoHeaderCache (or the
+	// global DisableHeaderCache) is set.
+	HeaderCache *hcache.Cache
+	// NoHeaderCache disables header caching for this run.
+	NoHeaderCache bool
 }
 
 // jobs resolves the effective worker count for n units.
@@ -120,6 +154,16 @@ type Metrics struct {
 	TableCacheHits   int64
 	TableCacheMisses int64
 	TableCacheState  string
+
+	// Cross-unit header cache outcome for this run (delta of the shared
+	// cache's counters across the run).
+	HeaderCacheState  string // "on" or "off"
+	HeaderCacheHits   int64  // Level-2 (preprocessed header) replays
+	HeaderCacheMisses int64
+	HeaderLexHits     int64 // Level-1 (lexed token stream) hits
+	HeaderLexMisses   int64
+	HeaderBytesSaved  int64 // source bytes not re-preprocessed
+	HeaderEvictions   int64
 }
 
 // String renders the snapshot as the block cmd/fmlrbench prints.
@@ -135,6 +179,9 @@ func (m Metrics) String() string {
 		m.Forks, m.TypedefForks, m.Merges, m.BDDNodes)
 	fmt.Fprintf(&b, "  table cache: %s (%d hits, %d misses this process)\n",
 		m.TableCacheState, m.TableCacheHits, m.TableCacheMisses)
+	fmt.Fprintf(&b, "  header cache: %s (%d hits, %d misses; lex %d hits, %d misses; %d bytes saved, %d evictions)\n",
+		m.HeaderCacheState, m.HeaderCacheHits, m.HeaderCacheMisses,
+		m.HeaderLexHits, m.HeaderLexMisses, m.HeaderBytesSaved, m.HeaderEvictions)
 	return b.String()
 }
 
@@ -183,6 +230,11 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 	jobs := cfg.jobs(len(c.CFiles))
 	out := make([]UnitResult, len(c.CFiles))
 	col := &collector{}
+	hc := cfg.headerCache()
+	var hcBefore hcache.Snapshot
+	if hc != nil {
+		hcBefore = hc.Stats()
+	}
 	start := time.Now()
 
 	work := make(chan int)
@@ -198,7 +250,7 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 					continue
 				}
 				col.inFlight.Enter()
-				out[i] = runUnitSafe(c, cfg, parser, c.CFiles[i])
+				out[i] = runUnitSafe(c, cfg, parser, hc, c.CFiles[i])
 				col.inFlight.Exit()
 				col.add(&out[i])
 			}
@@ -228,6 +280,17 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		TableCacheHits:   hits,
 		TableCacheMisses: misses,
 		TableCacheState:  cgrammar.TableCacheState(),
+		HeaderCacheState: "off",
+	}
+	if hc != nil {
+		d := hc.Stats().Sub(hcBefore)
+		m.HeaderCacheState = "on"
+		m.HeaderCacheHits = d.HeaderHits
+		m.HeaderCacheMisses = d.HeaderMisses
+		m.HeaderLexHits = d.LexHits
+		m.HeaderLexMisses = d.LexMisses
+		m.HeaderBytesSaved = d.BytesSaved
+		m.HeaderEvictions = d.Evictions
 	}
 	return out, m
 }
@@ -239,16 +302,16 @@ var testHookUnitStart func(file string)
 // runUnitSafe is runUnit behind a panic barrier: a poisoned unit (lexer
 // panic, grammar bug) is recorded as that unit's failure instead of
 // crashing the whole corpus run.
-func runUnitSafe(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) (res UnitResult) {
+func runUnitSafe(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Cache, cf string) (res UnitResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = UnitResult{File: cf, ParseFail: true, Err: fmt.Sprintf("panic: %v", p)}
 		}
 	}()
-	return runUnit(c, cfg, parser, cf)
+	return runUnit(c, cfg, parser, hc, cf)
 }
 
-func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) UnitResult {
+func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Cache, cf string) UnitResult {
 	if testHookUnitStart != nil {
 		testHookUnitStart(cf)
 	}
@@ -263,6 +326,7 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, cf string) Un
 		Parser:       &parser,
 		SingleConfig: cfg.Single,
 		Defines:      cfg.Defines,
+		HeaderCache:  hc,
 	})
 	start := time.Now()
 	unit, err := tool.Preprocess(cf)

@@ -79,16 +79,24 @@ func resolveInclude(fs FileSystem, includePaths []string, fromFile, name string,
 // the include path *after* the one that supplied the current file, letting
 // wrapper headers defer to the underlying header of the same name.
 func resolveIncludeNext(fs FileSystem, includePaths []string, fromFile, name string) string {
-	fromDir := path.Dir(fromFile)
+	from := path.Clean(fromFile)
+	fromDir := path.Dir(from)
 	start := 0
 	for i, dir := range includePaths {
-		if path.Clean(dir) == path.Clean(fromDir) {
+		if path.Clean(dir) == fromDir {
 			start = i + 1
 			break
 		}
 	}
 	for _, dir := range includePaths[start:] {
 		cand := path.Clean(path.Join(dir, name))
+		if cand == from {
+			// Never resolve back to the including file itself: with a
+			// duplicated include-path entry (or the from-directory listed
+			// again later on the path), the naive search would re-include
+			// the current file until the depth limit.
+			continue
+		}
 		if fs.Exists(cand) {
 			return cand
 		}

@@ -1,0 +1,96 @@
+package preprocessor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/hcache"
+)
+
+// genCacheFuzzInput derives a random (but deterministic in the seeds)
+// include graph: headerSeed shapes the headers — guards, defines, undefs,
+// conditionals on shared macro names, nested includes, #include_next —
+// and envSeed shapes the unit: which headers it includes in what order and
+// which macros it defines or undefines between them.
+func genCacheFuzzInput(headerSeed, envSeed uint64) (map[string]string, []string) {
+	r := rand.New(rand.NewSource(int64(headerSeed)))
+	n := 2 + r.Intn(4)
+	files := map[string]string{}
+	macros := []string{"M0", "M1", "M2", "ENV0", "ENV1"}
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		guarded := r.Intn(3) > 0
+		if guarded {
+			fmt.Fprintf(&b, "#ifndef H%d_H\n#define H%d_H\n", i, i)
+		}
+		for l, lines := 0, 1+r.Intn(4); l < lines; l++ {
+			switch r.Intn(6) {
+			case 0:
+				fmt.Fprintf(&b, "#define M%d %d\n", r.Intn(3), r.Intn(10))
+			case 1:
+				fmt.Fprintf(&b, "#undef M%d\n", r.Intn(3))
+			case 2:
+				m := macros[r.Intn(len(macros))]
+				fmt.Fprintf(&b, "#ifdef %s\nint c%d_%d = %s;\n#else\nint c%d_%d;\n#endif\n",
+					m, i, l, m, i, l)
+			case 3:
+				// Only include later headers: the graph stays acyclic.
+				if i+1 < n {
+					fmt.Fprintf(&b, "#include <h%d.h>\n", i+1+r.Intn(n-i-1))
+				}
+			case 4:
+				fmt.Fprintf(&b, "int v%d_%d = %d;\n", i, l, r.Intn(100))
+			case 5:
+				fmt.Fprintf(&b, "#include_next <h%d.h>\n", i)
+			}
+		}
+		if guarded {
+			b.WriteString("#endif\n")
+		}
+		files[fmt.Sprintf("include/h%d.h", i)] = b.String()
+		files[fmt.Sprintf("include2/h%d.h", i)] = fmt.Sprintf("#define NEXT%d 1\nint next%d;\n", i, i)
+	}
+
+	re := rand.New(rand.NewSource(int64(envSeed)))
+	var mb strings.Builder
+	if re.Intn(2) == 0 {
+		fmt.Fprintf(&mb, "#define ENV%d 1\n", re.Intn(2))
+	}
+	for j, k := 0, 1+re.Intn(4); j < k; j++ {
+		fmt.Fprintf(&mb, "#include <h%d.h>\n", re.Intn(n))
+		if re.Intn(3) == 0 {
+			fmt.Fprintf(&mb, "#define M%d %d\n", re.Intn(3), re.Intn(10))
+		}
+		if re.Intn(4) == 0 {
+			fmt.Fprintf(&mb, "#undef M%d\n", re.Intn(3))
+		}
+	}
+	mb.WriteString("int done;\n")
+	files["main.c"] = mb.String()
+	return files, []string{"include", "include2"}
+}
+
+// FuzzHeaderCache is the property test behind the seeded scenarios: for any
+// generated include graph and unit environment, preprocessing through a
+// shared header cache — including a second unit that replays the first's
+// entries — must equal an uncached run exactly.
+func FuzzHeaderCache(f *testing.F) {
+	f.Add(uint64(1), uint64(1))
+	f.Add(uint64(2), uint64(7))
+	f.Add(uint64(42), uint64(3))
+	f.Add(uint64(99), uint64(99))
+	f.Add(uint64(7), uint64(123456))
+	f.Add(uint64(0xdeadbeef), uint64(0xcafe))
+	f.Fuzz(func(t *testing.T, headerSeed, envSeed uint64) {
+		files, paths := genCacheFuzzInput(headerSeed, envSeed)
+		ref, refSpace := ppWith(t, files, nil, cond.ModeBDD, paths)
+		hc := hcache.New(hcache.Options{})
+		first, firstSpace := ppWith(t, files, hc, cond.ModeBDD, paths)
+		equalUnits(t, refSpace, ref, firstSpace, first, "recording run")
+		second, secondSpace := ppWith(t, files, hc, cond.ModeBDD, paths)
+		equalUnits(t, refSpace, ref, secondSpace, second, "replaying run")
+	})
+}

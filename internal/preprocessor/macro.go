@@ -2,6 +2,7 @@ package preprocessor
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/cexpr"
 	"repro/internal/cond"
@@ -56,10 +57,30 @@ type MacroTable struct {
 	entries map[string][]macroEntry
 	guards  map[string]bool // names recognized as include-guard macros
 
+	// obs, when set, observes every read and write of a name — the header
+	// cache's interaction-set recorder. Reads and writes both notify
+	// *before* any mutation, so the observer can snapshot the name's
+	// pre-operation state on first touch.
+	obs tableObserver
+
 	// Stats
 	Definitions   int // #define directives recorded
 	Redefinitions int // #defines that trimmed earlier entries
 	Undefinitions int // #undef directives recorded
+}
+
+// tableObserver receives macro-table events for the header-cache recorder.
+type tableObserver interface {
+	touchMacro(name string)
+	noteDefine(name string, def *MacroDef, c cond.Cond)
+	noteUndefine(name string, c cond.Cond)
+	noteMarkGuard(name string)
+}
+
+func (t *MacroTable) touch(name string) {
+	if t.obs != nil {
+		t.obs.touchMacro(name)
+	}
 }
 
 // NewMacroTable returns an empty table over the given condition space.
@@ -75,12 +96,20 @@ func NewMacroTable(s *cond.Space) *MacroTable {
 // infeasible earlier entries (Table 1: "Trim infeasible entries on
 // redefinition").
 func (t *MacroTable) Define(name string, def *MacroDef, c cond.Cond) {
+	t.touch(name)
+	if t.obs != nil {
+		t.obs.noteDefine(name, def, c)
+	}
 	t.Definitions++
 	t.add(name, def, c)
 }
 
 // Undefine records an explicit #undef for name under c.
 func (t *MacroTable) Undefine(name string, c cond.Cond) {
+	t.touch(name)
+	if t.obs != nil {
+		t.obs.noteUndefine(name, c)
+	}
 	t.Undefinitions++
 	t.add(name, nil, c)
 }
@@ -126,6 +155,7 @@ type ActiveDef struct {
 // name is free (neither defined nor undefined). Infeasible definitions are
 // ignored (Table 1: "Ignore infeasible definitions").
 func (t *MacroTable) Lookup(name string, c cond.Cond) (defs []ActiveDef, free cond.Cond) {
+	t.touch(name)
 	covered := t.space.False()
 	for _, e := range t.entries[name] {
 		ec := t.space.And(e.cond, c)
@@ -141,6 +171,7 @@ func (t *MacroTable) Lookup(name string, c cond.Cond) (defs []ActiveDef, free co
 // IsEverDefined reports whether the name has at least one feasible
 // definition entry under c.
 func (t *MacroTable) IsEverDefined(name string, c cond.Cond) bool {
+	t.touch(name)
 	for _, e := range t.entries[name] {
 		if e.def != nil && !t.space.IsFalse(t.space.And(e.cond, c)) {
 			return true
@@ -151,15 +182,25 @@ func (t *MacroTable) IsEverDefined(name string, c cond.Cond) bool {
 
 // MarkGuard records that name is an include-guard macro (gcc's reinclusion
 // heuristic, paper §3.2 rule 4a).
-func (t *MacroTable) MarkGuard(name string) { t.guards[name] = true }
+func (t *MacroTable) MarkGuard(name string) {
+	t.touch(name)
+	if t.obs != nil {
+		t.obs.noteMarkGuard(name)
+	}
+	t.guards[name] = true
+}
 
 // IsGuard reports whether name was recognized as a guard macro.
-func (t *MacroTable) IsGuard(name string) bool { return t.guards[name] }
+func (t *MacroTable) IsGuard(name string) bool {
+	t.touch(name)
+	return t.guards[name]
+}
 
 // DefinedInfo supplies cexpr's conversion rule 4 with the name's
 // definedness: the disjunction of conditions with an active definition, the
 // free condition, and whether the name is a guard macro.
 func (t *MacroTable) DefinedInfo(name string) cexpr.DefinedInfo {
+	t.touch(name)
 	s := t.space
 	defined := s.False()
 	covered := s.False()
@@ -188,3 +229,54 @@ func (t *MacroTable) Names() []string {
 
 // NumEntries returns the number of entries for name, for tests and stats.
 func (t *MacroTable) NumEntries(name string) int { return len(t.entries[name]) }
+
+// StateSig serializes the observable state of name — its conditional entries
+// in table order plus its guard bit — for the header cache's interaction-set
+// fingerprints. canonOf must map conditions to space-independent canonical
+// ids so signatures recorded in one unit compare equal in another.
+func (t *MacroTable) StateSig(name string, canonOf func(cond.Cond) string) string {
+	entries := t.entries[name]
+	if len(entries) == 0 && !t.guards[name] {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(canonOf(e.cond))
+		b.WriteByte('=')
+		writeDefSig(&b, e.def)
+		b.WriteByte(';')
+	}
+	if t.guards[name] {
+		b.WriteByte('G')
+	}
+	return b.String()
+}
+
+// writeDefSig appends a token-level signature of def ("!" for an explicit
+// #undef entry). Two definitions have equal signatures iff sameDef holds.
+func writeDefSig(b *strings.Builder, def *MacroDef) {
+	if def == nil {
+		b.WriteByte('!')
+		return
+	}
+	if def.FuncLike {
+		b.WriteByte('(')
+		for i, p := range def.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(p)
+		}
+		if def.Variadic {
+			b.WriteString("...")
+		}
+		b.WriteByte(')')
+	}
+	for _, tok := range def.Body {
+		b.WriteByte(' ')
+		if tok.HasSpace {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok.Text)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cexpr"
 	"repro/internal/cond"
+	"repro/internal/hcache"
 	"repro/internal/lexer"
 	"repro/internal/token"
 )
@@ -24,6 +25,12 @@ type Options struct {
 	SingleConfig bool
 	// MaxIncludeDepth bounds include recursion (default 128).
 	MaxIncludeDepth int
+	// HeaderCache, when non-nil, shares lexed and preprocessed header
+	// results across units (and across Preprocessors, including concurrent
+	// ones — the cache is concurrency-safe even though a Preprocessor is
+	// not). Ignored in single-configuration mode, whose concrete conditional
+	// evaluation does not fit the cache's fingerprint model.
+	HeaderCache *hcache.Cache
 }
 
 // Diagnostic is a preprocessing error or warning.
@@ -71,10 +78,20 @@ type Preprocessor struct {
 	guardOf      map[string]string // file -> guard macro name ("" = none)
 	timesInc     map[string]int    // file -> times included
 	counter      int               // __COUNTER__ state
+
+	// Cross-unit header cache state (nil/empty when disabled).
+	hcache    *hcache.Cache
+	cfgKey    string       // configuration fingerprint mixed into cache keys
+	recorders []*headerRec // active recordings, innermost last
+	exporter  *cond.Exporter
+	importer  *cond.Importer
 }
 
-// nextCounter returns successive __COUNTER__ values.
+// nextCounter returns successive __COUNTER__ values. The counter is unit-
+// global state the header-cache fingerprint cannot capture, so any use
+// poisons active recordings.
 func (p *Preprocessor) nextCounter() int {
+	p.poisonRecorders()
 	v := p.counter
 	p.counter++
 	return v
@@ -110,6 +127,12 @@ func New(opts Options) *Preprocessor {
 	for name := range builtins {
 		p.builtinNames[name] = true
 	}
+	if opts.HeaderCache != nil && !opts.SingleConfig {
+		p.hcache = opts.HeaderCache
+		p.exporter = opts.Space.NewExporter()
+		p.importer = opts.Space.NewImporter()
+		p.cfgKey = configKey(opts, builtins, maxInc)
+	}
 	p.resetTable()
 	return p
 }
@@ -122,6 +145,9 @@ func (p *Preprocessor) ResetTable() { p.resetTable() }
 // resetTable installs a fresh macro table seeded with the built-ins.
 func (p *Preprocessor) resetTable() {
 	p.macros = NewMacroTable(p.space)
+	if p.hcache != nil {
+		p.macros.obs = p
+	}
 	for name, body := range p.builtins {
 		toks, err := lexer.Lex("<builtin>", []byte(body))
 		if err != nil {
@@ -166,6 +192,7 @@ func (p *Preprocessor) PreprocessKeepTable(path string) (*Unit, error) {
 	p.condDepth = 0
 	p.counter = 0
 	p.timesInc = make(map[string]int)
+	p.recorders = nil
 
 	segs, err := p.processFile(path, p.space.True())
 	if err != nil {
@@ -189,17 +216,48 @@ func (p *Preprocessor) processFile(path string, c cond.Cond) ([]Segment, error) 
 	if err != nil {
 		return nil, err
 	}
-	p.stats.Bytes += len(src)
-	lexStart := time.Now()
-	toks, err := lexer.Lex(path, src)
-	p.stats.LexTime += time.Since(lexStart)
-	if err != nil {
-		return nil, err
+	var hash string
+	if p.hcache != nil {
+		hash = hcache.Hash(src)
+		p.noteDep(path, hash)
 	}
-	toks = lexer.StripEOF(toks)
-	lines := splitLines(toks)
-	if guard := detectGuard(lines); guard != "" {
-		p.guardOf[path] = guard
+	return p.processFileSrc(path, src, hash, c)
+}
+
+// processFileSrc processes pre-read file contents, consulting the Level-1
+// cache (lexed tokens, line segmentation, guard detection keyed by path and
+// content hash — pure work, independent of macro state) when enabled.
+func (p *Preprocessor) processFileSrc(path string, src []byte, hash string, c cond.Cond) ([]Segment, error) {
+	p.stats.Bytes += len(src)
+	var lines [][]token.Token
+	var guard string
+	var cached *hcache.LexEntry
+	if p.hcache != nil {
+		cached, _ = p.hcache.LookupLex(path + "\x00" + hash)
+	}
+	if cached != nil {
+		lines, guard = cached.Lines, cached.Guard
+	} else {
+		lexStart := time.Now()
+		toks, err := lexer.Lex(path, src)
+		p.stats.LexTime += time.Since(lexStart)
+		if err != nil {
+			return nil, err
+		}
+		toks = lexer.StripEOF(toks)
+		lines = splitLines(toks)
+		guard = detectGuard(lines)
+		if p.hcache != nil {
+			p.hcache.StoreLex(path+"\x00"+hash, &hcache.LexEntry{
+				Toks:  toks,
+				Lines: lines,
+				Guard: guard,
+				Bytes: len(src),
+			})
+		}
+	}
+	if guard != "" {
+		p.setGuardOf(path, guard)
 		p.macros.MarkGuard(guard)
 	}
 	return p.processLines(lines, c, path)
@@ -660,6 +718,9 @@ func (p *Preprocessor) handleDefine(args []token.Token, c cond.Cond) {
 // directive under c.
 func (p *Preprocessor) handleInclude(args []token.Token, c cond.Cond, fromFile string, at token.Token, next bool) []Segment {
 	if p.includeDepth >= p.maxInclude {
+		// The error depends on absolute nesting depth, which the cache
+		// fingerprint deliberately does not capture: poison any recordings.
+		p.poisonRecorders()
 		p.errorf(at, "include depth limit exceeded")
 		return nil
 	}
@@ -723,11 +784,12 @@ func includeSpec(args []token.Token) (name string, angled bool, ok bool) {
 
 // spliceInclude processes one resolved include target under c.
 func (p *Preprocessor) spliceInclude(name string, angled bool, c cond.Cond, fromFile string, at token.Token, next bool) []Segment {
+	rfs := p.resolveFS()
 	var path string
 	if next {
-		path = resolveIncludeNext(p.fs, p.includePaths, fromFile, name)
+		path = resolveIncludeNext(rfs, p.includePaths, fromFile, name)
 	} else {
-		path = resolveInclude(p.fs, p.includePaths, fromFile, name, angled)
+		path = resolveInclude(rfs, p.includePaths, fromFile, name, angled)
 	}
 	if path == "" {
 		p.errorf(at, "include not found: %s", name)
@@ -736,19 +798,17 @@ func (p *Preprocessor) spliceInclude(name string, angled bool, c cond.Cond, from
 	p.stats.Includes++
 	// Guard-based skip: when the file's guard macro is already defined
 	// everywhere under c, reprocessing would contribute nothing.
-	if guard, ok := p.guardOf[path]; ok && guard != "" {
+	if guard, ok := p.readGuardOf(path); ok && guard != "" {
 		di := p.macros.DefinedInfo(guard)
 		if p.space.Implies(c, di.Defined) {
 			p.stats.GuardSkips++
 			return nil
 		}
 	}
-	if p.timesInc[path] > 0 {
-		p.stats.ReincludedHeaders++
-	}
-	p.timesInc[path]++
+	p.bumpTimesInc(path)
 	p.includeDepth++
-	segs, err := p.processFile(path, c)
+	p.noteIncludeDepth()
+	segs, err := p.processFileCached(path, c)
 	p.includeDepth--
 	if err != nil {
 		p.errorf(at, "include %s: %v", name, err)
