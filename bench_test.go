@@ -54,6 +54,7 @@ func printFirst(b *testing.B, name, artifact string) {
 // BenchmarkTable2a regenerates the developer's view of preprocessor usage
 // (paper Table 2a) and times the raw-text analysis.
 func BenchmarkTable2a(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	printFirst(b, "Table 2a", harness.Table2a(c))
 	b.ResetTimer()
@@ -65,6 +66,7 @@ func BenchmarkTable2a(b *testing.B) {
 // BenchmarkTable2b regenerates the most-included-headers ranking (paper
 // Table 2b).
 func BenchmarkTable2b(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	printFirst(b, "Table 2b", harness.Table2b(c))
 	b.ResetTimer()
@@ -77,6 +79,7 @@ func BenchmarkTable2b(b *testing.B) {
 // Table 3) and times one full instrumented corpus preprocessing+parsing
 // sweep per iteration.
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	results := harness.Run(c, harness.RunConfig{Parser: fmlr.OptAll})
 	printFirst(b, "Table 3", harness.Table3(results))
@@ -90,6 +93,7 @@ func BenchmarkTable3(b *testing.B) {
 // sub-benchmarks time each optimization level (the ablation the paper's
 // design calls for).
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	const kill = 1000
 	rows := harness.Figure8(c, kill)
@@ -106,6 +110,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure8b regenerates the cumulative subparser-count
 // distributions (paper Figure 8b).
 func BenchmarkFigure8b(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	printFirst(b, "Figure 8b", harness.Figure8b(c, 1000, 10))
 	b.ResetTimer()
@@ -120,6 +125,7 @@ func BenchmarkFigure8b(b *testing.B) {
 // take minutes each at the full corpus size (the Figure 9 knee itself), so
 // the artifact loop uses the smaller slice and the knee still shows.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	c := fig9Corpus()
 	printFirst(b, "Figure 9", harness.RenderFigure9(harness.Figure9(c), 10))
 	b.Run("SuperC", func(b *testing.B) {
@@ -149,6 +155,7 @@ func fig9Corpus() *corpus.Corpus {
 // BenchmarkFigure10 regenerates the latency-breakdown-by-stage table (paper
 // Figure 10) and times the instrumented SuperC sweep.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	printFirst(b, "Figure 10", harness.Figure10(c))
 	b.ResetTimer()
@@ -160,6 +167,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkGccBaseline regenerates the single-configuration baseline
 // comparison (paper §6.3's gcc measurement).
 func BenchmarkGccBaseline(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	printFirst(b, "gcc baseline", harness.RenderGcc(c))
 	b.ResetTimer()
@@ -172,6 +180,7 @@ func BenchmarkGccBaseline(b *testing.B) {
 // ablation behind Figure 9's gap: identical feasibility workloads on BDDs
 // versus naive-CNF + DPLL.
 func BenchmarkCondBDDvsSAT(b *testing.B) {
+	b.ReportAllocs()
 	workload := func(s *cond.Space) {
 		// The common shapes: conditional-sequence chains and
 		// hoisting cross-products.
@@ -198,6 +207,7 @@ func BenchmarkCondBDDvsSAT(b *testing.B) {
 // BenchmarkFollowSetVsNaive isolates the token-follow-set ablation on the
 // paper's Figure 6 construct.
 func BenchmarkFollowSetVsNaive(b *testing.B) {
+	b.ReportAllocs()
 	src := figure6(12)
 	run := func(b *testing.B, opts fmlr.Options) {
 		opts.KillSwitch = 100000
@@ -218,6 +228,7 @@ func BenchmarkFollowSetVsNaive(b *testing.B) {
 // nested conditionals over the same variable collapse when trimming is on
 // (it always is; the benchmark documents its cost profile).
 func BenchmarkHoistTrim(b *testing.B) {
+	b.ReportAllocs()
 	var src string
 	src += "#define WRAP(x) (x)\n"
 	src += "int v = WRAP(\n"
@@ -240,6 +251,7 @@ func BenchmarkHoistTrim(b *testing.B) {
 // units) against a statement-sequence workload that only needs
 // statement-level merging — the §5.1 granularity trade-off.
 func BenchmarkCompleteGranularity(b *testing.B) {
+	b.ReportAllocs()
 	stmtSrc := func(n int) string {
 		s := "void f(void) {\nint acc;\n"
 		for i := 0; i < n; i++ {
@@ -271,6 +283,7 @@ func BenchmarkCompleteGranularity(b *testing.B) {
 // isolation: naive CNF conversion cost explodes with condition complexity
 // while the BDD representation stays flat (§6.3's knee).
 func BenchmarkNaiveCNFBlowup(b *testing.B) {
+	b.ReportAllocs()
 	build := func(width int) *sat.Expr {
 		var ors []*sat.Expr
 		for i := 0; i < width; i++ {
@@ -294,6 +307,7 @@ func BenchmarkNaiveCNFBlowup(b *testing.B) {
 // BenchmarkPreprocessOnly and BenchmarkParseOnly time the two stages
 // separately over the corpus, the decomposition behind Figure 10.
 func BenchmarkPreprocessOnly(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	tool := core.New(core.Config{FS: c.FS, IncludePaths: harness.IncludePaths})
 	b.ResetTimer()
@@ -307,6 +321,7 @@ func BenchmarkPreprocessOnly(b *testing.B) {
 }
 
 func BenchmarkParseOnly(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	tool := core.New(core.Config{FS: c.FS, IncludePaths: harness.IncludePaths})
 	units := make([]*preprocessor.Unit, 0, len(c.CFiles))
@@ -335,6 +350,7 @@ func BenchmarkParseOnly(b *testing.B) {
 // harness's tentpole invariant, asserted by internal/harness's race
 // tests); on a single-core machine the rows coincide.
 func BenchmarkParallelHarness(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	widths := []int{1, 2, 4}
 	if n := runtime.GOMAXPROCS(0); n > 4 {
@@ -367,6 +383,7 @@ func BenchmarkParallelHarness(b *testing.B) {
 // BenchmarkCorpusLatencyCDF reports the per-unit latency distribution as
 // benchmark metrics (p50/p99 in ms), complementing Figure 9's CDF.
 func BenchmarkCorpusLatencyCDF(b *testing.B) {
+	b.ReportAllocs()
 	c := getCorpus()
 	b.ResetTimer()
 	var sample *stats.Sample
@@ -430,6 +447,7 @@ func headerCacheCorpus() (preprocessor.MapFS, []string) {
 // iteration keeps the measurement honest (the first unit records, the
 // remaining units replay).
 func BenchmarkHeaderCache(b *testing.B) {
+	b.ReportAllocs()
 	fs, cfiles := headerCacheCorpus()
 	sweep := func(b *testing.B, cache *hcache.Cache) {
 		for _, cf := range cfiles {

@@ -8,23 +8,38 @@
 // first run (-no-table-cache rebuilds them instead). A per-stage metrics
 // snapshot for one instrumented sweep is printed at the end.
 //
+// -cpuprofile/-memprofile write pprof profiles of whatever the invocation
+// ran; -bench-json measures the parse stage per optimization level with
+// testing.Benchmark and writes the machine-readable baseline documented in
+// EXPERIMENTS.md (§"Parse-stage benchmark baseline").
+//
 // Usage:
 //
 //	fmlrbench                 # every figure, default corpus
 //	fmlrbench -fig 8a         # one figure
 //	fmlrbench -fig 9 -cfiles 120
 //	fmlrbench -j 1            # sequential (for speedup comparisons)
+//	fmlrbench -fig 8a -cpuprofile cpu.out
+//	fmlrbench -bench-json BENCH_parse.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
 
 	"repro/internal/cgrammar"
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
 	"repro/internal/harness"
+	"repro/internal/preprocessor"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -37,13 +52,53 @@ func main() {
 	jobs := flag.Int("j", 0, "worker-pool width for corpus runs (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	benchJSON := flag.String("bench-json", "", "skip the figures; benchmark the parse stage per optimization level and write the JSON baseline to this file")
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
 	harness.DefaultJobs = *jobs
 	harness.DisableHeaderCache = *noHeaderCache
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}()
+
 	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(c, *kill, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fig == "all" || *fig == "8a" {
 		rows := harness.Figure8(c, *kill)
@@ -71,7 +126,104 @@ func main() {
 
 	// One instrumented sweep for the per-stage observability snapshot
 	// (units in flight, stage wall time, forks/merges, BDD nodes, table
-	// cache hit/miss).
+	// cache hit/miss, hot-path cache effectiveness).
 	_, m := harness.RunMetered(context.Background(), c, harness.RunConfig{Parser: fmlr.OptAll})
 	fmt.Print(m)
+}
+
+// benchLevel is one optimization level's entry in the BENCH_parse.json
+// baseline. One "op" is a full parse pass over the corpus (preprocessing
+// excluded — segments are prepared outside the timed region).
+type benchLevel struct {
+	Level         string `json:"level"`
+	NsPerOp       int64  `json:"ns_per_op"`
+	AllocsPerOp   int64  `json:"allocs_per_op"`
+	BytesPerOp    int64  `json:"bytes_per_op"`
+	MaxSubparsers int    `json:"max_subparsers"`
+	P99Subparsers int    `json:"p99_subparsers"`
+	KilledUnits   int    `json:"killed_units"`
+	Units         int    `json:"units"`
+}
+
+type benchFile struct {
+	Schema     string       `json:"schema"`
+	CorpusSeed int64        `json:"corpus_seed"`
+	CFiles     int          `json:"cfiles"`
+	Headers    int          `json:"headers"`
+	KillSwitch int          `json:"kill_switch"`
+	Levels     []benchLevel `json:"levels"`
+}
+
+// runBenchJSON measures the parse stage at every optimization level and
+// writes the machine-readable baseline. Preprocessing runs once, outside
+// the measurement; each level then re-parses the prepared segments under
+// testing.Benchmark for calibrated ns/op and allocs/op.
+func runBenchJSON(c *corpus.Corpus, kill int, path string) error {
+	lang := cgrammar.MustLoad()
+	tool := core.New(core.Config{FS: c.FS, IncludePaths: harness.IncludePaths})
+	units := make([]*preprocessor.Unit, 0, len(c.CFiles))
+	for _, cf := range c.CFiles {
+		u, err := tool.Preprocess(cf)
+		if err != nil {
+			return fmt.Errorf("preprocess %s: %w", cf, err)
+		}
+		units = append(units, u)
+	}
+	out := benchFile{
+		Schema:     "fmlrbench/bench-parse/v1",
+		CorpusSeed: c.Params.Seed,
+		CFiles:     len(c.CFiles),
+		Headers:    c.Params.GenHeaders,
+		KillSwitch: kill,
+		Levels:     make([]benchLevel, 0, len(harness.Levels)),
+	}
+	for _, lv := range harness.Levels {
+		opts := lv.Opts
+		opts.KillSwitch = kill
+		// Untimed pass for the subparser-population statistics.
+		agg := &stats.Sample{}
+		maxSub, killed := 0, 0
+		for _, u := range units {
+			res := fmlr.New(tool.Space(), lang, opts).Parse(u.Segments, u.File)
+			if res.Killed {
+				killed++
+				continue
+			}
+			if res.Stats.MaxSubparsers > maxSub {
+				maxSub = res.Stats.MaxSubparsers
+			}
+			for count, iters := range res.Stats.SubparserHist {
+				for k := 0; k < iters; k++ {
+					agg.AddInt(count)
+				}
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, u := range units {
+					fmlr.New(tool.Space(), lang, opts).Parse(u.Segments, u.File)
+				}
+			}
+		})
+		entry := benchLevel{
+			Level:         lv.Name,
+			NsPerOp:       r.NsPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			MaxSubparsers: maxSub,
+			P99Subparsers: int(agg.Percentile(0.99)),
+			KilledUnits:   killed,
+			Units:         len(units),
+		}
+		out.Levels = append(out.Levels, entry)
+		fmt.Printf("%-24s %12d ns/op %10d allocs/op %8d peak subparsers (%d killed)\n",
+			lv.Name, entry.NsPerOp, entry.AllocsPerOp, entry.MaxSubparsers, entry.KilledUnits)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
 }

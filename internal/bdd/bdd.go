@@ -7,10 +7,18 @@
 // which makes feasibility tests (c1 ∧ c2 = false) and condition comparison
 // constant-time once the diagram is built.
 //
-// The implementation is a classic hash-consed node store with an operation
-// cache. Nodes are referenced by dense int32 ids; ids 0 and 1 are the False
-// and True terminals. A Factory owns all nodes; Node values from different
-// factories must not be mixed.
+// The implementation is a hash-consed node store in the style of the mature
+// BDD engines the paper leans on (JavaBDD wrapping BuDDy/CUDD): nodes live
+// in one flat slice and are referenced by dense int32 ids, the unique table
+// is an open-addressed, linearly-probed array of node ids (no per-node map
+// boxes), and the operation cache is a fixed-size, direct-mapped, *lossy*
+// cache — colliding entries overwrite each other instead of growing,
+// trading rare recomputation for zero allocation on the And/Or/Not hot
+// path. Traversals that need per-node memoization (Restrict, SatCount) use
+// epoch-stamped scratch buffers reused across calls rather than fresh maps.
+//
+// Ids 0 and 1 are the False and True terminals. A Factory owns all nodes;
+// Node values from different factories must not be mixed.
 package bdd
 
 import (
@@ -39,34 +47,64 @@ type node struct {
 
 const terminalLevel = math.MaxInt32
 
-type opKind uint8
+type opKind uint32
 
 const (
-	opAnd opKind = iota
+	opAnd opKind = iota + 1 // 0 is reserved for empty cache entries
 	opOr
 	opXor
 	opNot
 )
 
-type opKey struct {
-	op   opKind
-	a, b Node
+// opEntry is one slot of the direct-mapped operation cache. a == 0 marks an
+// empty slot: the False terminal never reaches the cache (every operation
+// with a terminal operand short-circuits first).
+type opEntry struct {
+	op     opKind
+	a, b   Node
+	result Node
 }
+
+const (
+	initialTableSlots = 1 << 9  // unique table, grows at 75% load
+	initialOpSlots    = 1 << 10 // op cache, grows with the unique table
+	maxOpSlots        = 1 << 18 // op cache stops growing here (4 MiB)
+)
 
 // Factory allocates and owns BDD nodes. It is not safe for concurrent use.
 type Factory struct {
-	nodes    []node
-	unique   map[node]Node
-	cache    map[opKey]Node
+	nodes []node
+
+	// Open-addressed unique table: power-of-two slots holding node ids,
+	// linear probing, 0 = empty. Nodes are never deleted, so no tombstones.
+	table []Node
+	mask  uint32
+
+	// Direct-mapped lossy op cache.
+	ops    []opEntry
+	opMask uint32
+
 	names    []string       // level -> variable name
 	varIndex map[string]int // name -> level
+
+	// Epoch-stamped scratch buffers backing Restrict/SatCount memoization:
+	// stamp[id] == epoch marks a valid entry, so starting a new traversal
+	// is O(1) instead of allocating a map.
+	stamp []uint32
+	epoch uint32
+	memoN []Node
+	memoF []float64
+
+	opHits, opMisses, opEvictions int64
 }
 
 // NewFactory returns an empty factory containing only the two terminals.
 func NewFactory() *Factory {
 	f := &Factory{
-		unique:   make(map[node]Node),
-		cache:    make(map[opKey]Node),
+		table:    make([]Node, initialTableSlots),
+		mask:     initialTableSlots - 1,
+		ops:      make([]opEntry, initialOpSlots),
+		opMask:   initialOpSlots - 1,
 		varIndex: make(map[string]int),
 	}
 	// Terminal slots. Their children are self-loops and never traversed.
@@ -123,20 +161,104 @@ func (f *Factory) At(n Node) (name string, lo, hi Node, internal bool) {
 	return f.names[nd.level], nd.lo, nd.hi, true
 }
 
+// mix32 is a finalizing 32-bit hash (Prospector's low-bias constants).
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+func hashTriple(a, b, c uint32) uint32 {
+	h := a*0x9e3779b1 + b*0x85ebca6b + c*0xc2b2ae35
+	return mix32(h)
+}
+
 // mk returns the canonical node (level, lo, hi), applying the reduction
-// rules: identical children collapse, duplicates are shared.
+// rules: identical children collapse, duplicates are shared via the
+// open-addressed unique table.
 func (f *Factory) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	key := node{level: level, lo: lo, hi: hi}
-	if id, ok := f.unique[key]; ok {
-		return id
+	h := hashTriple(uint32(level), uint32(lo), uint32(hi)) & f.mask
+	for {
+		id := f.table[h]
+		if id == 0 {
+			break
+		}
+		nd := &f.nodes[id]
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			return id
+		}
+		h = (h + 1) & f.mask
 	}
 	id := Node(len(f.nodes))
-	f.nodes = append(f.nodes, key)
-	f.unique[key] = id
+	f.nodes = append(f.nodes, node{level: level, lo: lo, hi: hi})
+	f.table[h] = id
+	// Grow at 75% load. len(nodes) includes the two terminals, which are
+	// not stored; the off-by-two is irrelevant at this granularity.
+	if uint32(len(f.nodes))*4 > (f.mask+1)*3 {
+		f.growTable()
+	}
 	return id
+}
+
+// growTable doubles the unique table and reinserts every internal node. The
+// op cache grows alongside it (BuDDy sizes its caches relative to the node
+// table) until maxOpSlots.
+func (f *Factory) growTable() {
+	slots := (f.mask + 1) * 2
+	f.table = make([]Node, slots)
+	f.mask = slots - 1
+	for id := 2; id < len(f.nodes); id++ {
+		nd := &f.nodes[id]
+		h := hashTriple(uint32(nd.level), uint32(nd.lo), uint32(nd.hi)) & f.mask
+		for f.table[h] != 0 {
+			h = (h + 1) & f.mask
+		}
+		f.table[h] = Node(id)
+	}
+	if opSlots := f.opMask + 1; opSlots < slots && opSlots < maxOpSlots {
+		old := f.ops
+		f.ops = make([]opEntry, opSlots*2)
+		f.opMask = opSlots*2 - 1
+		// Rehash live entries: the cache is lossy, but discarding the warm
+		// set exactly when the workload is growing would hurt most.
+		for i := range old {
+			if old[i].a != 0 {
+				f.ops[opHash(old[i].op, old[i].a, old[i].b)&f.opMask] = old[i]
+			}
+		}
+	}
+}
+
+func opHash(op opKind, a, b Node) uint32 {
+	return hashTriple(uint32(op), uint32(a), uint32(b))
+}
+
+// cacheGet consults the direct-mapped op cache.
+func (f *Factory) cacheGet(op opKind, a, b Node) (Node, bool) {
+	e := &f.ops[opHash(op, a, b)&f.opMask]
+	if e.a == a && e.b == b && e.op == op {
+		f.opHits++
+		return e.result, true
+	}
+	f.opMisses++
+	return 0, false
+}
+
+// cachePut stores a result, overwriting whatever occupied the slot (lossy
+// direct-mapped replacement). The index is recomputed because recursive
+// calls may have grown the cache since the lookup.
+func (f *Factory) cachePut(op opKind, a, b, r Node) {
+	e := &f.ops[opHash(op, a, b)&f.opMask]
+	if e.a != 0 {
+		f.opEvictions++
+	}
+	*e = opEntry{op: op, a: a, b: b, result: r}
 }
 
 // Not returns the negation of a.
@@ -147,13 +269,12 @@ func (f *Factory) Not(a Node) Node {
 	case True:
 		return False
 	}
-	key := opKey{op: opNot, a: a}
-	if r, ok := f.cache[key]; ok {
+	if r, ok := f.cacheGet(opNot, a, 0); ok {
 		return r
 	}
 	n := f.nodes[a]
 	r := f.mk(n.level, f.Not(n.lo), f.Not(n.hi))
-	f.cache[key] = r
+	f.cachePut(opNot, a, 0, r)
 	return r
 }
 
@@ -177,7 +298,8 @@ func (f *Factory) Equiv(a, b Node) Node { return f.Not(f.Xor(a, b)) }
 func (f *Factory) AndNot(a, b Node) Node { return f.And(a, f.Not(b)) }
 
 func (f *Factory) apply(op opKind, a, b Node) Node {
-	// Terminal cases.
+	// Terminal cases. After these screens both operands are internal nodes
+	// (ids >= 2), which cacheGet/cachePut rely on.
 	switch op {
 	case opAnd:
 		if a == False || b == False {
@@ -226,8 +348,7 @@ func (f *Factory) apply(op opKind, a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	key := opKey{op: op, a: a, b: b}
-	if r, ok := f.cache[key]; ok {
+	if r, ok := f.cacheGet(op, a, b); ok {
 		return r
 	}
 	na, nb := f.nodes[a], f.nodes[b]
@@ -242,13 +363,31 @@ func (f *Factory) apply(op opKind, a, b Node) Node {
 		lvl, alo, ahi, blo, bhi = nb.level, a, a, nb.lo, nb.hi
 	}
 	r := f.mk(lvl, f.apply(op, alo, blo), f.apply(op, ahi, bhi))
-	f.cache[key] = r
+	f.cachePut(op, a, b, r)
 	return r
 }
 
 // Ite returns if-then-else: (c ∧ t) ∨ (¬c ∧ e).
 func (f *Factory) Ite(c, t, e Node) Node {
 	return f.Or(f.And(c, t), f.And(f.Not(c), e))
+}
+
+// beginScratch starts a new epoch over the stamped memo buffers, sizing
+// them to the current node count. O(1) except on first use, growth, and
+// epoch wrap-around.
+func (f *Factory) beginScratch() {
+	f.epoch++
+	if f.epoch == 0 { // wrapped: stale stamps could alias; reset
+		for i := range f.stamp {
+			f.stamp[i] = 0
+		}
+		f.epoch = 1
+	}
+	if len(f.stamp) < len(f.nodes) {
+		f.stamp = append(f.stamp, make([]uint32, len(f.nodes)-len(f.stamp))...)
+		f.memoN = append(f.memoN, make([]Node, len(f.nodes)-len(f.memoN))...)
+		f.memoF = append(f.memoF, make([]float64, len(f.nodes)-len(f.memoF))...)
+	}
 }
 
 // Restrict returns a with the named variable fixed to val. If the variable
@@ -258,16 +397,20 @@ func (f *Factory) Restrict(a Node, name string, val bool) Node {
 	if !ok {
 		return a
 	}
-	return f.restrict(a, int32(lvl), val, make(map[Node]Node))
+	f.beginScratch()
+	return f.restrict(a, int32(lvl), val)
 }
 
-func (f *Factory) restrict(a Node, lvl int32, val bool, memo map[Node]Node) Node {
+// restrict memoizes on the scratch buffers; memo keys are ids of nodes
+// reachable from the original a, all of which predate beginScratch, so the
+// stamp buffer is never indexed out of range even though mk may allocate.
+func (f *Factory) restrict(a Node, lvl int32, val bool) Node {
 	n := f.nodes[a]
 	if n.level > lvl {
 		return a // terminal or below the variable in the order
 	}
-	if r, ok := memo[a]; ok {
-		return r
+	if f.stamp[a] == f.epoch {
+		return f.memoN[a]
 	}
 	var r Node
 	if n.level == lvl {
@@ -277,9 +420,10 @@ func (f *Factory) restrict(a Node, lvl int32, val bool, memo map[Node]Node) Node
 			r = n.lo
 		}
 	} else {
-		r = f.mk(n.level, f.restrict(n.lo, lvl, val, memo), f.restrict(n.hi, lvl, val, memo))
+		r = f.mk(n.level, f.restrict(n.lo, lvl, val), f.restrict(n.hi, lvl, val))
 	}
-	memo[a] = r
+	f.stamp[a] = f.epoch
+	f.memoN[a] = r
 	return r
 }
 
@@ -297,9 +441,12 @@ func (f *Factory) IsTrue(a Node) bool { return a == True }
 // SatCount returns the number of satisfying assignments of a over all
 // variables created so far, as a float64 (counts overflow int64 quickly).
 func (f *Factory) SatCount(a Node) float64 {
-	memo := make(map[Node]float64)
-	return f.satCount(a, memo) * math.Pow(2, float64(f.levelOf(a)))
+	f.beginScratch()
+	return f.satCount(a) * exp2(f.levelOf(a))
 }
+
+// exp2 returns 2^k exactly (float64 arithmetic; k is a small level delta).
+func exp2(k int32) float64 { return math.Ldexp(1, int(k)) }
 
 func (f *Factory) levelOf(a Node) int32 {
 	lvl := f.nodes[a].level
@@ -310,22 +457,24 @@ func (f *Factory) levelOf(a Node) int32 {
 }
 
 // satCount returns satisfying assignments over variables at or below a's
-// level; the caller scales for skipped variables above.
-func (f *Factory) satCount(a Node, memo map[Node]float64) float64 {
+// level; the caller scales for skipped variables above. Memoized on the
+// epoch-stamped scratch buffers.
+func (f *Factory) satCount(a Node) float64 {
 	if a == False {
 		return 0
 	}
 	if a == True {
 		return 1
 	}
-	if c, ok := memo[a]; ok {
-		return c
+	if f.stamp[a] == f.epoch {
+		return f.memoF[a]
 	}
 	n := f.nodes[a]
-	lo := f.satCount(n.lo, memo) * math.Pow(2, float64(f.levelOf(n.lo)-n.level-1))
-	hi := f.satCount(n.hi, memo) * math.Pow(2, float64(f.levelOf(n.hi)-n.level-1))
+	lo := f.satCount(n.lo) * exp2(f.levelOf(n.lo)-n.level-1)
+	hi := f.satCount(n.hi) * exp2(f.levelOf(n.hi)-n.level-1)
 	c := lo + hi
-	memo[a] = c
+	f.stamp[a] = f.epoch
+	f.memoF[a] = c
 	return c
 }
 
@@ -448,21 +597,41 @@ func (f *Factory) Size(a Node) int {
 	return len(visited)
 }
 
-// CacheStats describes the size of the factory's internal tables.
+// CacheStats describes the size and effectiveness of the factory's internal
+// tables.
 type CacheStats struct {
-	Nodes   int
-	Unique  int
-	OpCache int
-	Vars    int
+	Nodes  int // allocated nodes, terminals included
+	Unique int // internal (hash-consed) nodes
+	Vars   int
+
+	TableSlots int // unique-table capacity; load factor = Unique/TableSlots
+
+	OpCache     int   // live op-cache entries
+	OpSlots     int   // op-cache capacity
+	OpHits      int64 // op-cache hits since creation
+	OpMisses    int64
+	OpEvictions int64 // live entries overwritten (direct-mapped collisions)
 }
 
-// Stats returns current table sizes, useful when tuning workloads.
+// Stats returns current table sizes and cache counters, useful when tuning
+// workloads.
 func (f *Factory) Stats() CacheStats {
+	live := 0
+	for i := range f.ops {
+		if f.ops[i].a != 0 {
+			live++
+		}
+	}
 	return CacheStats{
-		Nodes:   len(f.nodes),
-		Unique:  len(f.unique),
-		OpCache: len(f.cache),
-		Vars:    len(f.names),
+		Nodes:       len(f.nodes),
+		Unique:      len(f.nodes) - 2,
+		Vars:        len(f.names),
+		TableSlots:  int(f.mask + 1),
+		OpCache:     live,
+		OpSlots:     int(f.opMask + 1),
+		OpHits:      f.opHits,
+		OpMisses:    f.opMisses,
+		OpEvictions: f.opEvictions,
 	}
 }
 

@@ -433,6 +433,7 @@ func varName(i int) string {
 }
 
 func BenchmarkAndChain(b *testing.B) {
+	b.ReportAllocs()
 	f := NewFactory()
 	vars := make([]Node, 64)
 	for i := range vars {
@@ -448,6 +449,7 @@ func BenchmarkAndChain(b *testing.B) {
 }
 
 func BenchmarkMixedOps(b *testing.B) {
+	b.ReportAllocs()
 	f := NewFactory()
 	vars := make([]Node, 32)
 	for i := range vars {

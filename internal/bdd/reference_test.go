@@ -1,0 +1,410 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refFactory is a deliberately naive, map-based ROBDD implementation — the
+// representation this package used before the open-addressed unique table
+// and the lossy direct-mapped op cache. It is the oracle for the randomized
+// differential tests below: the production Factory must be observationally
+// equivalent (same canonical structure, same counts) on arbitrary operation
+// sequences, since a lossy cache or probing bug would silently produce
+// wrong — but well-formed — diagrams.
+type refFactory struct {
+	nodes    []node
+	unique   map[node]Node
+	cache    map[refOpKey]Node
+	names    []string
+	varIndex map[string]int
+}
+
+type refOpKey struct {
+	op   opKind
+	a, b Node
+}
+
+func newRefFactory() *refFactory {
+	f := &refFactory{
+		unique:   make(map[node]Node),
+		cache:    make(map[refOpKey]Node),
+		varIndex: make(map[string]int),
+	}
+	f.nodes = append(f.nodes,
+		node{level: terminalLevel, lo: False, hi: False},
+		node{level: terminalLevel, lo: True, hi: True},
+	)
+	return f
+}
+
+func (f *refFactory) variable(name string) Node {
+	lvl, ok := f.varIndex[name]
+	if !ok {
+		lvl = len(f.names)
+		f.names = append(f.names, name)
+		f.varIndex[name] = lvl
+	}
+	return f.mk(int32(lvl), False, True)
+}
+
+func (f *refFactory) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if id, ok := f.unique[key]; ok {
+		return id
+	}
+	id := Node(len(f.nodes))
+	f.nodes = append(f.nodes, key)
+	f.unique[key] = id
+	return id
+}
+
+func (f *refFactory) not(a Node) Node {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	key := refOpKey{op: opNot, a: a}
+	if r, ok := f.cache[key]; ok {
+		return r
+	}
+	n := f.nodes[a]
+	r := f.mk(n.level, f.not(n.lo), f.not(n.hi))
+	f.cache[key] = r
+	return r
+}
+
+func (f *refFactory) apply(op opKind, a, b Node) Node {
+	switch op {
+	case opAnd:
+		if a == False || b == False {
+			return False
+		}
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == True || b == True {
+			return True
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXor:
+		if a == b {
+			return False
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == True {
+			return f.not(b)
+		}
+		if b == True {
+			return f.not(a)
+		}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := refOpKey{op: op, a: a, b: b}
+	if r, ok := f.cache[key]; ok {
+		return r
+	}
+	na, nb := f.nodes[a], f.nodes[b]
+	var lvl int32
+	var alo, ahi, blo, bhi Node
+	switch {
+	case na.level == nb.level:
+		lvl, alo, ahi, blo, bhi = na.level, na.lo, na.hi, nb.lo, nb.hi
+	case na.level < nb.level:
+		lvl, alo, ahi, blo, bhi = na.level, na.lo, na.hi, b, b
+	default:
+		lvl, alo, ahi, blo, bhi = nb.level, a, a, nb.lo, nb.hi
+	}
+	r := f.mk(lvl, f.apply(op, alo, blo), f.apply(op, ahi, bhi))
+	f.cache[key] = r
+	return r
+}
+
+func (f *refFactory) restrict(a Node, lvl int32, val bool, memo map[Node]Node) Node {
+	n := f.nodes[a]
+	if n.level > lvl {
+		return a
+	}
+	if r, ok := memo[a]; ok {
+		return r
+	}
+	var r Node
+	if n.level == lvl {
+		if val {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	} else {
+		r = f.mk(n.level, f.restrict(n.lo, lvl, val, memo), f.restrict(n.hi, lvl, val, memo))
+	}
+	memo[a] = r
+	return r
+}
+
+func (f *refFactory) satCount(a Node, memo map[Node]float64) float64 {
+	if a == False {
+		return 0
+	}
+	if a == True {
+		return 1
+	}
+	if c, ok := memo[a]; ok {
+		return c
+	}
+	lv := func(n Node) int32 {
+		l := f.nodes[n].level
+		if l == terminalLevel {
+			return int32(len(f.names))
+		}
+		return l
+	}
+	n := f.nodes[a]
+	lo := f.satCount(n.lo, memo) * math.Pow(2, float64(lv(n.lo)-n.level-1))
+	hi := f.satCount(n.hi, memo) * math.Pow(2, float64(lv(n.hi)-n.level-1))
+	c := lo + hi
+	memo[a] = c
+	return c
+}
+
+func (f *refFactory) fullSatCount(a Node) float64 {
+	lv := func(n Node) int32 {
+		l := f.nodes[n].level
+		if l == terminalLevel {
+			return int32(len(f.names))
+		}
+		return l
+	}
+	return f.satCount(a, make(map[Node]float64)) * math.Pow(2, float64(lv(a)))
+}
+
+// refOp mirrors one randomized operation applied to both factories.
+const (
+	refVar = iota
+	refAnd
+	refOr
+	refXor
+	refNot
+	refImplies
+	refEquiv
+	refAndNot
+	refIte
+	refRestrict
+	refExists
+	refOpCount
+)
+
+// TestDifferentialAgainstReference drives long random operation sequences
+// through the production Factory and the naive reference factory in
+// lockstep, maintaining parallel handle lists. After every operation it
+// checks:
+//
+//   - canonicity transfer: two handles are identical in the production
+//     factory iff they are identical in the reference (BDD canonicity means
+//     structural identity IS semantic equality, so this is observational
+//     equivalence over all boolean functions built so far);
+//   - the rendered sum-of-products form matches (same reduced structure);
+//   - SatCount agrees (also exercising Ldexp vs math.Pow).
+func TestDifferentialAgainstReference(t *testing.T) {
+	vars := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		f := NewFactory()
+		rf := newRefFactory()
+		got := []Node{False, True}
+		want := []Node{False, True}
+		pick := func() int { return r.Intn(len(got)) }
+		for step := 0; step < 400; step++ {
+			var g, w Node
+			switch r.Intn(refOpCount) {
+			case refVar:
+				name := vars[r.Intn(len(vars))]
+				g, w = f.Var(name), rf.variable(name)
+			case refAnd:
+				i, j := pick(), pick()
+				g, w = f.And(got[i], got[j]), rf.apply(opAnd, want[i], want[j])
+			case refOr:
+				i, j := pick(), pick()
+				g, w = f.Or(got[i], got[j]), rf.apply(opOr, want[i], want[j])
+			case refXor:
+				i, j := pick(), pick()
+				g, w = f.Xor(got[i], got[j]), rf.apply(opXor, want[i], want[j])
+			case refNot:
+				i := pick()
+				g, w = f.Not(got[i]), rf.not(want[i])
+			case refImplies:
+				i, j := pick(), pick()
+				g, w = f.Implies(got[i], got[j]), rf.apply(opOr, rf.not(want[i]), want[j])
+			case refEquiv:
+				i, j := pick(), pick()
+				g, w = f.Equiv(got[i], got[j]), rf.not(rf.apply(opXor, want[i], want[j]))
+			case refAndNot:
+				i, j := pick(), pick()
+				g, w = f.AndNot(got[i], got[j]), rf.apply(opAnd, want[i], rf.not(want[j]))
+			case refIte:
+				i, j, k := pick(), pick(), pick()
+				g = f.Ite(got[i], got[j], got[k])
+				w = rf.apply(opOr, rf.apply(opAnd, want[i], want[j]),
+					rf.apply(opAnd, rf.not(want[i]), want[k]))
+			case refRestrict:
+				i := pick()
+				name := vars[r.Intn(len(vars))]
+				val := r.Intn(2) == 0
+				g = f.Restrict(got[i], name, val)
+				w = want[i]
+				if lvl, ok := rf.varIndex[name]; ok {
+					w = rf.restrict(want[i], int32(lvl), val, make(map[Node]Node))
+				}
+			case refExists:
+				i := pick()
+				name := vars[r.Intn(len(vars))]
+				g = f.Exists(got[i], name)
+				w = want[i]
+				if lvl, ok := rf.varIndex[name]; ok {
+					lo := rf.restrict(want[i], int32(lvl), false, make(map[Node]Node))
+					hi := rf.restrict(want[i], int32(lvl), true, make(map[Node]Node))
+					w = rf.apply(opOr, lo, hi)
+				}
+			}
+			got = append(got, g)
+			want = append(want, w)
+
+			// Canonicity must transfer: identity in one factory iff identity
+			// in the other, against every handle built so far.
+			for i := range got {
+				if (got[i] == g) != (want[i] == w) {
+					t.Fatalf("trial %d step %d: canonicity divergence vs handle %d:\n new: %s\n ref: %s",
+						trial, step, i, f.String(g), refString(rf, w))
+				}
+			}
+			if gs, ws := f.String(g), refString(rf, w); gs != ws {
+				t.Fatalf("trial %d step %d: structure divergence:\n new: %s\n ref: %s",
+					trial, step, gs, ws)
+			}
+		}
+		// SatCount spot-check over the surviving handles (Ldexp vs Pow).
+		for i := range got {
+			gc, wc := f.SatCount(got[i]), rf.fullSatCount(want[i])
+			// Both factories may have seen Var() at different times, but the
+			// lockstep protocol creates variables identically, so the counts
+			// are over the same variable sets and must match exactly.
+			if gc != wc {
+				t.Fatalf("trial %d: SatCount(handle %d) = %g, reference %g", trial, i, gc, wc)
+			}
+		}
+		// The two node stores must be structurally identical: same ids,
+		// same (level, lo, hi) triples, in the same allocation order.
+		if len(f.nodes) != len(rf.nodes) {
+			t.Fatalf("trial %d: node store sizes differ: %d vs %d", trial, len(f.nodes), len(rf.nodes))
+		}
+		for id := range f.nodes {
+			if f.nodes[id] != rf.nodes[id] {
+				t.Fatalf("trial %d: node %d differs: %+v vs %+v", trial, id, f.nodes[id], rf.nodes[id])
+			}
+		}
+	}
+}
+
+// refString renders the reference diagram exactly as Factory.String does, so
+// outputs are directly comparable.
+func refString(f *refFactory, a Node) string {
+	tmp := &Factory{nodes: f.nodes, names: f.names}
+	return tmp.String(a)
+}
+
+// TestOpCachePressure shrinks effective cache capacity by churning many
+// distinct operations, forcing direct-mapped evictions, then re-verifies
+// canonical identities: a lossy cache may only cost recomputation, never
+// correctness.
+func TestOpCachePressure(t *testing.T) {
+	f := NewFactory()
+	r := rand.New(rand.NewSource(99))
+	var nodes []Node
+	for i := 0; i < 24; i++ {
+		nodes = append(nodes, f.Var(varName(i)))
+	}
+	for step := 0; step < 20000; step++ {
+		i, j := r.Intn(len(nodes)), r.Intn(len(nodes))
+		var n Node
+		switch step % 3 {
+		case 0:
+			n = f.And(nodes[i], nodes[j])
+		case 1:
+			n = f.Or(nodes[i], nodes[j])
+		default:
+			n = f.Not(nodes[i])
+		}
+		nodes = append(nodes, n)
+		if len(nodes) > 512 {
+			nodes = nodes[len(nodes)-512:]
+		}
+	}
+	st := f.Stats()
+	if st.OpEvictions == 0 {
+		t.Fatalf("workload did not pressure the op cache: %+v", st)
+	}
+	// Canonical identities must hold regardless of cache state.
+	for i := 0; i < 200; i++ {
+		a, b := nodes[r.Intn(len(nodes))], nodes[r.Intn(len(nodes))]
+		if f.And(a, b) != f.And(b, a) {
+			t.Fatal("And not commutative under cache pressure")
+		}
+		if f.Not(f.Not(a)) != a {
+			t.Fatal("double negation broken under cache pressure")
+		}
+		if f.Or(a, f.Not(a)) != True {
+			t.Fatal("excluded middle broken under cache pressure")
+		}
+	}
+}
+
+// TestUniqueTableGrowth crosses several growth thresholds and verifies
+// hash-consing sharing survives each rehash.
+func TestUniqueTableGrowth(t *testing.T) {
+	f := NewFactory()
+	var acc Node = True
+	var chain []Node
+	for i := 0; i < 2000; i++ {
+		acc = f.And(acc, f.Not(f.Var(varName(i))))
+		chain = append(chain, acc)
+	}
+	if f.Stats().TableSlots <= initialTableSlots {
+		t.Fatalf("table never grew: %+v", f.Stats())
+	}
+	// Rebuilding any prefix must return the identical node.
+	acc = True
+	for i := 0; i < 2000; i++ {
+		acc = f.And(acc, f.Not(f.Var(varName(i))))
+		if acc != chain[i] {
+			t.Fatalf("prefix %d lost canonicity after growth", i)
+		}
+	}
+}

@@ -33,6 +33,18 @@ type SatStats struct {
 	GaveUps      int   // searches that hit the budget and used the oracle
 }
 
+// HotStats counts presence-condition operations and how many were resolved
+// by the simplification layer without touching the backing representation
+// (BDD apply / SAT expression build). The parser's guard conjunctions are
+// dominated by operations against True, False, and an operand itself, so
+// the fast-path ratio is a direct read on how much BDD work the layer
+// short-circuits.
+type HotStats struct {
+	Ops       int64 // And/Or/Not/AndNot calls
+	FastPaths int64 // resolved by the simplification layer
+	VarHits   int64 // Var() calls served by the intern table
+}
+
 // Space creates and combines presence conditions. It is not safe for
 // concurrent use.
 type Space struct {
@@ -42,6 +54,12 @@ type Space struct {
 	// SAT mode configuration and accounting.
 	NaiveLimit int // clause cap before falling back to Tseitin; 0 = unlimited
 	Stats      SatStats
+	Hot        HotStats
+
+	// vars interns Var() results in both modes: hot guard variables are
+	// re-looked-up at every use site, and the cond-level table answers
+	// without touching the backend's name index or unique table.
+	vars map[string]Cond
 	// falseMemo caches SAT-mode feasibility verdicts per expression node.
 	// TypeChef memoizes feature-expression queries the same way; without it
 	// the repeated feasibility checks on long-lived conditions (macro-table
@@ -71,7 +89,7 @@ type binKey struct {
 
 // NewSpace returns a presence-condition space in the given mode.
 func NewSpace(mode Mode) *Space {
-	s := &Space{mode: mode, NaiveLimit: 1 << 10}
+	s := &Space{mode: mode, NaiveLimit: 1 << 10, vars: make(map[string]Cond)}
 	if mode == ModeBDD {
 		s.bf = bdd.NewFactory()
 	} else {
@@ -83,6 +101,33 @@ func NewSpace(mode Mode) *Space {
 		s.shadowMemo = make(map[*sat.Expr]bdd.Node)
 	}
 	return s
+}
+
+// isTrueC / isFalseC are the constant screens of the simplification layer:
+// identity checks in BDD mode, constant-node checks in SAT mode. They never
+// touch the solver.
+func (s *Space) isTrueC(a Cond) bool {
+	if s.mode == ModeBDD {
+		return a.n == bdd.True
+	}
+	return a.e != nil && a.e.Op == sat.OpConst && a.e.Value
+}
+
+func (s *Space) isFalseC(a Cond) bool {
+	if s.mode == ModeBDD {
+		return a.n == bdd.False
+	}
+	return a.e != nil && a.e.Op == sat.OpConst && !a.e.Value
+}
+
+// same reports representational identity — in BDD mode this is semantic
+// equality (canonicity); in SAT mode it is pointer identity of interned
+// expressions, a sound but incomplete equality.
+func (s *Space) same(a, b Cond) bool {
+	if s.mode == ModeBDD {
+		return a.n == b.n
+	}
+	return a.e == b.e
 }
 
 // Mode returns the space's representation mode.
@@ -116,20 +161,47 @@ func (s *Space) False() Cond {
 }
 
 // Var returns the condition for a single boolean configuration variable.
+// Results are interned per space, so hot guard variables resolve without
+// touching the backend.
 func (s *Space) Var(name string) Cond {
+	if c, ok := s.vars[name]; ok {
+		s.Hot.VarHits++
+		return c
+	}
+	var c Cond
 	if s.mode == ModeBDD {
-		return Cond{n: s.bf.Var(name)}
+		c = Cond{n: s.bf.Var(name)}
+	} else {
+		e := sat.Var(name)
+		s.varIntern[name] = e
+		c = Cond{e: e}
 	}
-	if e, ok := s.varIntern[name]; ok {
-		return Cond{e: e}
-	}
-	e := sat.Var(name)
-	s.varIntern[name] = e
-	return Cond{e: e}
+	s.vars[name] = c
+	return c
 }
 
-// And returns the conjunction a ∧ b.
+// And returns the conjunction a ∧ b. Operations against True, False, and an
+// operand itself short-circuit in the simplification layer before reaching
+// the BDD engine (or building a SAT expression).
 func (s *Space) And(a, b Cond) Cond {
+	s.Hot.Ops++
+	switch {
+	case s.isTrueC(a):
+		s.Hot.FastPaths++
+		return b
+	case s.isTrueC(b):
+		s.Hot.FastPaths++
+		return a
+	case s.isFalseC(a):
+		s.Hot.FastPaths++
+		return a
+	case s.isFalseC(b):
+		s.Hot.FastPaths++
+		return b
+	case s.same(a, b):
+		s.Hot.FastPaths++
+		return a
+	}
 	if s.mode == ModeBDD {
 		return Cond{n: s.bf.And(a.n, b.n)}
 	}
@@ -138,6 +210,24 @@ func (s *Space) And(a, b Cond) Cond {
 
 // Or returns the disjunction a ∨ b.
 func (s *Space) Or(a, b Cond) Cond {
+	s.Hot.Ops++
+	switch {
+	case s.isFalseC(a):
+		s.Hot.FastPaths++
+		return b
+	case s.isFalseC(b):
+		s.Hot.FastPaths++
+		return a
+	case s.isTrueC(a):
+		s.Hot.FastPaths++
+		return a
+	case s.isTrueC(b):
+		s.Hot.FastPaths++
+		return b
+	case s.same(a, b):
+		s.Hot.FastPaths++
+		return a
+	}
 	if s.mode == ModeBDD {
 		return Cond{n: s.bf.Or(a.n, b.n)}
 	}
@@ -146,6 +236,15 @@ func (s *Space) Or(a, b Cond) Cond {
 
 // Not returns the negation ¬a.
 func (s *Space) Not(a Cond) Cond {
+	s.Hot.Ops++
+	switch {
+	case s.isTrueC(a):
+		s.Hot.FastPaths++
+		return s.False()
+	case s.isFalseC(a):
+		s.Hot.FastPaths++
+		return s.True()
+	}
 	if s.mode == ModeBDD {
 		return Cond{n: s.bf.Not(a.n)}
 	}
@@ -171,7 +270,21 @@ func (s *Space) internBin(op sat.Op, a, b *sat.Expr, mk func(...*sat.Expr) *sat.
 
 // AndNot returns a ∧ ¬b, the trim operation used when later macro
 // definitions carve conditions out of earlier ones.
-func (s *Space) AndNot(a, b Cond) Cond { return s.And(a, s.Not(b)) }
+func (s *Space) AndNot(a, b Cond) Cond {
+	s.Hot.Ops++
+	switch {
+	case s.isFalseC(a), s.isTrueC(b):
+		s.Hot.FastPaths++
+		return s.False()
+	case s.isFalseC(b):
+		s.Hot.FastPaths++
+		return a
+	case s.same(a, b):
+		s.Hot.FastPaths++
+		return s.False()
+	}
+	return s.And(a, s.Not(b))
+}
 
 // IsFalse reports whether the condition is unsatisfiable — the feasibility
 // test at the heart of configuration-preserving processing. In ModeBDD this
@@ -259,13 +372,24 @@ func (s *Space) Equal(a, b Cond) bool {
 	return s.IsFalse(s.AndNot(a, b)) && s.IsFalse(s.AndNot(b, a))
 }
 
-// Implies reports whether a entails b.
+// Implies reports whether a entails b. Trivial entailments (a false, b
+// true, a identical to b) resolve without a feasibility query — in SAT mode
+// that skips a CNF conversion and solver run.
 func (s *Space) Implies(a, b Cond) bool {
+	if s.isFalseC(a) || s.isTrueC(b) || s.same(a, b) {
+		return true
+	}
 	return s.IsFalse(s.AndNot(a, b))
 }
 
 // Disjoint reports whether a ∧ b is unsatisfiable.
 func (s *Space) Disjoint(a, b Cond) bool {
+	if s.isFalseC(a) || s.isFalseC(b) {
+		return true
+	}
+	if s.same(a, b) {
+		return s.IsFalse(a)
+	}
 	return s.IsFalse(s.And(a, b))
 }
 

@@ -174,6 +174,7 @@ func TestStringRendering(t *testing.T) {
 }
 
 func BenchmarkIsFalseBDD(b *testing.B) {
+	b.ReportAllocs()
 	s := NewSpace(ModeBDD)
 	c := buildChain(s, 24)
 	b.ResetTimer()
@@ -183,6 +184,7 @@ func BenchmarkIsFalseBDD(b *testing.B) {
 }
 
 func BenchmarkIsFalseSAT(b *testing.B) {
+	b.ReportAllocs()
 	s := NewSpace(ModeSAT)
 	c := buildChain(s, 24)
 	b.ResetTimer()

@@ -1,0 +1,175 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+// hotProgram applies one encoded operation per byte-pair to a stack of
+// conditions, returning the final stack. Shared by the property test and
+// the fuzzer so both drive identical programs.
+func hotProgram(s *Space, prog []byte, varNames []string) []Cond {
+	stack := []Cond{s.True(), s.False()}
+	pick := func(b byte) Cond { return stack[int(b)%len(stack)] }
+	for i := 0; i+2 < len(prog); i += 3 {
+		op, x, y := prog[i], prog[i+1], prog[i+2]
+		var c Cond
+		switch op % 6 {
+		case 0:
+			c = s.Var(varNames[int(x)%len(varNames)])
+		case 1:
+			c = s.And(pick(x), pick(y))
+		case 2:
+			c = s.Or(pick(x), pick(y))
+		case 3:
+			c = s.Not(pick(x))
+		case 4:
+			c = s.AndNot(pick(x), pick(y))
+		default:
+			// Feasibility queries interleaved with construction, as the
+			// parser does; the result value feeds no condition, but the
+			// call exercises memo/fast-path interactions.
+			s.IsFalse(pick(x))
+			c = pick(y)
+		}
+		stack = append(stack, c)
+		if len(stack) > 64 {
+			stack = stack[len(stack)-64:]
+		}
+	}
+	return stack
+}
+
+// rawProgram replays the same program against the BDD factory directly,
+// bypassing the simplification layer, yielding the "un-interned" results.
+func rawProgram(f *bdd.Factory, prog []byte, varNames []string) []bdd.Node {
+	stack := []bdd.Node{bdd.True, bdd.False}
+	pick := func(b byte) bdd.Node { return stack[int(b)%len(stack)] }
+	for i := 0; i+2 < len(prog); i += 3 {
+		op, x, y := prog[i], prog[i+1], prog[i+2]
+		var n bdd.Node
+		switch op % 6 {
+		case 0:
+			n = f.Var(varNames[int(x)%len(varNames)])
+		case 1:
+			n = f.And(pick(x), pick(y))
+		case 2:
+			n = f.Or(pick(x), pick(y))
+		case 3:
+			n = f.Not(pick(x))
+		case 4:
+			n = f.AndNot(pick(x), pick(y))
+		default:
+			_ = pick(x) == bdd.False
+			n = pick(y)
+		}
+		stack = append(stack, n)
+		if len(stack) > 64 {
+			stack = stack[len(stack)-64:]
+		}
+	}
+	return stack
+}
+
+var hotVarNames = []string{"CONFIG_A", "CONFIG_B", "CONFIG_C", "CONFIG_D", "CONFIG_E", "CONFIG_F"}
+
+// checkHotProgram runs one program through the fast-path layer (both modes)
+// and the raw BDD factory and cross-checks all three:
+//
+//   - ModeBDD results must be node-identical to the raw factory's (the
+//     interned/fast-path result equals the un-interned one — canonicity
+//     makes this an exact, total check);
+//   - ModeSAT results must agree with ModeBDD on every assignment over the
+//     program's variables (sampled exhaustively: 2^6 = 64 assignments).
+func checkHotProgram(t *testing.T, prog []byte) {
+	t.Helper()
+	sb := NewSpace(ModeBDD)
+	ss := NewSpace(ModeSAT)
+	bddOut := hotProgram(sb, prog, hotVarNames)
+	satOut := hotProgram(ss, prog, hotVarNames)
+	raw := rawProgram(sb.BDD(), prog, hotVarNames)
+
+	if len(bddOut) != len(raw) || len(bddOut) != len(satOut) {
+		t.Fatalf("stack sizes diverged: %d bdd, %d raw, %d sat", len(bddOut), len(raw), len(satOut))
+	}
+	for i := range bddOut {
+		if bddOut[i].n != raw[i] {
+			t.Fatalf("stack[%d]: fast-path result %q != raw BDD result %q",
+				i, sb.String(bddOut[i]), sb.BDD().String(Cond{n: raw[i]}.n))
+		}
+	}
+	assign := make(map[string]bool, len(hotVarNames))
+	for bits := 0; bits < 1<<len(hotVarNames); bits++ {
+		for vi, name := range hotVarNames {
+			assign[name] = bits&(1<<vi) != 0
+		}
+		for i := range bddOut {
+			if sb.Eval(bddOut[i], assign) != ss.Eval(satOut[i], assign) {
+				t.Fatalf("stack[%d]: BDD and SAT modes disagree under %v\n bdd: %s\n sat: %s",
+					i, assign, sb.String(bddOut[i]), ss.String(satOut[i]))
+			}
+		}
+	}
+}
+
+// TestHotLayerEquivalence drives random operation programs through
+// checkHotProgram and additionally asserts the layer is actually firing.
+func TestHotLayerEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(2012))
+	for trial := 0; trial < 50; trial++ {
+		prog := make([]byte, 300)
+		r.Read(prog)
+		checkHotProgram(t, prog)
+	}
+	// The layer must be live: a True-guard conjunction chain is all fast
+	// paths and no BDD growth.
+	s := NewSpace(ModeBDD)
+	v := s.Var("CONFIG_X")
+	nodesBefore := s.BDD().NumNodes()
+	acc := s.True()
+	for i := 0; i < 100; i++ {
+		acc = s.And(acc, s.True())
+		acc = s.Or(acc, s.False())
+		acc = s.And(acc, acc)
+	}
+	acc = s.And(acc, v)
+	if got := s.BDD().NumNodes(); got != nodesBefore {
+		t.Errorf("trivial guard chain grew the BDD: %d -> %d nodes", nodesBefore, got)
+	}
+	if !s.Equal(acc, v) {
+		t.Errorf("guard chain result wrong: %s", s.String(acc))
+	}
+	if s.Hot.FastPaths == 0 || s.Hot.Ops < s.Hot.FastPaths {
+		t.Errorf("fast-path accounting broken: %+v", s.Hot)
+	}
+}
+
+// TestVarInterning asserts repeated Var lookups hit the intern table and
+// return identical conditions in both modes.
+func TestVarInterning(t *testing.T) {
+	for _, mode := range []Mode{ModeBDD, ModeSAT} {
+		s := NewSpace(mode)
+		a := s.Var("CONFIG_V")
+		b := s.Var("CONFIG_V")
+		if !s.same(a, b) {
+			t.Errorf("mode %v: Var not interned", mode)
+		}
+		if s.Hot.VarHits != 1 {
+			t.Errorf("mode %v: VarHits = %d, want 1", mode, s.Hot.VarHits)
+		}
+	}
+}
+
+// FuzzHotLayer is the fuzz entry over the same program encoding.
+func FuzzHotLayer(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 4, 0})
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 1, 2, 3, 2, 3, 4, 4, 4, 3, 5, 0, 1})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 600 {
+			prog = prog[:600]
+		}
+		checkHotProgram(t, prog)
+	})
+}

@@ -65,6 +65,12 @@ type Stats struct {
 	Shifts        int
 	Reduces       int
 	Tokens        int
+	// Hot-path instrumentation: follow-set memo effectiveness and subparser
+	// free-list reuse.
+	FollowHits      int
+	FollowMisses    int
+	SubparserAllocs int
+	SubparserReuses int
 }
 
 // Percentile returns the q-quantile (0..1) of the per-iteration subparser
@@ -130,10 +136,31 @@ type subparser struct {
 	heads  []head    // resolved heads, ordered by document position
 	stack  *stackNode
 	tab    *symtab.Table
-	ownTab bool // whether tab is exclusively ours (copy-on-write)
+	ownTab bool    // whether tab is exclusively ours (copy-on-write)
+	bkt    *bucket // merge bucket while queued
+	slot   int     // index in bkt.items while queued
+	hbuf   [1]head // inline storage for the dominant single-head case
 }
 
 func (p *subparser) resolved() bool { return p.heads != nil }
+
+// setSingleHead points p at one resolved head using the inline buffer.
+func (p *subparser) setSingleHead(h head) {
+	p.hbuf[0] = h
+	p.heads = p.hbuf[:1]
+	p.el = nil
+}
+
+// adoptHeads copies hs (which may be scratch storage — it is never
+// retained) into p, inline for a single head.
+func (p *subparser) adoptHeads(hs []head) {
+	if len(hs) == 1 {
+		p.setSingleHead(hs[0])
+		return
+	}
+	p.heads = append([]head(nil), hs...)
+	p.el = nil
+}
 
 func (p *subparser) ord() int {
 	if p.resolved() {
@@ -148,12 +175,16 @@ type Engine struct {
 	lang  *cgrammar.C
 	opts  Options
 
-	queue   pq
-	byPos   map[*element][]*subparser // merge candidates keyed by position
-	stats   Stats
-	diags   []Diagnostic
-	accepts []ast.Choice
-	killed  bool
+	queue      pq
+	byPos      map[*element]*bucket // merge candidates keyed by position
+	followMemo map[*element][]head  // condition-free follow-set templates
+	sc         *parseScratch
+	specSym    lalr.Symbol // cached "DeclarationSpecifiers" lookup
+	specOK     bool
+	stats      Stats
+	diags      []Diagnostic
+	accepts    []ast.Choice
+	killed     bool
 }
 
 // New returns an engine for the given condition space, language, and
@@ -162,32 +193,43 @@ func New(space *cond.Space, lang *cgrammar.C, opts Options) *Engine {
 	if opts.KillSwitch == 0 {
 		opts.KillSwitch = 16000
 	}
-	return &Engine{space: space, lang: lang, opts: opts}
+	e := &Engine{space: space, lang: lang, opts: opts}
+	e.specSym, e.specOK = lang.Grammar.Lookup("DeclarationSpecifiers")
+	return e
 }
 
 // Parse runs the FMLR algorithm (Algorithm 2) over a preprocessed unit.
 func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
+	e.acquireScratch()
+	defer e.releaseScratch()
 	first, ntokens := buildForest(segs, file)
-	e.queue = pq{less: e.less}
-	e.byPos = make(map[*element][]*subparser)
-	e.stats = Stats{SubparserHist: make(map[int]int), Tokens: ntokens}
+	e.queue = pq{items: e.sc.qbuf[:0], less: e.less}
+	e.byPos = e.sc.byPos
+	e.followMemo = e.sc.followMemo
+	e.stats = Stats{Tokens: ntokens}
 	e.diags = nil
 	e.accepts = nil
 	e.killed = false
 
-	p0 := &subparser{
-		c:      e.space.True(),
-		el:     first,
-		stack:  &stackNode{state: 0, sym: -1, depth: 0},
-		tab:    symtab.New(e.space),
-		ownTab: true,
-	}
+	p0 := e.newSub()
+	p0.c = e.space.True()
+	p0.el = first
+	p0.stack = e.pushNode(0, -1, nil, nil)
+	p0.tab = symtab.New(e.space)
+	p0.ownTab = true
 	e.insert(p0)
 
 	for e.queue.Len() > 0 {
 		e.stats.Iterations++
 		n := e.queue.Len()
-		e.stats.SubparserHist[n]++
+		// Histogram into a flat scratch counter; the map-shaped
+		// Stats.SubparserHist is materialized once after the loop.
+		if n >= len(e.sc.hist) {
+			grown := make([]int, n+64)
+			copy(grown, e.sc.hist)
+			e.sc.hist = grown
+		}
+		e.sc.hist[n]++
 		if n > e.stats.MaxSubparsers {
 			e.stats.MaxSubparsers = n
 		}
@@ -203,15 +245,36 @@ func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 		e.step(p)
 	}
 
+	e.stats.SubparserHist = make(map[int]int)
+	for n, count := range e.sc.hist {
+		if count != 0 {
+			e.stats.SubparserHist[n] = count
+		}
+	}
 	res := &Result{Stats: e.stats, Diags: e.diags, Killed: e.killed}
 	switch len(e.accepts) {
 	case 0:
 	case 1:
 		res.AST = e.accepts[0].Node
 	default:
-		res.AST = ast.NewChoice(e.accepts...)
+		res.AST = e.sc.ab.NewChoice(e.accepts...)
 	}
 	return res
+}
+
+// pushNode allocates a stack cell from the parse arena.
+func (e *Engine) pushNode(state int, sym lalr.Symbol, val *ast.Node, next *stackNode) *stackNode {
+	nd := e.sc.arena.alloc()
+	nd.state = state
+	nd.sym = sym
+	nd.val = val
+	nd.next = next
+	if next != nil {
+		nd.depth = next.depth + 1
+	} else {
+		nd.depth = 0
+	}
+	return nd
 }
 
 // pq is the subparser priority queue (a binary heap ordered by e.less).
@@ -286,31 +349,63 @@ func (p *subparser) posKey() *element {
 const mergeScanLimit = 64
 
 // insert adds p to the queue, merging it into an equivalent subparser when
-// possible (paper Figure 7's Merge).
+// possible (paper Figure 7's Merge). A merged p is recycled; the caller
+// must not touch it after insert returns.
 func (e *Engine) insert(p *subparser) {
 	key := p.posKey()
-	candidates := e.byPos[key]
-	if len(candidates) > mergeScanLimit {
-		candidates = candidates[len(candidates)-mergeScanLimit:]
+	b := e.byPos[key]
+	if b == nil {
+		b = e.sc.newBucket()
+		e.byPos[key] = b
 	}
-	for _, q := range candidates {
-		if merged := e.tryMerge(q, p); merged {
+	// Scan the most recent mergeScanLimit live candidates, oldest first,
+	// skipping unindex's tombstones.
+	start := len(b.items)
+	for i, live := len(b.items)-1, 0; i >= 0 && live < mergeScanLimit; i-- {
+		if b.items[i] != nil {
+			live++
+		}
+		start = i
+	}
+	for _, q := range b.items[start:] {
+		if q == nil {
+			continue
+		}
+		if e.tryMerge(q, p) {
 			e.stats.Merges++
+			e.freeSub(p)
 			return
 		}
 	}
 	heap.Push(&e.queue, p)
-	e.byPos[key] = append(e.byPos[key], p)
+	p.bkt = b
+	p.slot = len(b.items)
+	b.items = append(b.items, p)
 }
 
+// unindex removes a popped subparser from its merge bucket in O(1) by
+// tombstoning its recorded slot; buckets compact when tombstones dominate.
+// (The previous ordered-removal implementation was the single hottest
+// function in MAPR-mode profiles.)
 func (e *Engine) unindex(p *subparser) {
-	key := p.posKey()
-	list := e.byPos[key]
-	for i, q := range list {
-		if q == p {
-			e.byPos[key] = append(list[:i], list[i+1:]...)
-			return
+	b := p.bkt
+	if b == nil || p.slot >= len(b.items) || b.items[p.slot] != p {
+		return
+	}
+	p.bkt = nil
+	b.items[p.slot] = nil
+	b.dead++
+	if b.dead >= 16 && b.dead*2 > len(b.items) {
+		live := b.items[:0]
+		for _, q := range b.items {
+			if q != nil {
+				q.slot = len(live)
+				live = append(live, q)
+			}
 		}
+		clear(b.items[len(live):])
+		b.items = live
+		b.dead = 0
 	}
 }
 
@@ -319,31 +414,55 @@ func (e *Engine) unindex(p *subparser) {
 func (e *Engine) resolve(p *subparser) {
 	if p.el.tok != nil {
 		// Ordinary token: the follow-set is the singleton {(c, el)}.
-		e.resolveHeads(p, []head{{cond: p.c, el: p.el}})
+		e.sc.oneHead[0] = head{cond: p.c, el: p.el}
+		e.resolveHeads(p, e.sc.oneHead[:])
 		return
 	}
 	if !e.opts.FollowSet {
-		// MAPR: one subparser per branch, plus the implicit branch.
+		// MAPR: one subparser per branch, plus the implicit branch. p is
+		// recycled as the first forked subparser.
+		c0, el0, stack, tab := p.c, p.el, p.stack, p.tab
+		reused := false
+		take := func() *subparser {
+			if !reused {
+				reused = true
+				p.ownTab = false
+				return p
+			}
+			q := e.newSub()
+			q.stack = stack
+			q.tab = tab
+			return q
+		}
 		covered := e.space.False()
-		for _, br := range p.el.cnd.branches {
+		for _, br := range el0.cnd.branches {
 			covered = e.space.Or(covered, br.cond)
-			bc := e.space.And(p.c, br.cond)
+			bc := e.space.And(c0, br.cond)
 			if e.space.IsFalse(bc) {
 				continue
 			}
 			pos := br.first
 			if pos == nil {
-				pos = after(p.el)
+				pos = after(el0)
 			}
 			e.stats.Forks++
-			e.insert(&subparser{c: bc, el: pos, stack: p.stack, tab: p.tab})
+			q := take()
+			q.c = bc
+			q.el = pos
+			e.insert(q)
 		}
-		rest := e.space.And(p.c, e.space.Not(covered))
+		rest := e.space.And(c0, e.space.Not(covered))
 		if !e.space.IsFalse(rest) {
-			if nxt := after(p.el); nxt != nil {
+			if nxt := after(el0); nxt != nil {
 				e.stats.Forks++
-				e.insert(&subparser{c: rest, el: nxt, stack: p.stack, tab: p.tab})
+				q := take()
+				q.c = rest
+				q.el = nxt
+				e.insert(q)
 			}
+		}
+		if !reused {
+			e.freeSub(p)
 		}
 		return
 	}
@@ -354,27 +473,35 @@ func (e *Engine) resolve(p *subparser) {
 // resolveHeads classifies the heads' terminals (with typedef
 // reclassification) and forks per the optimization level.
 func (e *Engine) resolveHeads(p *subparser, T []head) {
-	var heads []head
+	sc := e.sc
+	sc.headsBuf = sc.headsBuf[:0]
 	for _, h := range T {
-		heads = append(heads, e.reclassify(p, h)...)
+		sc.headsBuf = e.reclassify(p, h, sc.headsBuf)
 	}
-	e.fork(p, heads)
+	e.fork(p, sc.headsBuf)
 }
 
 // reclassify applies the context plugin to one head: identifiers naming
 // types become TYPEDEFNAME terminals; ambiguously-defined names split into
 // both classifications, forcing a fork even without an explicit conditional
 // (paper §5.2).
-func (e *Engine) reclassify(p *subparser, h head) []head {
+// reclassify appends the head's classification(s) to dst and returns it;
+// appending into the caller's scratch keeps the per-token path free of the
+// single-element slices it used to allocate.
+func (e *Engine) reclassify(p *subparser, h head, dst []head) []head {
 	if h.reclassified {
-		return []head{h}
+		return append(dst, h)
 	}
 	if h.el.tok.Kind == token.EOF {
 		h.sym = e.lang.Grammar.EOF()
 		h.reclassified = true
-		return []head{h}
+		return append(dst, h)
 	}
-	sym, ok := e.lang.Classify(*h.el.tok)
+	if !h.el.clsSet {
+		h.el.cls, h.el.clsOK = e.lang.Classify(*h.el.tok)
+		h.el.clsSet = true
+	}
+	sym, ok := h.el.cls, h.el.clsOK
 	if !ok {
 		// Token invisible to the parser (e.g. __extension__): skip ahead.
 		// Treat as a reduce-less advance: reposition past the token.
@@ -384,17 +511,17 @@ func (e *Engine) reclassify(p *subparser, h head) []head {
 	h.sym = sym
 	h.reclassified = true
 	if sym != e.lang.Identifier {
-		return []head{h}
+		return append(dst, h)
 	}
 	cl := p.tab.Classify(h.el.tok.Text, h.cond)
 	tdFalse := e.space.IsFalse(cl.TypedefCond)
 	otherFalse := e.space.IsFalse(cl.OtherCond)
 	switch {
 	case tdFalse:
-		return []head{h}
+		return append(dst, h)
 	case otherFalse:
 		h.sym = e.lang.TypedefName
-		return []head{h}
+		return append(dst, h)
 	default:
 		// Ambiguously defined: both classifications are live.
 		e.stats.TypedefForks++
@@ -403,69 +530,113 @@ func (e *Engine) reclassify(p *subparser, h head) []head {
 		td.sym = e.lang.TypedefName
 		other := h
 		other.cond = cl.OtherCond
-		return []head{td, other}
+		return append(dst, td, other)
 	}
 }
 
 // fork creates subparsers for the heads per the optimization level (paper
-// Figure 7b) and inserts them into the queue.
+// Figure 7b) and inserts them into the queue. fork owns p: it is recycled
+// as the first emitted subparser (or freed when nothing is emitted). heads
+// may be scratch storage; emitted subparsers copy what they keep.
 func (e *Engine) fork(p *subparser, heads []head) {
 	if len(heads) == 0 {
+		e.freeSub(p)
 		return
 	}
 	if len(heads) == 1 {
-		q := &subparser{c: heads[0].cond, heads: heads, stack: p.stack, tab: p.tab, ownTab: p.ownTab}
-		e.insert(q)
+		// Single head: p carries on with its tab ownership intact.
+		p.c = heads[0].cond
+		p.adoptHeads(heads)
+		e.insert(p)
 		return
+	}
+	stack, tab := p.stack, p.tab
+	reused := false
+	take := func() *subparser {
+		if !reused {
+			// The emitted subparsers share tab, so none owns it.
+			reused = true
+			p.ownTab = false
+			return p
+		}
+		q := e.newSub()
+		q.stack = stack
+		q.tab = tab
+		return q
 	}
 	if !e.opts.LazyShifts && !e.opts.SharedReduces {
 		for _, h := range heads {
 			e.stats.Forks++
-			e.insert(&subparser{c: h.cond, heads: []head{h}, stack: p.stack, tab: p.tab})
+			q := take()
+			q.c = h.cond
+			q.setSingleHead(h)
+			e.insert(q)
 		}
 		return
 	}
-	var shiftGroup []head
-	reduceGroups := make(map[int][]head)
-	var singles []head
+	sc := e.sc
+	sc.shiftBuf = sc.shiftBuf[:0]
+	sc.singleBuf = sc.singleBuf[:0]
+	sc.prodBuf = sc.prodBuf[:0]
+	acts := e.lang.Table.Actions[stack.state]
 	for _, h := range heads {
-		act := e.lang.Table.Actions[p.stack.state][h.sym]
+		act := acts[h.sym]
 		switch {
 		case act.Kind == lalr.ActionShift && e.opts.LazyShifts:
-			shiftGroup = append(shiftGroup, h)
+			sc.shiftBuf = append(sc.shiftBuf, h)
 		case act.Kind == lalr.ActionReduce && e.opts.SharedReduces:
-			reduceGroups[act.Target] = append(reduceGroups[act.Target], h)
+			seen := false
+			for _, r := range sc.prodBuf {
+				if r == act.Target {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				sc.prodBuf = append(sc.prodBuf, act.Target)
+			}
 		case act.Kind == lalr.ActionError:
 			e.parseError(h)
 		default:
-			singles = append(singles, h)
+			sc.singleBuf = append(sc.singleBuf, h)
 		}
 	}
 	emit := func(hs []head) {
 		if len(hs) == 0 {
 			return
 		}
-		sort.SliceStable(hs, func(i, j int) bool { return hs[i].el.ord < hs[j].el.ord })
+		sortHeadsByOrd(hs)
 		c := hs[0].cond
 		for _, h := range hs[1:] {
 			c = e.space.Or(c, h.cond)
 		}
 		e.stats.Forks++
-		e.insert(&subparser{c: c, heads: hs, stack: p.stack, tab: p.tab})
+		q := take()
+		q.c = c
+		q.adoptHeads(hs)
+		e.insert(q)
 	}
-	emit(shiftGroup)
+	emit(sc.shiftBuf)
 	// Deterministic order over reduce groups.
-	prods := make([]int, 0, len(reduceGroups))
-	for r := range reduceGroups {
-		prods = append(prods, r)
+	sort.Ints(sc.prodBuf)
+	for _, r := range sc.prodBuf {
+		sc.groupBuf = sc.groupBuf[:0]
+		for _, h := range heads {
+			if act := acts[h.sym]; act.Kind == lalr.ActionReduce && act.Target == r {
+				sc.groupBuf = append(sc.groupBuf, h)
+			}
+		}
+		emit(sc.groupBuf)
 	}
-	sort.Ints(prods)
-	for _, r := range prods {
-		emit(reduceGroups[r])
-	}
-	for _, h := range singles {
+	for _, h := range sc.singleBuf {
 		e.stats.Forks++
-		e.insert(&subparser{c: h.cond, heads: []head{h}, stack: p.stack, tab: p.tab})
+		q := take()
+		q.c = h.cond
+		q.setSingleHead(h)
+		e.insert(q)
+	}
+	if !reused {
+		e.freeSub(p)
 	}
 }
 
@@ -478,16 +649,23 @@ func (e *Engine) step(p *subparser) {
 	case lalr.ActionShift:
 		if len(p.heads) > 1 {
 			// Fork off a single-headed subparser for the earliest head and
-			// shift it; the rest stay lazy.
+			// shift it; the rest stay lazy, carried on by p itself.
 			e.stats.Forks++
-			single := &subparser{c: h.cond, heads: []head{h}, stack: p.stack, tab: p.tab}
-			e.shift(single, h, act.Target)
+			single := e.newSub()
+			single.c = h.cond
+			single.setSingleHead(h)
+			single.stack = p.stack
+			single.tab = p.tab
 			rest := p.heads[1:]
 			c := rest[0].cond
 			for _, r := range rest[1:] {
 				c = e.space.Or(c, r.cond)
 			}
-			e.insert(&subparser{c: c, heads: rest, stack: p.stack, tab: p.tab})
+			p.c = c
+			p.heads = rest
+			p.ownTab = false
+			e.shift(single, h, act.Target)
+			e.insert(p)
 			return
 		}
 		e.shift(p, h, act.Target)
@@ -502,6 +680,7 @@ func (e *Engine) step(p *subparser) {
 	case lalr.ActionAccept:
 		e.accept(p, h)
 		// Remaining heads (if any) are impossible at EOF; drop them.
+		e.freeSub(p)
 	default:
 		e.parseError(h)
 		if len(p.heads) > 1 {
@@ -510,8 +689,13 @@ func (e *Engine) step(p *subparser) {
 			for _, r := range rest[1:] {
 				c = e.space.Or(c, r.cond)
 			}
-			e.insert(&subparser{c: c, heads: rest, stack: p.stack, tab: p.tab})
+			p.c = c
+			p.heads = rest
+			p.ownTab = false
+			e.insert(p)
+			return
 		}
+		e.freeSub(p)
 	}
 }
 
@@ -520,14 +704,16 @@ func (e *Engine) shift(p *subparser, h head, target int) {
 	e.stats.Shifts++
 	var val *ast.Node
 	if !e.lang.IsLayout(h.sym) {
-		val = h.el.leafNode()
+		val = h.el.leafNode(&e.sc.ab)
 	}
-	p.stack = &stackNode{state: target, sym: h.sym, val: val, next: p.stack, depth: p.stack.depth + 1}
+	p.stack = e.pushNode(target, h.sym, val, p.stack)
 	p.c = h.cond
 	p.heads = nil
 	p.el = after(h.el)
 	if p.el == nil {
-		return // EOF was shifted; accept happens via the table
+		// EOF was shifted; accept happens via the table.
+		e.freeSub(p)
+		return
 	}
 	e.insert(p)
 }
@@ -620,24 +806,26 @@ func (e *Engine) mergeStacks(q, p *subparser) (*stackNode, bool) {
 		a, b = a.next, b.next
 	}
 	// Second pass: rebuild the divergent prefix with choice values.
-	type frame struct{ a, b *stackNode }
-	frames := make([]frame, depth)
+	sc := e.sc
+	sc.frameA = sc.frameA[:0]
+	sc.frameB = sc.frameB[:0]
 	a, b = q.stack, p.stack
 	for i := 0; i < depth; i++ {
-		frames[i] = frame{a, b}
+		sc.frameA = append(sc.frameA, a)
+		sc.frameB = append(sc.frameB, b)
 		a, b = a.next, b.next
 	}
 	merged := a
 	for i := depth - 1; i >= 0; i-- {
-		f := frames[i]
-		val := f.a.val
-		if f.a.val != f.b.val && !sameLeaf(f.a.val, f.b.val) {
-			val = ast.NewChoice(
-				ast.Choice{Cond: q.c, Node: f.a.val},
-				ast.Choice{Cond: p.c, Node: f.b.val},
+		fa, fb := sc.frameA[i], sc.frameB[i]
+		val := fa.val
+		if fa.val != fb.val && !sameLeaf(fa.val, fb.val) {
+			val = e.sc.ab.NewChoice(
+				ast.Choice{Cond: q.c, Node: fa.val},
+				ast.Choice{Cond: p.c, Node: fb.val},
 			)
 		}
-		merged = &stackNode{state: f.a.state, sym: f.a.sym, val: val, next: merged, depth: merged.depth + 1}
+		merged = e.pushNode(fa.state, fa.sym, val, merged)
 	}
 	return merged, true
 }

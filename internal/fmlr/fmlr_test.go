@@ -471,6 +471,7 @@ int b;
 }
 
 func BenchmarkParsePlainFunction(b *testing.B) {
+	b.ReportAllocs()
 	s := cond.NewSpace(cond.ModeBDD)
 	var sb strings.Builder
 	for i := 0; i < 50; i++ {
@@ -492,6 +493,7 @@ func BenchmarkParsePlainFunction(b *testing.B) {
 }
 
 func BenchmarkParseFigure6(b *testing.B) {
+	b.ReportAllocs()
 	s := cond.NewSpace(cond.ModeBDD)
 	p := preprocessor.New(preprocessor.Options{Space: s, FS: preprocessor.MapFS(map[string]string{"main.c": figure6Source(18)})})
 	u, err := p.Preprocess("main.c")

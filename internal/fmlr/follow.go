@@ -1,8 +1,6 @@
 package fmlr
 
 import (
-	"sort"
-
 	"repro/internal/cond"
 	"repro/internal/lalr"
 )
@@ -24,7 +22,43 @@ type head struct {
 // from a, with its presence condition: the source code's *actual*
 // variability at this input position. Each token element appears exactly
 // once, and the result is ordered by document position.
+//
+// The computation is memoized per element: Algorithm 3 is linear in its
+// entry condition c — c only ever enters the result as a leading conjunct,
+// and the infeasibility checks merely prune terms that instantiation would
+// prune anyway — so follow(c, a) = {(c ∧ tᵢ, elᵢ) | c ∧ tᵢ ≠ false} where
+// the (tᵢ, elᵢ) template is follow(True, a), computed once per element.
+// Subparsers at the same position under different conditions (the common
+// case after a fork) then share one traversal.
+//
+// The returned slice is scratch storage, valid until the next follow call.
 func (e *Engine) follow(c cond.Cond, a *element) []head {
+	tmpl, ok := e.followMemo[a]
+	if !ok {
+		e.stats.FollowMisses++
+		tmpl = e.followCompute(e.space.True(), a)
+		e.followMemo[a] = tmpl
+	} else {
+		e.stats.FollowHits++
+	}
+	s := e.space
+	sc := e.sc
+	sc.followBuf = sc.followBuf[:0]
+	if s.IsTrue(c) {
+		return append(sc.followBuf, tmpl...)
+	}
+	for _, h := range tmpl {
+		hc := s.And(c, h.cond)
+		if s.IsFalse(hc) {
+			continue
+		}
+		sc.followBuf = append(sc.followBuf, head{cond: hc, el: h.el})
+	}
+	return sc.followBuf
+}
+
+// followCompute is the uncached Algorithm 3 traversal.
+func (e *Engine) followCompute(c cond.Cond, a *element) []head {
 	s := e.space
 	var T []head
 	addToken := func(c cond.Cond, el *element) {
@@ -89,6 +123,6 @@ func (e *Engine) follow(c cond.Cond, a *element) []head {
 		}
 		el = after(last)
 	}
-	sort.SliceStable(T, func(i, j int) bool { return T[i].el.ord < T[j].el.ord })
+	sortHeadsByOrd(T)
 	return T
 }

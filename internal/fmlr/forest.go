@@ -20,6 +20,7 @@ package fmlr
 import (
 	"repro/internal/ast"
 	"repro/internal/cond"
+	"repro/internal/lalr"
 	"repro/internal/preprocessor"
 	"repro/internal/token"
 )
@@ -37,12 +38,19 @@ type element struct {
 	leaf *ast.Node // cached AST leaf: subparsers shifting the same token
 	// share one node, so stacks that parsed the same region stay
 	// pointer-comparable for merging
+
+	// Cached context-free terminal classification (engine.reclassify):
+	// every subparser visiting this token needs it, and it never changes.
+	cls    lalr.Symbol
+	clsOK  bool
+	clsSet bool
 }
 
-// leafNode returns the element's shared AST leaf.
-func (e *element) leafNode() *ast.Node {
+// leafNode returns the element's shared AST leaf, built from the parse's
+// slab allocator on first use.
+func (e *element) leafNode(b *ast.Builder) *ast.Node {
 	if e.leaf == nil {
-		e.leaf = ast.Leaf(*e.tok)
+		e.leaf = b.Leaf(*e.tok)
 	}
 	return e.leaf
 }
@@ -63,6 +71,21 @@ type branchElem struct {
 // total token count.
 func buildForest(segs []preprocessor.Segment, file string) (first *element, tokens int) {
 	ord := 0
+	// Elements are slab-allocated: they are small, numerous, and all die
+	// with the parse, so one allocation covers elemSlabSize of them.
+	const elemSlabSize = 256
+	var slab []element
+	newElem := func(up *element) *element {
+		if len(slab) == 0 {
+			slab = make([]element, elemSlabSize)
+		}
+		el := &slab[0]
+		slab = slab[1:]
+		el.up = up
+		el.ord = ord
+		ord++
+		return el
+	}
 	var convert func(segs []preprocessor.Segment, up *element) *element
 	convert = func(segs []preprocessor.Segment, up *element) *element {
 		var head, tail *element
@@ -75,8 +98,7 @@ func buildForest(segs []preprocessor.Segment, file string) (first *element, toke
 			tail = e
 		}
 		for _, sg := range segs {
-			e := &element{up: up, ord: ord}
-			ord++
+			e := newElem(up)
 			if sg.IsToken() {
 				e.tok = sg.Tok
 				tokens++
@@ -96,10 +118,8 @@ func buildForest(segs []preprocessor.Segment, file string) (first *element, toke
 		return head
 	}
 	first = convert(segs, nil)
-	eof := &element{
-		tok: &token.Token{Kind: token.EOF, File: file},
-		ord: ord,
-	}
+	eof := newElem(nil)
+	eof.tok = &token.Token{Kind: token.EOF, File: file}
 	if first == nil {
 		return eof, tokens
 	}

@@ -1,0 +1,191 @@
+package fmlr
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// This file holds the allocation-recycling substrate under the parse loop:
+// a per-parse scratch block (subparser free-list, stack-node arena, merge
+// buckets, and the various transient head/value buffers) recycled across
+// parses and engines through a package-level sync.Pool. Everything here is
+// strictly parse-internal: a Result never references scratch-owned memory,
+// so releaseScratch can zero and recycle it all.
+
+// stackChunkSize is how many stack cells one arena chunk holds.
+const stackChunkSize = 256
+
+// stackArena bump-allocates stackNodes in chunks. Stacks are immutable
+// singly-linked lists that all die when the parse ends, so the arena resets
+// wholesale instead of freeing nodes individually.
+type stackArena struct {
+	chunks [][]stackNode
+	ci     int // current chunk
+	n      int // cells used in chunks[ci]
+}
+
+func (ar *stackArena) alloc() *stackNode {
+	if ar.ci == len(ar.chunks) {
+		ar.chunks = append(ar.chunks, make([]stackNode, stackChunkSize))
+	}
+	if ar.n == stackChunkSize {
+		ar.ci++
+		ar.n = 0
+		if ar.ci == len(ar.chunks) {
+			ar.chunks = append(ar.chunks, make([]stackNode, stackChunkSize))
+		}
+	}
+	nd := &ar.chunks[ar.ci][ar.n]
+	ar.n++
+	return nd
+}
+
+// reset zeroes every used cell (dropping AST and tail pointers) and rewinds
+// the arena, keeping the chunk memory for the next parse.
+func (ar *stackArena) reset() {
+	for i := 0; i <= ar.ci && i < len(ar.chunks); i++ {
+		clear(ar.chunks[i])
+	}
+	ar.ci = 0
+	ar.n = 0
+}
+
+// bucket holds the merge candidates at one forest position. Removal leaves
+// a nil tombstone at the subparser's recorded slot, making pop's unindex
+// O(1); buckets compact once tombstones dominate.
+type bucket struct {
+	items []*subparser
+	dead  int
+}
+
+// parseScratch is the recyclable per-parse state.
+type parseScratch struct {
+	spFree     []*subparser
+	arena      stackArena
+	byPos      map[*element]*bucket
+	bucketFree []*bucket
+	followMemo map[*element][]head
+	qbuf       []*subparser
+	hist       []int       // live-subparser histogram, indexed by count
+	ab         ast.Builder // slab allocator for the produced AST
+
+	oneHead   [1]head
+	headsBuf  []head // reclassified heads feeding fork
+	followBuf []head // instantiated follow-set
+	shiftBuf  []head // fork: lazy-shift group
+	groupBuf  []head // fork: one shared-reduce group
+	singleBuf []head // fork: ungrouped heads
+	prodBuf   []int  // fork: distinct reduce targets
+	valsBuf   []*ast.Node
+	frameA    []*stackNode // mergeStacks: divergent prefix of q
+	frameB    []*stackNode // mergeStacks: divergent prefix of p
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &parseScratch{
+			byPos:      make(map[*element]*bucket),
+			followMemo: make(map[*element][]head),
+		}
+	},
+}
+
+func (sc *parseScratch) newBucket() *bucket {
+	if n := len(sc.bucketFree); n > 0 {
+		b := sc.bucketFree[n-1]
+		sc.bucketFree = sc.bucketFree[:n-1]
+		return b
+	}
+	return &bucket{}
+}
+
+// clearHeads zeroes a head buffer's full capacity (heads hold element and
+// condition pointers that would otherwise outlive the parse) and returns it
+// empty.
+func clearHeads(hs []head) []head {
+	hs = hs[:cap(hs)]
+	clear(hs)
+	return hs[:0]
+}
+
+// acquireScratch attaches a pooled scratch block to the engine.
+func (e *Engine) acquireScratch() {
+	e.sc = scratchPool.Get().(*parseScratch)
+}
+
+// releaseScratch scrubs every reference the finished parse left behind
+// (queue entries survive a kill-switch abort, buckets hold tombstoned
+// subparsers, the arena holds AST pointers) and returns the block to the
+// pool.
+func (e *Engine) releaseScratch() {
+	sc := e.sc
+	items := e.queue.items[:cap(e.queue.items)]
+	clear(items)
+	sc.qbuf = items[:0]
+	for _, b := range sc.byPos {
+		clear(b.items[:cap(b.items)])
+		b.items = b.items[:0]
+		b.dead = 0
+		sc.bucketFree = append(sc.bucketFree, b)
+	}
+	clear(sc.byPos)
+	clear(sc.followMemo)
+	clear(sc.hist)
+	// Drop the builder's partial slabs: their used cells belong to the
+	// returned AST, so a pooled builder would pin them.
+	sc.ab = ast.Builder{}
+	sc.arena.reset()
+	sc.oneHead[0] = head{}
+	sc.headsBuf = clearHeads(sc.headsBuf)
+	sc.followBuf = clearHeads(sc.followBuf)
+	sc.shiftBuf = clearHeads(sc.shiftBuf)
+	sc.groupBuf = clearHeads(sc.groupBuf)
+	sc.singleBuf = clearHeads(sc.singleBuf)
+	clear(sc.valsBuf[:cap(sc.valsBuf)])
+	clear(sc.frameA[:cap(sc.frameA)])
+	clear(sc.frameB[:cap(sc.frameB)])
+	sc.frameA = sc.frameA[:0]
+	sc.frameB = sc.frameB[:0]
+	e.sc = nil
+	e.queue = pq{}
+	e.byPos = nil
+	e.followMemo = nil
+	scratchPool.Put(sc)
+}
+
+// newSub takes a subparser from the free-list, or allocates one.
+func (e *Engine) newSub() *subparser {
+	sc := e.sc
+	if n := len(sc.spFree); n > 0 {
+		p := sc.spFree[n-1]
+		sc.spFree = sc.spFree[:n-1]
+		e.stats.SubparserReuses++
+		return p
+	}
+	e.stats.SubparserAllocs++
+	return &subparser{}
+}
+
+// freeSub recycles a dead subparser. The struct is zeroed so recycled
+// entries pin no conditions, stacks, or symbol tables; the caller must not
+// touch p afterwards.
+func (e *Engine) freeSub(p *subparser) {
+	*p = subparser{}
+	e.sc.spFree = append(e.sc.spFree, p)
+}
+
+// sortHeadsByOrd is a stable insertion sort by document position. Head
+// lists are tiny (almost always < 8), where insertion sort beats
+// sort.SliceStable and allocates nothing.
+func sortHeadsByOrd(hs []head) {
+	for i := 1; i < len(hs); i++ {
+		h := hs[i]
+		j := i - 1
+		for j >= 0 && hs[j].el.ord > h.el.ord {
+			hs[j+1] = hs[j]
+			j--
+		}
+		hs[j+1] = h
+	}
+}

@@ -17,7 +17,12 @@ func (e *Engine) reduce(p *subparser, prodIdx int) {
 		info = e.lang.Info[prodIdx]
 	}
 	n := len(prod.Rhs)
-	vals := make([]*ast.Node, n)
+	// Scratch buffer: ast.New / ast.List copy the children they keep, so
+	// vals never escapes the reduction.
+	if cap(e.sc.valsBuf) < n {
+		e.sc.valsBuf = make([]*ast.Node, n+8)
+	}
+	vals := e.sc.valsBuf[:n]
 	st := p.stack
 	for i := n - 1; i >= 0; i-- {
 		vals[i] = st.val
@@ -43,12 +48,12 @@ func (e *Engine) reduce(p *subparser, prodIdx int) {
 		if count == 1 {
 			val = sole
 		} else {
-			val = ast.New(prod.Label, vals...)
+			val = e.sc.ab.New(prod.Label, vals...)
 		}
 	case cgrammar.AnnList:
-		val = ast.List(prod.Label, vals...)
+		val = e.sc.ab.List(prod.Label, vals...)
 	default:
-		val = ast.New(prod.Label, vals...)
+		val = e.sc.ab.New(prod.Label, vals...)
 	}
 
 	switch {
@@ -62,7 +67,7 @@ func (e *Engine) reduce(p *subparser, prodIdx int) {
 		e.registerInitDeclarator(p, val, st)
 	}
 
-	p.stack = &stackNode{state: next, sym: prod.Lhs, val: val, next: st, depth: st.depth + 1}
+	p.stack = e.pushNode(next, prod.Lhs, val, st)
 }
 
 func (e *Engine) ensureOwnTab(p *subparser) {
@@ -88,7 +93,7 @@ func (e *Engine) registerInitDeclarator(p *subparser, declarator *ast.Node, belo
 	}
 	base := p.c
 	// Locate the enclosing DeclarationSpecifiers value.
-	specSym, ok := e.lang.Grammar.Lookup("DeclarationSpecifiers")
+	specSym, ok := e.specSym, e.specOK
 	if !ok {
 		return
 	}

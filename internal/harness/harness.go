@@ -127,6 +127,15 @@ type UnitResult struct {
 	TotalTime   time.Duration
 	ChoiceNodes int
 	BDDNodes    int // presence-condition nodes allocated for this unit (BDD mode)
+
+	// Hot-path cache effectiveness for this unit (BDD mode only for the
+	// op-cache numbers; cond fast-paths cover both modes).
+	BDDOpHits      int64
+	BDDOpMisses    int64
+	BDDOpEvictions int64
+	BDDTableSlots  int // unique-table capacity at end of unit
+	CondOps        int64
+	CondFastPaths  int64
 }
 
 // Metrics is a snapshot of one run's per-stage observability counters.
@@ -149,6 +158,17 @@ type Metrics struct {
 	Merges       int64
 	TypedefForks int64
 	BDDNodes     int64 // presence-condition nodes allocated, summed over units
+
+	// Parse-stage hot-path caches, summed over units.
+	FollowHits      int64 // follow-set template memo hits
+	FollowMisses    int64
+	SubparserReuses int64 // free-list recycles
+	SubparserAllocs int64
+	BDDOpHits       int64 // BDD op-cache hits (BDD mode)
+	BDDOpMisses     int64
+	BDDOpEvictions  int64
+	CondOps         int64 // presence-condition ops issued by the parser stack
+	CondFastPaths   int64 // resolved by cond's simplification layer pre-BDD
 
 	// Parse-table cache outcome (process-wide, from package cgrammar).
 	TableCacheHits   int64
@@ -177,6 +197,18 @@ func (m Metrics) String() string {
 		1e3*m.ParseTime.Seconds(), 1e3*m.WallTime.Seconds())
 	fmt.Fprintf(&b, "  engine: %d forks (%d typedef), %d merges, %d BDD nodes\n",
 		m.Forks, m.TypedefForks, m.Merges, m.BDDNodes)
+	rate := func(hits, misses int64) string {
+		if hits+misses == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Fprintf(&b, "  follow memo: %d hits, %d misses (%s); subparser pool: %d reuses, %d allocs\n",
+		m.FollowHits, m.FollowMisses, rate(m.FollowHits, m.FollowMisses),
+		m.SubparserReuses, m.SubparserAllocs)
+	fmt.Fprintf(&b, "  BDD op cache: %d hits, %d misses (%s), %d evictions; cond fast-paths: %d of %d ops (%s)\n",
+		m.BDDOpHits, m.BDDOpMisses, rate(m.BDDOpHits, m.BDDOpMisses), m.BDDOpEvictions,
+		m.CondFastPaths, m.CondOps, rate(m.CondFastPaths, m.CondOps-m.CondFastPaths))
 	fmt.Fprintf(&b, "  table cache: %s (%d hits, %d misses this process)\n",
 		m.TableCacheState, m.TableCacheHits, m.TableCacheMisses)
 	fmt.Fprintf(&b, "  header cache: %s (%d hits, %d misses; lex %d hits, %d misses; %d bytes saved, %d evictions)\n",
@@ -193,6 +225,12 @@ type collector struct {
 	forks, merges   stats.Counter
 	typedefForks    stats.Counter
 	bddNodes        stats.Counter
+
+	followHits, followMisses stats.Counter
+	spReuses, spAllocs       stats.Counter
+	opHits, opMisses         stats.Counter
+	opEvictions              stats.Counter
+	condOps, condFastPaths   stats.Counter
 }
 
 // add folds one finished unit into the collector.
@@ -210,6 +248,15 @@ func (col *collector) add(r *UnitResult) {
 	col.merges.Add(int64(r.Parse.Merges))
 	col.typedefForks.Add(int64(r.Parse.TypedefForks))
 	col.bddNodes.Add(int64(r.BDDNodes))
+	col.followHits.Add(int64(r.Parse.FollowHits))
+	col.followMisses.Add(int64(r.Parse.FollowMisses))
+	col.spReuses.Add(int64(r.Parse.SubparserReuses))
+	col.spAllocs.Add(int64(r.Parse.SubparserAllocs))
+	col.opHits.Add(r.BDDOpHits)
+	col.opMisses.Add(r.BDDOpMisses)
+	col.opEvictions.Add(r.BDDOpEvictions)
+	col.condOps.Add(r.CondOps)
+	col.condFastPaths.Add(r.CondFastPaths)
 }
 
 // Run processes every compilation unit of the corpus under cfg.
@@ -277,6 +324,15 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		Merges:           col.merges.Load(),
 		TypedefForks:     col.typedefForks.Load(),
 		BDDNodes:         col.bddNodes.Load(),
+		FollowHits:       col.followHits.Load(),
+		FollowMisses:     col.followMisses.Load(),
+		SubparserReuses:  col.spReuses.Load(),
+		SubparserAllocs:  col.spAllocs.Load(),
+		BDDOpHits:        col.opHits.Load(),
+		BDDOpMisses:      col.opMisses.Load(),
+		BDDOpEvictions:   col.opEvictions.Load(),
+		CondOps:          col.condOps.Load(),
+		CondFastPaths:    col.condFastPaths.Load(),
 		TableCacheHits:   hits,
 		TableCacheMisses: misses,
 		TableCacheState:  cgrammar.TableCacheState(),
@@ -355,7 +411,15 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Ca
 	}
 	if bf := tool.Space().BDD(); bf != nil {
 		res.BDDNodes = bf.NumNodes()
+		cs := bf.Stats()
+		res.BDDOpHits = cs.OpHits
+		res.BDDOpMisses = cs.OpMisses
+		res.BDDOpEvictions = cs.OpEvictions
+		res.BDDTableSlots = cs.TableSlots
 	}
+	hot := tool.Space().Hot
+	res.CondOps = hot.Ops
+	res.CondFastPaths = hot.FastPaths
 	return res
 }
 
