@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench
+.PHONY: ci build test race vet fmt bench chaos guard-overhead
 
 ci: fmt vet build race
 
@@ -22,3 +22,12 @@ fmt:
 
 bench:
 	$(GO) test -bench . -benchmem -timeout 60m
+
+# Fault-injection corpus run under the race detector (CI's chaos-smoke).
+# Replay a failure with CHAOS_SEED=<seed from the log>.
+chaos:
+	$(GO) test -race -v -run 'Chaos|Deadline|CancelAbandons|BudgetLimitsFlow' ./internal/harness/
+
+# Assert the resource governor costs < 3% on the parse stage.
+guard-overhead:
+	GUARD_OVERHEAD=1 $(GO) test -run TestGuardOverhead -v .

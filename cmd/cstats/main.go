@@ -24,6 +24,7 @@ import (
 	"repro/internal/cgrammar"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
+	"repro/internal/guard"
 	"repro/internal/harness"
 )
 
@@ -38,11 +39,15 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the harness metrics snapshot after the Table 3 sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
+	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
 	harness.DefaultJobs = *jobs
 	harness.DisableHeaderCache = *noHeaderCache
+	harness.DefaultBudget = *limits
+	harness.DefaultQuarantine = *quarantine
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

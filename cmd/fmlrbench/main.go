@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
+	"repro/internal/guard"
 	"repro/internal/harness"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
@@ -55,11 +56,15 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	benchJSON := flag.String("bench-json", "", "skip the figures; benchmark the parse stage per optimization level and write the JSON baseline to this file")
+	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
+	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
 	harness.DefaultJobs = *jobs
 	harness.DisableHeaderCache = *noHeaderCache
+	harness.DefaultBudget = *limits
+	harness.DefaultQuarantine = *quarantine
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -145,13 +150,26 @@ type benchLevel struct {
 	Units         int    `json:"units"`
 }
 
+// benchRobustness summarizes the governed harness sweep that runs alongside
+// the parse benchmark: budget trips per axis, retries, and quarantined
+// units. Limits come from -timeout/-budget-*; all-zero counts mean the
+// sweep ran ungoverned and nothing tripped.
+type benchRobustness struct {
+	BudgetTrips      int              `json:"budget_trips"`
+	TripsByAxis      map[string]int64 `json:"trips_by_axis,omitempty"`
+	RetriedUnits     int              `json:"retried_units"`
+	QuarantinedUnits int              `json:"quarantined_units"`
+	Quarantined      []string         `json:"quarantined,omitempty"`
+}
+
 type benchFile struct {
-	Schema     string       `json:"schema"`
-	CorpusSeed int64        `json:"corpus_seed"`
-	CFiles     int          `json:"cfiles"`
-	Headers    int          `json:"headers"`
-	KillSwitch int          `json:"kill_switch"`
-	Levels     []benchLevel `json:"levels"`
+	Schema     string          `json:"schema"`
+	CorpusSeed int64           `json:"corpus_seed"`
+	CFiles     int             `json:"cfiles"`
+	Headers    int             `json:"headers"`
+	KillSwitch int             `json:"kill_switch"`
+	Levels     []benchLevel    `json:"levels"`
+	Robustness benchRobustness `json:"robustness"`
 }
 
 // runBenchJSON measures the parse stage at every optimization level and
@@ -220,6 +238,27 @@ func runBenchJSON(c *corpus.Corpus, kill int, path string) error {
 		fmt.Printf("%-24s %12d ns/op %10d allocs/op %8d peak subparsers (%d killed)\n",
 			lv.Name, entry.NsPerOp, entry.AllocsPerOp, entry.MaxSubparsers, entry.KilledUnits)
 	}
+	// A governed instrumented sweep contributes the robustness counters
+	// (budget trips, retries, quarantine), under whatever -timeout/-budget-*
+	// limits and -quarantine setting the invocation carries.
+	_, m := harness.RunMetered(context.Background(), c, harness.RunConfig{Parser: fmlr.OptAll, KillSwitch: kill})
+	out.Robustness = benchRobustness{
+		BudgetTrips:      m.BudgetTrips,
+		RetriedUnits:     m.RetriedUnits,
+		QuarantinedUnits: m.QuarantinedUnits,
+		Quarantined:      m.Quarantined,
+	}
+	for a, n := range m.TripsByAxis {
+		if n > 0 {
+			if out.Robustness.TripsByAxis == nil {
+				out.Robustness.TripsByAxis = map[string]int64{}
+			}
+			out.Robustness.TripsByAxis[guard.Axis(a).String()] = n
+		}
+	}
+	fmt.Printf("robustness: %d budget trips, %d retried, %d quarantined\n",
+		m.BudgetTrips, m.RetriedUnits, m.QuarantinedUnits)
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

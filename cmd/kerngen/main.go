@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/corpus"
 )
@@ -28,7 +29,15 @@ func main() {
 	configs := flag.Int("configs", 32, "number of CONFIG_* variables")
 	blocks := flag.Int("blocks", 10, "average top-level constructs per C file")
 	jobs := flag.Int("j", 0, "worker-pool width for file writes (0: GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort generation after this long (0: no limit)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "kerngen: timed out after %v\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	c := corpus.Generate(corpus.Params{
 		Seed:          *seed,

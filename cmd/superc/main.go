@@ -23,10 +23,12 @@
 //	superc -mode sat file.c                      # TypeChef-style conditions
 //	superc -opt mapr file.c                      # naive forking baseline
 //	superc -j 8 drivers/*.c                      # parallel corpus sweep
+//	superc -timeout 5s -budget-hoist 512 file.c  # governed run: degrade, don't hang
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/fmlr"
+	"repro/internal/guard"
 	"repro/internal/hcache"
 	"repro/internal/printer"
 	"repro/internal/refactor"
@@ -89,6 +92,7 @@ func main() {
 	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -136,6 +140,7 @@ func main() {
 	ff := fileFlags{
 		printAST: *printAST, project: *project, showStats: *showStats,
 		check: *check, printSrc: *printSrc, rename: *rename,
+		limits: *limits,
 	}
 	files := flag.Args()
 
@@ -221,9 +226,15 @@ type fileFlags struct {
 	check     bool
 	printSrc  bool
 	rename    string
+	limits    guard.Limits // per-unit resource budget (-timeout, -budget-*)
 }
 
 func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond.Mode, ff fileFlags, stdout, stderr io.Writer) int {
+	if !ff.limits.Zero() {
+		// Fresh budget per unit: the sequential path reuses one tool across
+		// files, and budgets are single-use.
+		tool.SetBudget(guard.New(context.Background(), ff.limits))
+	}
 	res, err := tool.ParseFile(file)
 	if err != nil {
 		fmt.Fprintf(stderr, "superc: %v\n", err)
@@ -245,6 +256,10 @@ func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond
 	}
 	if res.Parse.Killed {
 		fmt.Fprintln(stderr, "superc: subparser kill switch tripped")
+		exit = 1
+	}
+	if d := tool.Budget().Trip(); d != nil {
+		fmt.Fprintf(stderr, "superc: %s: degraded to partial result: %v\n", file, d)
 		exit = 1
 	}
 

@@ -46,6 +46,25 @@ type Choice struct {
 	Node *Node // may be nil: the construct is absent under Cond
 }
 
+// ErrorLabel marks error nodes produced when a stage degrades under a
+// tripped resource budget: the unit's AST is partial, and the region whose
+// parse was abandoned is represented by an Error node (typically under a
+// choice alternative whose condition is the offending presence condition).
+const ErrorLabel = "_Error"
+
+// Error builds a degradation error node carrying a diagnostic message as
+// its sole token child.
+func Error(msg string) *Node {
+	return &Node{Kind: KindNode, Label: ErrorLabel, Children: []*Node{
+		{Kind: KindToken, Tok: &token.Token{Kind: token.Other, Text: msg}},
+	}}
+}
+
+// IsError reports whether n is a degradation error node.
+func (n *Node) IsError() bool {
+	return n != nil && n.Kind == KindNode && n.Label == ErrorLabel
+}
+
 // Leaf wraps a token as a leaf node.
 func Leaf(t token.Token) *Node {
 	return &Node{Kind: KindToken, Tok: &t}

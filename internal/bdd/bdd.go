@@ -26,6 +26,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/guard"
 )
 
 // Node identifies a BDD node within its Factory. The zero value is the False
@@ -96,6 +98,12 @@ type Factory struct {
 	memoF []float64
 
 	opHits, opMisses, opEvictions int64
+
+	// budget, when set, is charged one guard.AxisBDDNodes per allocated
+	// node. mk never aborts mid-operation — that would corrupt the
+	// operation's recursion invariants — so a trip only records the
+	// diagnostic; stage loop heads observe it and unwind.
+	budget *guard.Budget
 }
 
 // NewFactory returns an empty factory containing only the two terminals.
@@ -114,6 +122,10 @@ func NewFactory() *Factory {
 	)
 	return f
 }
+
+// SetBudget attaches a resource budget; every subsequently allocated node
+// charges guard.AxisBDDNodes. Pass nil to detach.
+func (f *Factory) SetBudget(b *guard.Budget) { f.budget = b }
 
 // NumVars reports how many distinct variables have been created.
 func (f *Factory) NumVars() int { return len(f.names) }
@@ -198,6 +210,7 @@ func (f *Factory) mk(level int32, lo, hi Node) Node {
 	id := Node(len(f.nodes))
 	f.nodes = append(f.nodes, node{level: level, lo: lo, hi: hi})
 	f.table[h] = id
+	f.budget.Charge("bdd", guard.AxisBDDNodes, 1)
 	// Grow at 75% load. len(nodes) includes the two terminals, which are
 	// not stored; the off-by-two is irrelevant at this granularity.
 	if uint32(len(f.nodes))*4 > (f.mask+1)*3 {

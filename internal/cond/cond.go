@@ -12,6 +12,7 @@ package cond
 
 import (
 	"repro/internal/bdd"
+	"repro/internal/guard"
 	"repro/internal/sat"
 )
 
@@ -132,6 +133,16 @@ func (s *Space) same(a, b Cond) bool {
 
 // Mode returns the space's representation mode.
 func (s *Space) Mode() Mode { return s.mode }
+
+// SetBudget attaches a resource budget to the space's backing
+// representation: in ModeBDD every allocated BDD node charges
+// guard.AxisBDDNodes. Pass nil to detach. SAT mode has its own NaiveLimit
+// cost model and is not budgeted here.
+func (s *Space) SetBudget(b *guard.Budget) {
+	if s.bf != nil {
+		s.bf.SetBudget(b)
+	}
+}
 
 // BDD exposes the underlying BDD factory in ModeBDD (nil otherwise); used by
 // tests and diagnostics.

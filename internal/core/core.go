@@ -32,6 +32,7 @@ import (
 	"repro/internal/cgrammar"
 	"repro/internal/cond"
 	"repro/internal/fmlr"
+	"repro/internal/guard"
 	"repro/internal/hcache"
 	"repro/internal/preprocessor"
 )
@@ -60,15 +61,22 @@ type Config struct {
 	// may be shared by Tools running in different goroutines; cached results
 	// are replayed into each unit's own condition space.
 	HeaderCache *hcache.Cache
+	// Budget, when non-nil, governs every stage's resource consumption (see
+	// internal/guard). On trip the pipeline degrades to a partial AST with
+	// an error node and a structured diagnostic instead of hanging or
+	// failing outright. Per-unit budgets can also be attached with
+	// Tool.SetBudget.
+	Budget *guard.Budget
 }
 
 // Tool is a configured SuperC instance. A Tool processes one compilation
 // unit at a time and may be reused.
 type Tool struct {
-	cfg   Config
-	space *cond.Space
-	pp    *preprocessor.Preprocessor
-	lang  *cgrammar.C
+	cfg    Config
+	space  *cond.Space
+	pp     *preprocessor.Preprocessor
+	lang   *cgrammar.C
+	budget *guard.Budget
 }
 
 // Result is the outcome of processing one compilation unit.
@@ -97,9 +105,24 @@ func New(cfg Config) *Tool {
 		Builtins:     cfg.Builtins,
 		SingleConfig: cfg.SingleConfig,
 		HeaderCache:  cfg.HeaderCache,
+		Budget:       cfg.Budget,
 	})
-	return &Tool{cfg: cfg, space: space, pp: pp, lang: cgrammar.MustLoad()}
+	t := &Tool{cfg: cfg, space: space, pp: pp, lang: cgrammar.MustLoad()}
+	t.SetBudget(cfg.Budget)
+	return t
 }
+
+// SetBudget attaches a per-unit resource budget to every stage the Tool
+// runs (preprocessor, presence-condition space, parser). Pass nil to
+// detach. Typical use creates a fresh guard.New budget per unit.
+func (t *Tool) SetBudget(b *guard.Budget) {
+	t.budget = b
+	t.pp.SetBudget(b)
+	t.space.SetBudget(b)
+}
+
+// Budget returns the currently attached budget (nil when ungoverned).
+func (t *Tool) Budget() *guard.Budget { return t.budget }
 
 // Space exposes the presence-condition space (for rendering conditions,
 // evaluating configurations, projecting ASTs).
@@ -109,12 +132,17 @@ func (t *Tool) Space() *cond.Space { return t.space }
 // queries).
 func (t *Tool) Preprocessor() *preprocessor.Preprocessor { return t.pp }
 
-// parserOptions resolves the configured optimization level.
+// parserOptions resolves the configured optimization level and threads the
+// attached budget through to the parser.
 func (t *Tool) parserOptions() fmlr.Options {
+	opts := fmlr.OptAll
 	if t.cfg.Parser != nil {
-		return *t.cfg.Parser
+		opts = *t.cfg.Parser
 	}
-	return fmlr.OptAll
+	if opts.Budget == nil {
+		opts.Budget = t.budget
+	}
+	return opts
 }
 
 // Preprocess runs only the configuration-preserving preprocessor on the
@@ -152,6 +180,7 @@ func (t *Tool) ParseString(name, src string) (*Result, error) {
 		Builtins:     t.cfg.Builtins,
 		SingleConfig: t.cfg.SingleConfig,
 		HeaderCache:  t.cfg.HeaderCache,
+		Budget:       t.budget,
 	})
 	for nm, body := range t.cfg.Defines {
 		if err := pp.Define(nm, body); err != nil {

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/preprocessor"
+)
+
+// expansionBomb builds a doubling macro chain: X30 expands to 2^30 tokens.
+func expansionBomb() string {
+	var b strings.Builder
+	b.WriteString("#define X0 x\n")
+	for i := 1; i <= 30; i++ {
+		fmt.Fprintf(&b, "#define X%d X%d X%d\n", i, i-1, i-1)
+	}
+	b.WriteString("int y = X30;\n")
+	return b.String()
+}
+
+// hoistBomb builds n conditionally-defined macros and one #if whose
+// expression references all of them, so hoisting the conditional expression
+// has a 2^n product (Algorithm 1's exponential worst case).
+func hoistBomb(n int) string {
+	var b strings.Builder
+	terms := make([]string, n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "#if defined(C%d)\n#define M%d 1\n#else\n#define M%d 0\n#endif\n", i, i, i)
+		terms[i] = fmt.Sprintf("M%d", i)
+	}
+	fmt.Fprintf(&b, "#if %s > %d\nint deep;\n#endif\n", strings.Join(terms, " + "), n/2)
+	b.WriteString("int tail;\n")
+	return b.String()
+}
+
+// runGoverned parses src under the given limits with a watchdog: the bombs
+// must complete promptly once the budget trips, not hang until the test
+// binary's global timeout.
+func runGoverned(t *testing.T, src string, limits guard.Limits) (*Result, *guard.Budget) {
+	t.Helper()
+	budget := guard.New(context.Background(), limits)
+	tool := New(Config{
+		FS:     preprocessor.MapFS{"bomb.c": src},
+		Budget: budget,
+	})
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := tool.ParseFile("bomb.c")
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("ParseFile: %v", o.err)
+		}
+		return o.res, budget
+	case <-time.After(30 * time.Second):
+		t.Fatalf("governed parse did not finish within 30s; budget trip: %v", budget.Trip())
+		return nil, nil
+	}
+}
+
+// TestMacroExpansionBombDegrades is the acceptance scenario: a doubling
+// macro chain (2^30 tokens fully expanded) completes under a macro-step
+// budget with a partial AST and a structured diagnostic — no panic, no hang.
+func TestMacroExpansionBombDegrades(t *testing.T) {
+	res, budget := runGoverned(t, expansionBomb(), guard.Limits{MacroSteps: 20000})
+	d := budget.Trip()
+	if d == nil {
+		t.Fatal("expected a budget trip, got none")
+	}
+	if d.Axis != guard.AxisMacroSteps {
+		t.Fatalf("tripped axis = %v, want %v", d.Axis, guard.AxisMacroSteps)
+	}
+	if d.Stage != "preprocessor" {
+		t.Errorf("trip stage = %q, want preprocessor", d.Stage)
+	}
+	if res.AST == nil {
+		t.Fatal("expected a partial AST, got nil")
+	}
+	if !strings.Contains(d.Error(), "macro-steps") {
+		t.Errorf("diagnostic %q does not name the axis", d.Error())
+	}
+	// The preprocessor surfaces the trip as a warning diagnostic on the unit.
+	found := false
+	for _, w := range res.Unit.Diags {
+		if w.Warning && strings.Contains(w.Msg, "budget exceeded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unit diagnostics %v lack the budget warning", res.Unit.Diags)
+	}
+}
+
+// TestHoistBombDegrades is the other acceptance scenario: a conditional
+// expression whose hoisted product is 2^24 completes under a hoist budget
+// with a partial AST and a structured diagnostic.
+func TestHoistBombDegrades(t *testing.T) {
+	res, budget := runGoverned(t, hoistBomb(24), guard.Limits{Hoist: 64})
+	d := budget.Trip()
+	if d == nil {
+		t.Fatal("expected a budget trip, got none")
+	}
+	if d.Axis != guard.AxisHoist {
+		t.Fatalf("tripped axis = %v, want %v", d.Axis, guard.AxisHoist)
+	}
+	if res.AST == nil {
+		t.Fatal("expected a partial AST, got nil")
+	}
+	if d.Cond == "" {
+		t.Error("hoist trip should record the offending presence condition")
+	}
+}
+
+// TestWallClockBombDegrades drives the expansion bomb against a wall-clock
+// budget only: the amortized poll must still interrupt the run.
+func TestWallClockBombDegrades(t *testing.T) {
+	res, budget := runGoverned(t, expansionBomb(), guard.Limits{Wall: 50 * time.Millisecond})
+	d := budget.Trip()
+	if d == nil {
+		t.Fatal("expected a wall-clock trip, got none")
+	}
+	if d.Axis != guard.AxisWall {
+		t.Fatalf("tripped axis = %v, want %v", d.Axis, guard.AxisWall)
+	}
+	if res.AST == nil {
+		t.Fatal("expected a partial AST, got nil")
+	}
+}
+
+// TestGovernedCleanUnitUnchanged checks that a healthy unit under a generous
+// budget parses identically to an ungoverned run.
+func TestGovernedCleanUnitUnchanged(t *testing.T) {
+	src := "int a;\n#if defined(X)\nint b;\n#endif\nint c;\n"
+	plain := New(Config{FS: preprocessor.MapFS{"u.c": src}})
+	pres, err := plain.ParseFile("u.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := guard.New(context.Background(), guard.Limits{
+		Wall: time.Minute, Tokens: 1 << 20, MacroSteps: 1 << 20,
+		Hoist: 512, BDDNodes: 1 << 20, Subparsers: 16000,
+	})
+	gov := New(Config{FS: preprocessor.MapFS{"u.c": src}, Budget: budget})
+	gres, err := gov.ParseFile("u.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Tripped() {
+		t.Fatalf("clean unit tripped: %v", budget.Trip())
+	}
+	if got, want := gres.AST.String(), pres.AST.String(); got != want {
+		t.Errorf("governed AST differs from ungoverned:\n got %s\nwant %s", got, want)
+	}
+	if gres.AST.IsError() {
+		t.Error("clean unit produced an error node")
+	}
+}
+
+// TestCancelledContextAbandonsUnit checks that cancelling the unit's context
+// mid-flight trips the budget and degrades instead of running to completion.
+func TestCancelledContextAbandonsUnit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the first poll must observe it
+	budget := guard.New(ctx, guard.Limits{})
+	tool := New(Config{FS: preprocessor.MapFS{"u.c": expansionBomb()}, Budget: budget})
+	res, err := tool.ParseFile("u.c")
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	d := budget.Trip()
+	if d == nil || d.Axis != guard.AxisCancel {
+		t.Fatalf("expected a cancellation trip, got %v", d)
+	}
+	if res.AST == nil {
+		t.Fatal("expected a degraded partial AST, got nil")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cgrammar"
 	"repro/internal/cond"
+	"repro/internal/guard"
+	"repro/internal/guard/faultinject"
 	"repro/internal/lalr"
 	"repro/internal/preprocessor"
 	"repro/internal/symtab"
@@ -39,6 +41,13 @@ type Options struct {
 	// that and can only merge truly redundant subparsers, which is what
 	// makes the naive strategy explode on Figure 6-style code.
 	NoChoiceMerge bool
+	// Budget, when non-nil, governs the parse (see internal/guard): the
+	// live subparser population is observed against the budget's subparser
+	// axis (subsuming KillSwitch), and any trip — including one inherited
+	// from an earlier stage — degrades the parse to a partial AST with an
+	// error node under the abandoned work's presence condition instead of
+	// a nil AST.
+	Budget *guard.Budget
 }
 
 // Standard optimization levels, named as in Figure 8a.
@@ -200,6 +209,8 @@ func New(space *cond.Space, lang *cgrammar.C, opts Options) *Engine {
 
 // Parse runs the FMLR algorithm (Algorithm 2) over a preprocessed unit.
 func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
+	budget := e.opts.Budget
+	faultinject.At(faultinject.PointParse, file, budget)
 	e.acquireScratch()
 	defer e.releaseScratch()
 	first, ntokens := buildForest(segs, file)
@@ -219,7 +230,12 @@ func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 	p0.ownTab = true
 	e.insert(p0)
 
+	tripped := false
 	for e.queue.Len() > 0 {
+		if !budget.Tick("fmlr") {
+			tripped = true
+			break
+		}
 		e.stats.Iterations++
 		n := e.queue.Len()
 		// Histogram into a flat scratch counter; the map-shaped
@@ -237,6 +253,10 @@ func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 			e.killed = true
 			break
 		}
+		if !budget.Observe("fmlr", guard.AxisSubparsers, int64(n)) {
+			tripped = true
+			break
+		}
 		p := e.pop()
 		if !p.resolved() {
 			e.resolve(p)
@@ -245,6 +265,9 @@ func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 		e.step(p)
 	}
 
+	if tripped {
+		e.degrade(budget)
+	}
 	e.stats.SubparserHist = make(map[int]int)
 	for n, count := range e.sc.hist {
 		if count != 0 {
@@ -260,6 +283,37 @@ func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 		res.AST = e.sc.ab.NewChoice(e.accepts...)
 	}
 	return res
+}
+
+// degrade converts a budget trip into graceful degradation: the subparsers
+// still queued represent abandoned work; their conditions' disjunction is
+// the presence condition under which the unit's parse is incomplete. An
+// error node under that condition joins the accepted alternatives, so the
+// unit yields a partial AST instead of nothing, and the trip diagnostic is
+// annotated and mirrored into the parse diagnostics.
+func (e *Engine) degrade(budget *guard.Budget) {
+	d := budget.Trip()
+	if d == nil {
+		return
+	}
+	if d.Axis == guard.AxisSubparsers {
+		// The budget's subparser axis subsumes the legacy kill switch;
+		// report it through the same Killed flag so Figure 8 accounting
+		// sees one population-explosion signal.
+		e.killed = true
+	}
+	errCond := e.space.False()
+	for _, p := range e.queue.items {
+		errCond = e.space.Or(errCond, p.c)
+	}
+	if e.space.IsFalse(errCond) {
+		errCond = e.space.True()
+	}
+	budget.Annotate(e.space.String(errCond),
+		fmt.Sprintf("parse abandoned after %d iterations (%d shifts, peak %d subparsers)",
+			e.stats.Iterations, e.stats.Shifts, e.stats.MaxSubparsers))
+	e.diags = append(e.diags, Diagnostic{Cond: errCond, Msg: d.Error()})
+	e.accepts = append(e.accepts, ast.Choice{Cond: errCond, Node: ast.Error(d.Error())})
 }
 
 // pushNode allocates a stack cell from the parse arena.

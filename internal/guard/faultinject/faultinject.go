@@ -1,0 +1,175 @@
+// Package faultinject provides deterministic, seedable fault points at
+// every stage boundary of the pipeline. Tests arm it to prove the governor
+// and the harness degrade gracefully; in release it is a no-op behind one
+// atomic pointer load.
+//
+// Determinism: whether a point fires — and which fault it injects — is a
+// pure function of (seed, unit, point). No occurrence counters, no global
+// RNG state, so the injected fault set is identical across runs and
+// independent of goroutine scheduling. That is what lets the chaos suite
+// assert deterministic quarantine sets under -race.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// Kind is the fault injected at a firing point.
+type Kind int
+
+const (
+	// KindPanic panics with an identifiable message, exercising the
+	// harness panic barrier and stack capture.
+	KindPanic Kind = iota
+	// KindDelay sleeps, exercising wall-clock budgets and deadlines.
+	KindDelay
+	// KindExhaust force-trips the unit's budget, exercising degradation.
+	KindExhaust
+	// KindCancel trips the budget as externally cancelled.
+	KindCancel
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindExhaust:
+		return "exhaust"
+	case KindCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Stage-boundary fault points. Each names the boundary it guards; stages
+// call At with the matching constant.
+const (
+	PointHarnessUnit = "harness/unit-start"
+	PointPreprocess  = "preprocessor/unit-start"
+	PointLex         = "preprocessor/lex"
+	PointHeaderCache = "preprocessor/header-cache"
+	PointCondExpr    = "preprocessor/cond-expr"
+	PointParse       = "fmlr/parse-start"
+)
+
+// AllPoints lists every registered fault point, for tests that want
+// coverage at each stage boundary.
+var AllPoints = []string{
+	PointHarnessUnit,
+	PointPreprocess,
+	PointLex,
+	PointHeaderCache,
+	PointCondExpr,
+	PointParse,
+}
+
+// Config arms the injector. Rate is the probability in [0,1] that a given
+// (unit, point) pair fires; Delay is the sleep for KindDelay faults.
+// Kinds restricts which faults are injected (nil: all). Points restricts
+// which boundaries fire (nil: all).
+type Config struct {
+	Seed   int64
+	Rate   float64
+	Delay  time.Duration
+	Kinds  []Kind
+	Points []string
+}
+
+type plan struct {
+	cfg    Config
+	kinds  []Kind
+	points map[string]bool // nil: all
+}
+
+var armed atomic.Pointer[plan]
+
+// Arm installs cfg as the active fault plan. Tests must pair it with
+// Disarm (typically via t.Cleanup).
+func Arm(cfg Config) {
+	p := &plan{cfg: cfg, kinds: cfg.Kinds}
+	if len(p.kinds) == 0 {
+		p.kinds = []Kind{KindPanic, KindDelay, KindExhaust, KindCancel}
+	}
+	if len(cfg.Points) > 0 {
+		p.points = make(map[string]bool, len(cfg.Points))
+		for _, pt := range cfg.Points {
+			p.points[pt] = true
+		}
+	}
+	armed.Store(p)
+}
+
+// Disarm removes the active plan; At becomes a no-op again.
+func Disarm() { armed.Store(nil) }
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return armed.Load() != nil }
+
+// decide is the pure (seed, unit, point) → (fires, kind) function. FNV-1a
+// keeps it deterministic across processes, so a chaos seed logged by one
+// run reproduces the exact fault set in another.
+func (p *plan) decide(unit, point string) (bool, Kind) {
+	if p.cfg.Rate <= 0 {
+		return false, 0
+	}
+	if p.points != nil && !p.points[point] {
+		return false, 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%s", p.cfg.Seed, unit, point)
+	sum := h.Sum64()
+	// Top bits select fire/no-fire against Rate; low bits pick the kind.
+	frac := float64(sum>>11) / float64(1<<53)
+	if frac >= p.cfg.Rate {
+		return false, 0
+	}
+	return true, p.kinds[sum%uint64(len(p.kinds))]
+}
+
+// Fires reports whether the armed plan injects a fault for (unit, point),
+// and which kind, without performing it. The chaos suite uses it to
+// compute the expected faulted-unit set.
+func Fires(unit, point string) (bool, Kind) {
+	p := armed.Load()
+	if p == nil {
+		return false, 0
+	}
+	return p.decide(unit, point)
+}
+
+// At is the fault point: stages call it at their boundary with the current
+// unit and a budget. Disarmed, it is one atomic load. Armed, it may panic,
+// sleep, force-trip, or cancel according to the plan.
+func At(point, unit string, b *guard.Budget) {
+	p := armed.Load()
+	if p == nil {
+		return
+	}
+	fire, kind := p.decide(unit, point)
+	if !fire {
+		return
+	}
+	switch kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: %s at %s (unit %s)", kind, point, unit))
+	case KindDelay:
+		d := p.cfg.Delay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	case KindExhaust:
+		b.ForceTrip(point, guard.AxisFault)
+	case KindCancel:
+		b.Cancel(point)
+	}
+}

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("enabled while disarmed")
+	}
+	At(PointLex, "a.c", nil) // must not panic or touch a nil budget
+	if fire, _ := Fires("a.c", PointLex); fire {
+		t.Fatal("disarmed plan fired")
+	}
+}
+
+func TestDeterministicAcrossArms(t *testing.T) {
+	defer Disarm()
+	type decision struct {
+		fire bool
+		kind Kind
+	}
+	units := []string{"a.c", "b.c", "c.c", "d.c", "e.c"}
+	snap := func() map[string]decision {
+		m := make(map[string]decision)
+		for _, u := range units {
+			for _, p := range AllPoints {
+				fire, kind := Fires(u, p)
+				m[u+"|"+p] = decision{fire, kind}
+			}
+		}
+		return m
+	}
+	Arm(Config{Seed: 42, Rate: 0.5})
+	first := snap()
+	Disarm()
+	Arm(Config{Seed: 42, Rate: 0.5})
+	if second := snap(); len(second) != len(first) {
+		t.Fatal("snapshot size changed")
+	} else {
+		for k, v := range first {
+			if second[k] != v {
+				t.Fatalf("decision for %s changed across re-arms: %+v vs %+v", k, v, second[k])
+			}
+		}
+	}
+	// A different seed must pick a different fault set (overwhelmingly).
+	Disarm()
+	Arm(Config{Seed: 43, Rate: 0.5})
+	diff := 0
+	for k, v := range snap() {
+		if first[k] != v {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed change did not change the fault set")
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	defer Disarm()
+	Arm(Config{Seed: 7, Rate: 0})
+	if fire, _ := Fires("a.c", PointLex); fire {
+		t.Fatal("rate 0 fired")
+	}
+	Disarm()
+	Arm(Config{Seed: 7, Rate: 1})
+	for _, p := range AllPoints {
+		if fire, _ := Fires("a.c", p); !fire {
+			t.Fatalf("rate 1 did not fire at %s", p)
+		}
+	}
+}
+
+func TestPointAndKindFilters(t *testing.T) {
+	defer Disarm()
+	Arm(Config{Seed: 1, Rate: 1, Points: []string{PointParse}, Kinds: []Kind{KindExhaust}})
+	if fire, _ := Fires("a.c", PointLex); fire {
+		t.Fatal("filtered point fired")
+	}
+	fire, kind := Fires("a.c", PointParse)
+	if !fire || kind != KindExhaust {
+		t.Fatalf("want exhaust at parse point, got fire=%v kind=%v", fire, kind)
+	}
+}
+
+func TestAtPerformsFaults(t *testing.T) {
+	defer Disarm()
+
+	// Exhaust force-trips the budget.
+	Arm(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindExhaust}})
+	b := guard.New(context.Background(), guard.Limits{})
+	At(PointPreprocess, "a.c", b)
+	if d := b.Trip(); d == nil || d.Axis != guard.AxisFault {
+		t.Fatalf("exhaust fault: %+v", d)
+	}
+
+	// Cancel trips as cancelled.
+	Disarm()
+	Arm(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindCancel}})
+	b = guard.New(context.Background(), guard.Limits{})
+	At(PointPreprocess, "a.c", b)
+	if d := b.Trip(); d == nil || d.Axis != guard.AxisCancel {
+		t.Fatalf("cancel fault: %+v", d)
+	}
+
+	// Delay sleeps for the configured duration.
+	Disarm()
+	Arm(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindDelay}, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	At(PointPreprocess, "a.c", nil)
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+
+	// Panic panics with an identifiable message.
+	Disarm()
+	Arm(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindPanic}})
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("panic fault did not panic")
+			}
+			if msg, ok := p.(string); !ok || !strings.Contains(msg, "faultinject") {
+				t.Fatalf("panic value: %v", p)
+			}
+		}()
+		At(PointPreprocess, "a.c", nil)
+	}()
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindPanic; k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

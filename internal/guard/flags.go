@@ -1,0 +1,17 @@
+package guard
+
+import "flag"
+
+// FlagLimits registers the shared budget flag set (-timeout, -budget-*) on
+// fs and returns a Limits that is populated once fs.Parse runs. All four
+// cmd binaries use it so the knobs stay uniform.
+func FlagLimits(fs *flag.FlagSet) *Limits {
+	l := &Limits{}
+	fs.DurationVar(&l.Wall, "timeout", 0, "per-unit wall-clock budget (0: unlimited)")
+	fs.Int64Var(&l.Tokens, "budget-tokens", 0, "per-unit lexed-token budget (0: unlimited)")
+	fs.Int64Var(&l.MacroSteps, "budget-macro-steps", 0, "per-unit macro-expansion step budget (0: unlimited)")
+	fs.Int64Var(&l.Hoist, "budget-hoist", 0, "per-unit hoisted-conditional product budget (0: unlimited)")
+	fs.Int64Var(&l.BDDNodes, "budget-bdd-nodes", 0, "per-unit BDD node budget (0: unlimited)")
+	fs.Int64Var(&l.Subparsers, "budget-subparsers", 0, "per-unit subparser budget (0: defer to the kill switch)")
+	return l
+}

@@ -16,6 +16,16 @@
 // cancelled context marks the not-yet-processed remainder as skipped at
 // unit granularity.
 //
+// # Resource governance
+//
+// Every unit runs under a fresh guard.Budget derived from the run's context
+// and RunConfig.Budget limits, so a cancelled context also abandons
+// in-flight units (the stages poll the budget at their loop heads), and
+// pathological units degrade to a partial AST with a structured
+// guard.Diagnostic instead of hanging. With RunConfig.Quarantine, a unit
+// whose first attempt panics or trips its budget is retried once; a second
+// failure quarantines the unit, which Metrics reports by path.
+//
 // While a run is in flight the workers maintain lock-free counters
 // (stats.Counter/Timer/HighWater); RunMetered returns their final values as
 // a Metrics snapshot alongside the results.
@@ -25,6 +35,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +46,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
+	"repro/internal/guard"
+	"repro/internal/guard/faultinject"
 	"repro/internal/hcache"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
@@ -52,6 +65,16 @@ var DefaultJobs int
 // that do not override RunConfig.HeaderCache. The cmd tools' -no-header-cache
 // flag sets it once at startup.
 var DisableHeaderCache bool
+
+// DefaultBudget supplies per-unit resource limits for runs that leave
+// RunConfig.Budget zero. The cmd tools' -timeout/-budget-* flags set it once
+// at startup so that every run (Figure sweeps included) inherits it.
+var DefaultBudget guard.Limits
+
+// DefaultQuarantine enables retry-once-then-quarantine for runs that leave
+// RunConfig.Quarantine unset. The cmd tools' -quarantine flag sets it once
+// at startup.
+var DefaultQuarantine bool
 
 // sharedHeaderCache is the process-wide default header cache, created on
 // first cached run so that repeated runs (benchmark arms, Figure sweeps)
@@ -91,6 +114,27 @@ type RunConfig struct {
 	HeaderCache *hcache.Cache
 	// NoHeaderCache disables header caching for this run.
 	NoHeaderCache bool
+	// Budget sets per-unit resource ceilings (internal/guard). The zero
+	// value defers to DefaultBudget; all-zero limits still attach a budget
+	// so that context cancellation reaches in-flight units.
+	Budget guard.Limits
+	// Quarantine retries a failed or budget-tripped unit once and, on a
+	// second failure, marks it quarantined instead of retrying forever.
+	// False defers to DefaultQuarantine.
+	Quarantine bool
+}
+
+// limits resolves the effective per-unit resource limits.
+func (cfg RunConfig) limits() guard.Limits {
+	if cfg.Budget.Zero() {
+		return DefaultBudget
+	}
+	return cfg.Budget
+}
+
+// quarantine resolves whether retry-once-then-quarantine is active.
+func (cfg RunConfig) quarantine() bool {
+	return cfg.Quarantine || DefaultQuarantine
 }
 
 // jobs resolves the effective worker count for n units.
@@ -113,14 +157,20 @@ func (cfg RunConfig) jobs(n int) int {
 
 // UnitResult is one compilation unit's measurements.
 type UnitResult struct {
-	File        string
-	Bytes       int
-	Tokens      int
-	Pre         preprocessor.UnitStats
-	Parse       fmlr.Stats
-	Killed      bool
-	ParseFail   bool
-	Err         string // non-parse failure: panic recovered or run cancelled
+	File      string
+	Bytes     int
+	Tokens    int
+	Pre       preprocessor.UnitStats
+	Parse     fmlr.Stats
+	Killed    bool
+	ParseFail bool
+	Err       string // non-parse failure: panic recovered or run cancelled
+	Stack     string // goroutine stack captured when Err records a panic
+	// Budget is the structured diagnostic when the unit tripped its
+	// resource budget and degraded to a partial AST (nil otherwise).
+	Budget      *guard.Diagnostic
+	Retried     bool // result comes from the second (retry) attempt
+	Quarantined bool // both attempts failed; unit is quarantined
 	LexTime     time.Duration
 	PreTime     time.Duration // preprocessing excluding lexing
 	ParseTime   time.Duration
@@ -145,6 +195,13 @@ type Metrics struct {
 	FailedUnits int // ParseFail or recorded Err
 	KilledUnits int // subparser kill switch trips
 	MaxInFlight int // high-water mark of concurrently processing units
+
+	// Resource-governor outcomes (internal/guard).
+	BudgetTrips      int      // units that tripped a budget axis and degraded
+	TripsByAxis      []int64  // trips per guard.Axis (indexed by Axis value)
+	RetriedUnits     int      // units whose recorded result is a retry
+	QuarantinedUnits int      // units that failed both attempts
+	Quarantined      []string // quarantined unit paths, sorted
 
 	// Cumulative per-stage work across all units (sums of per-unit wall
 	// time; with N workers this can exceed WallTime by up to N×).
@@ -192,6 +249,21 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "harness metrics (jobs=%d)\n", m.Jobs)
 	fmt.Fprintf(&b, "  units: %d processed, %d failed, %d killed; max in flight %d\n",
 		m.Units, m.FailedUnits, m.KilledUnits, m.MaxInFlight)
+	fmt.Fprintf(&b, "  guard: %d budget trips, %d retried, %d quarantined",
+		m.BudgetTrips, m.RetriedUnits, m.QuarantinedUnits)
+	var axes []string
+	for a, n := range m.TripsByAxis {
+		if n > 0 {
+			axes = append(axes, fmt.Sprintf("%s %d", guard.Axis(a), n))
+		}
+	}
+	if len(axes) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(axes, ", "))
+	}
+	b.WriteByte('\n')
+	for _, q := range m.Quarantined {
+		fmt.Fprintf(&b, "    quarantined: %s\n", q)
+	}
 	fmt.Fprintf(&b, "  stage time: lex %.3fms, preprocess %.3fms, parse %.3fms (wall %.3fms)\n",
 		1e3*m.LexTime.Seconds(), 1e3*m.PreprocessTime.Seconds(),
 		1e3*m.ParseTime.Seconds(), 1e3*m.WallTime.Seconds())
@@ -231,6 +303,16 @@ type collector struct {
 	opHits, opMisses         stats.Counter
 	opEvictions              stats.Counter
 	condOps, condFastPaths   stats.Counter
+
+	budgetTrips          stats.Counter
+	axisTrips            *stats.CounterSet
+	retried, quarantined stats.Counter
+	quarMu               sync.Mutex
+	quarantinedFiles     []string
+}
+
+func newCollector() *collector {
+	return &collector{axisTrips: stats.NewCounterSet(int(guard.NumAxes))}
 }
 
 // add folds one finished unit into the collector.
@@ -240,6 +322,19 @@ func (col *collector) add(r *UnitResult) {
 	}
 	if r.Killed {
 		col.killed.Inc()
+	}
+	if r.Budget != nil {
+		col.budgetTrips.Inc()
+		col.axisTrips.Inc(int(r.Budget.Axis))
+	}
+	if r.Retried {
+		col.retried.Inc()
+	}
+	if r.Quarantined {
+		col.quarantined.Inc()
+		col.quarMu.Lock()
+		col.quarantinedFiles = append(col.quarantinedFiles, r.File)
+		col.quarMu.Unlock()
 	}
 	col.lex.Add(r.LexTime)
 	col.pre.Add(r.PreTime)
@@ -276,7 +371,7 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 	}
 	jobs := cfg.jobs(len(c.CFiles))
 	out := make([]UnitResult, len(c.CFiles))
-	col := &collector{}
+	col := newCollector()
 	hc := cfg.headerCache()
 	var hcBefore hcache.Snapshot
 	if hc != nil {
@@ -297,8 +392,17 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 					continue
 				}
 				col.inFlight.Enter()
-				out[i] = runUnitSafe(c, cfg, parser, hc, c.CFiles[i])
+				r := runUnitSafe(ctx, c, cfg, parser, hc, c.CFiles[i])
+				if cfg.quarantine() && r.unhealthy() && ctx.Err() == nil {
+					retry := runUnitSafe(ctx, c, cfg, parser, hc, c.CFiles[i])
+					retry.Retried = true
+					if retry.unhealthy() {
+						retry.Quarantined = true
+					}
+					r = retry
+				}
 				col.inFlight.Exit()
+				out[i] = r
 				col.add(&out[i])
 			}
 		}()
@@ -333,11 +437,17 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		BDDOpEvictions:   col.opEvictions.Load(),
 		CondOps:          col.condOps.Load(),
 		CondFastPaths:    col.condFastPaths.Load(),
+		BudgetTrips:      int(col.budgetTrips.Load()),
+		TripsByAxis:      col.axisTrips.Snapshot(),
+		RetriedUnits:     int(col.retried.Load()),
+		QuarantinedUnits: int(col.quarantined.Load()),
 		TableCacheHits:   hits,
 		TableCacheMisses: misses,
 		TableCacheState:  cgrammar.TableCacheState(),
 		HeaderCacheState: "off",
 	}
+	sort.Strings(col.quarantinedFiles)
+	m.Quarantined = col.quarantinedFiles
 	if hc != nil {
 		d := hc.Stats().Sub(hcBefore)
 		m.HeaderCacheState = "on"
@@ -355,22 +465,42 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 // panic barrier); tests use it to inject worker panics.
 var testHookUnitStart func(file string)
 
-// runUnitSafe is runUnit behind a panic barrier: a poisoned unit (lexer
-// panic, grammar bug) is recorded as that unit's failure instead of
-// crashing the whole corpus run.
-func runUnitSafe(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Cache, cf string) (res UnitResult) {
-	defer func() {
-		if p := recover(); p != nil {
-			res = UnitResult{File: cf, ParseFail: true, Err: fmt.Sprintf("panic: %v", p)}
-		}
-	}()
-	return runUnit(c, cfg, parser, hc, cf)
+// unhealthy reports whether the unit attempt is worth retrying under
+// quarantine semantics: it panicked (Err) or tripped its resource budget.
+// Plain parse failures (grammar rejects) are deterministic results, not
+// faults, and are never retried.
+func (r *UnitResult) unhealthy() bool {
+	return r.Err != "" || r.Budget != nil
 }
 
-func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Cache, cf string) UnitResult {
+// runUnitSafe is runUnit behind a panic barrier: a poisoned unit (lexer
+// panic, grammar bug, injected fault) is recorded as that unit's failure —
+// with the unit path and goroutine stack — instead of crashing the whole
+// corpus run.
+func runUnitSafe(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Cache, cf string) (res UnitResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = UnitResult{
+				File:      cf,
+				ParseFail: true,
+				Err:       fmt.Sprintf("panic processing %s: %v", cf, p),
+				Stack:     string(debug.Stack()),
+			}
+		}
+	}()
+	return runUnit(ctx, c, cfg, parser, hc, cf)
+}
+
+func runUnit(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Cache, cf string) UnitResult {
 	if testHookUnitStart != nil {
 		testHookUnitStart(cf)
 	}
+	// Every unit gets its own budget even when all limits are zero: the
+	// budget carries the run context into the stage loop heads, so
+	// cancelling the run abandons in-flight units, not just queued ones.
+	budget := guard.New(ctx, cfg.limits())
+	faultinject.At(faultinject.PointHarnessUnit, cf, budget)
+	parser.Budget = budget
 	// Each unit gets a fresh tool so that condition-space growth (BDD node
 	// tables, SAT statistics) is attributed per unit, as in the paper's
 	// per-compilation-unit latency measurements — and so that units share
@@ -383,6 +513,7 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Ca
 		SingleConfig: cfg.Single,
 		Defines:      cfg.Defines,
 		HeaderCache:  hc,
+		Budget:       budget,
 	})
 	start := time.Now()
 	unit, err := tool.Preprocess(cf)
@@ -391,6 +522,7 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Ca
 	if err != nil {
 		res.ParseFail = true
 		res.Err = err.Error()
+		res.Budget = budget.Trip()
 		return res
 	}
 	parseStart := time.Now()
@@ -420,6 +552,7 @@ func runUnit(c *corpus.Corpus, cfg RunConfig, parser fmlr.Options, hc *hcache.Ca
 	hot := tool.Space().Hot
 	res.CondOps = hot.Ops
 	res.CondFastPaths = hot.FastPaths
+	res.Budget = budget.Trip()
 	return res
 }
 

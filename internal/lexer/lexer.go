@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/guard"
 	"repro/internal/token"
 )
 
@@ -57,6 +58,10 @@ type Lexer struct {
 	// pending space flag for the next token
 	hasSpace bool
 
+	// budget, when set, bounds the number of tokens produced; nil in the
+	// common path costs one pointer check per token.
+	budget *guard.Budget
+
 	// Stats
 	Comments int // number of comments stripped
 	Splices  int // number of line continuations spliced
@@ -74,10 +79,26 @@ func Lex(file string, src []byte) ([]token.Token, error) {
 	return lx.Tokens()
 }
 
+// LexBudget is Lex under a resource budget: each produced token charges
+// guard.AxisTokens, and a trip truncates the stream — the tokens lexed so
+// far are returned terminated by EOF, with no error. Degradation, not
+// failure: the caller inspects the budget for the diagnostic.
+func LexBudget(file string, src []byte, b *guard.Budget) ([]token.Token, error) {
+	lx := New(file, src)
+	lx.budget = b
+	return lx.Tokens()
+}
+
+// SetBudget attaches a resource budget to the lexer.
+func (l *Lexer) SetBudget(b *guard.Budget) { l.budget = b }
+
 // Tokens scans all remaining input.
 func (l *Lexer) Tokens() ([]token.Token, error) {
 	var toks []token.Token
 	for {
+		if !l.budget.Charge("lexer", guard.AxisTokens, 1) {
+			return append(toks, token.Token{Kind: token.EOF, File: l.file, Line: l.line, Col: l.col}), nil
+		}
 		t, err := l.Next()
 		if err != nil {
 			return toks, err

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/cond"
+	"repro/internal/guard"
 	"repro/internal/lexer"
 	"repro/internal/token"
 )
@@ -32,6 +33,13 @@ func (p *Preprocessor) expandSegments(segs []Segment, c cond.Cond, depth int) []
 	var out []Segment
 	in := segs
 	for len(in) > 0 {
+		// Loop-head budget check: each rescanning step charges the
+		// macro-steps axis; a macro-expansion bomb trips here. On trip the
+		// remaining input is passed through unexpanded — partial progress,
+		// not failure.
+		if !p.budget.Charge("preprocessor", guard.AxisMacroSteps, 1) {
+			return append(out, in...)
+		}
 		s := in[0]
 		if s.Cond != nil {
 			expanded := p.expandConditional(s.Cond, c, depth)
@@ -250,7 +258,7 @@ const (
 // consumed, and whether an invocation was recognized and expanded.
 func (p *Preprocessor) expandInvocation(in []Segment, c cond.Cond, depth int) ([]Segment, int, bool) {
 	// Seed states from the hoisted head segment.
-	headAlts, ok := Hoist(p.space, c, in[:1], hoistLimit)
+	headAlts, ok := p.hoistGuard(c, in[:1])
 	if !ok {
 		p.stats.HoistOverflows++
 		return nil, 0, false
@@ -690,7 +698,7 @@ func (p *Preprocessor) substitute(def *MacroDef, args [][]token.Token, use token
 	// Token pasting. If conditionals crept in (via expanded arguments),
 	// hoist them out first so pasting sees only ordinary tokens.
 	if containsConditional(out) {
-		alts, ok := Hoist(p.space, c, out, hoistLimit)
+		alts, ok := p.hoistGuard(c, out)
 		if !ok {
 			p.stats.HoistOverflows++
 			return out

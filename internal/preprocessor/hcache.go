@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/cond"
+	"repro/internal/guard/faultinject"
 	"repro/internal/hcache"
 	"repro/internal/token"
 )
@@ -452,6 +453,7 @@ func (p *Preprocessor) processFileCached(path string, c cond.Cond) ([]Segment, e
 	if !p.cacheEligible(c) {
 		return p.processFile(path, c)
 	}
+	faultinject.At(faultinject.PointHeaderCache, p.stats.File, p.budget)
 	src, err := p.fs.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -464,7 +466,9 @@ func (p *Preprocessor) processFileCached(path string, c cond.Cond) ([]Segment, e
 	}
 	rec := p.beginRecording()
 	segs, err := p.processFileSrc(path, src, hash, c)
-	p.endRecording(rec, key, segs, err != nil)
+	// A recording made under a tripped budget saw truncated expansion;
+	// storing it would poison the shared cache for healthy units.
+	p.endRecording(rec, key, segs, err != nil || p.budget.Tripped())
 	return segs, err
 }
 

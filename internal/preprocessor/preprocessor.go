@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/cexpr"
 	"repro/internal/cond"
+	"repro/internal/guard"
+	"repro/internal/guard/faultinject"
 	"repro/internal/hcache"
 	"repro/internal/lexer"
 	"repro/internal/token"
@@ -31,6 +33,10 @@ type Options struct {
 	// not). Ignored in single-configuration mode, whose concrete conditional
 	// evaluation does not fit the cache's fingerprint model.
 	HeaderCache *hcache.Cache
+	// Budget, when non-nil, governs the unit's resource consumption (see
+	// internal/guard). On trip the preprocessor stops early and returns the
+	// partial forest with a budget diagnostic; it never errors or hangs.
+	Budget *guard.Budget
 }
 
 // Diagnostic is a preprocessing error or warning.
@@ -78,6 +84,9 @@ type Preprocessor struct {
 	guardOf      map[string]string // file -> guard macro name ("" = none)
 	timesInc     map[string]int    // file -> times included
 	counter      int               // __COUNTER__ state
+
+	// budget is the unit's resource governor (nil: ungoverned).
+	budget *guard.Budget
 
 	// Cross-unit header cache state (nil/empty when disabled).
 	hcache    *hcache.Cache
@@ -127,6 +136,7 @@ func New(opts Options) *Preprocessor {
 	for name := range builtins {
 		p.builtinNames[name] = true
 	}
+	p.budget = opts.Budget
 	if opts.HeaderCache != nil && !opts.SingleConfig {
 		p.hcache = opts.HeaderCache
 		p.exporter = opts.Space.NewExporter()
@@ -163,6 +173,9 @@ func (p *Preprocessor) resetTable() {
 // for tests).
 func (p *Preprocessor) Macros() *MacroTable { return p.macros }
 
+// SetBudget attaches a resource budget for subsequent units (nil detaches).
+func (p *Preprocessor) SetBudget(b *guard.Budget) { p.budget = b }
+
 // Define installs a command-line style definition (-D) under the True
 // condition. Call before Preprocess.
 func (p *Preprocessor) Define(name, body string) error {
@@ -194,9 +207,17 @@ func (p *Preprocessor) PreprocessKeepTable(path string) (*Unit, error) {
 	p.timesInc = make(map[string]int)
 	p.recorders = nil
 
+	faultinject.At(faultinject.PointPreprocess, path, p.budget)
+	p.budget.Tick("preprocessor")
 	segs, err := p.processFile(path, p.space.True())
 	if err != nil {
 		return nil, err
+	}
+	if d := p.budget.Trip(); d != nil {
+		// Degradation, not failure: the forest built so far is the unit's
+		// partial output, annotated with the structured trip diagnostic.
+		p.budget.Annotate("", fmt.Sprintf("%d tokens preprocessed before trip", CountTokens(segs)))
+		p.diags = append(p.diags, Diagnostic{Tok: token.Token{File: path}, Msg: d.Error(), Warning: true})
 	}
 	p.stats.Tokens = CountTokens(segs)
 	return &Unit{File: path, Segments: segs, Stats: *p.stats, Diags: p.diags}, nil
@@ -238,8 +259,9 @@ func (p *Preprocessor) processFileSrc(path string, src []byte, hash string, c co
 	if cached != nil {
 		lines, guard = cached.Lines, cached.Guard
 	} else {
+		faultinject.At(faultinject.PointLex, path, p.budget)
 		lexStart := time.Now()
-		toks, err := lexer.Lex(path, src)
+		toks, err := lexer.LexBudget(path, src, p.budget)
 		p.stats.LexTime += time.Since(lexStart)
 		if err != nil {
 			return nil, err
@@ -247,7 +269,7 @@ func (p *Preprocessor) processFileSrc(path string, src []byte, hash string, c co
 		toks = lexer.StripEOF(toks)
 		lines = splitLines(toks)
 		guard = detectGuard(lines)
-		if p.hcache != nil {
+		if p.hcache != nil && !p.budget.Tripped() {
 			p.hcache.StoreLex(path+"\x00"+hash, &hcache.LexEntry{
 				Toks:  toks,
 				Lines: lines,
@@ -505,6 +527,13 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 	}
 
 	for _, line := range lines {
+		if !p.budget.Tick("preprocessor") {
+			// Budget tripped: whatever partial expansion a recording has
+			// seen must not enter the shared header cache, then unwind.
+			p.poisonRecorders()
+			p.budget.Annotate(p.space.String(fileCond), "")
+			break
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -647,8 +676,22 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 			}
 		}
 	}
-	for range stack {
-		p.errorf(token.Token{File: file}, "unterminated #if")
+	if p.budget.Tripped() {
+		// A tripped unit legitimately stops mid-conditional; reporting the
+		// open frames as unterminated would be misleading. Salvage their
+		// committed branches so the partial forest keeps as much feasible
+		// content as possible.
+		for i := len(stack) - 1; i >= 0; i-- {
+			top := stack[i]
+			if top.inert || len(top.branches) == 0 {
+				continue
+			}
+			unit.out = append(unit.out, CondSeg(&Conditional{Branches: top.branches}))
+		}
+	} else {
+		for range stack {
+			p.errorf(token.Token{File: file}, "unterminated #if")
+		}
 	}
 	p.flush(unit)
 	return unit.out, nil
@@ -717,6 +760,9 @@ func (p *Preprocessor) handleDefine(args []token.Token, c cond.Cond) {
 // handleInclude resolves and processes a #include or #include_next
 // directive under c.
 func (p *Preprocessor) handleInclude(args []token.Token, c cond.Cond, fromFile string, at token.Token, next bool) []Segment {
+	if p.budget.Tripped() {
+		return nil
+	}
 	if p.includeDepth >= p.maxInclude {
 		// The error depends on absolute nesting depth, which the cache
 		// fingerprint deliberately does not capture: poison any recordings.
@@ -731,7 +777,7 @@ func (p *Preprocessor) handleInclude(args []token.Token, c cond.Cond, fromFile s
 	// Computed include: expand, hoist, resolve per alternative.
 	p.stats.ComputedIncludes++
 	expanded := p.expandSegments(TokensOf(args), c, 0)
-	alts, ok := Hoist(p.space, c, expanded, hoistLimit)
+	alts, ok := p.hoistGuard(c, expanded)
 	if !ok {
 		p.stats.HoistOverflows++
 		p.errorf(at, "computed include too complex")
@@ -817,6 +863,29 @@ func (p *Preprocessor) spliceInclude(name string, angled bool, c cond.Cond, from
 	return segs
 }
 
+// hoistGuard wraps Hoist (Algorithm 1) with the budget's hoist axis: the
+// static hoistLimit is tightened by the budget's configured ceiling, the
+// product size is recorded as a high-water mark, and an overflow that only
+// the budget's tighter ceiling could have caused trips the budget so the
+// structured diagnostic names the axis.
+func (p *Preprocessor) hoistGuard(c cond.Cond, segs []Segment) ([]Alternative, bool) {
+	limit := hoistLimit
+	blim := p.budget.Limits().Hoist
+	if blim > 0 && blim < int64(limit) {
+		limit = int(blim)
+	}
+	alts, ok := Hoist(p.space, c, segs, limit)
+	if !ok {
+		if blim > 0 && blim <= int64(hoistLimit) {
+			p.budget.ForceTrip("preprocessor", guard.AxisHoist)
+			p.budget.Annotate(p.space.String(c), "")
+		}
+		return nil, false
+	}
+	p.budget.Observe("preprocessor", guard.AxisHoist, int64(len(alts)))
+	return alts, true
+}
+
 // evalConditionalDirective converts #if/#ifdef/#ifndef arguments into a
 // presence condition relative to base (or a concrete constant in
 // single-configuration mode).
@@ -852,6 +921,7 @@ func (p *Preprocessor) evalConditionalDirective(kind string, args []token.Token,
 // macros around the expression, folds constants, and converts each hoisted
 // alternative to a presence condition (paper §3.2).
 func (p *Preprocessor) evalIfExpr(args []token.Token, base cond.Cond, at token.Token) cond.Cond {
+	faultinject.At(faultinject.PointCondExpr, p.stats.File, p.budget)
 	segs := p.expandGuardingDefined(args, base)
 	if p.singleConfig {
 		// Concrete evaluation; expansion produced plain tokens.
@@ -878,7 +948,7 @@ func (p *Preprocessor) evalIfExpr(args []token.Token, base cond.Cond, at token.T
 		}
 		return p.space.False()
 	}
-	alts, ok := Hoist(p.space, base, segs, hoistLimit)
+	alts, ok := p.hoistGuard(base, segs)
 	if !ok {
 		p.stats.HoistOverflows++
 		p.errorf(at, "conditional expression too complex")
