@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench chaos guard-overhead
+.PHONY: ci build test race vet fmt bench chaos guard-overhead lint analyze-smoke
 
-ci: fmt vet build race
+ci: lint build race analyze-smoke
+
+lint: fmt vet
 
 build:
 	$(GO) build ./...
@@ -31,3 +33,15 @@ chaos:
 # Assert the resource governor costs < 3% on the parse stage.
 guard-overhead:
 	GUARD_OVERHEAD=1 $(GO) test -run TestGuardOverhead -v .
+
+# clint over the seeded-bug fixtures must reproduce the golden JSON exactly
+# (CI's analyze-smoke). clint exits 1 when diagnostics are reported, so the
+# expected-failure status is checked explicitly.
+analyze-smoke:
+	@$(GO) build -o clint.smoke ./cmd/clint
+	@./clint.smoke -I examples/clint -format json \
+		examples/clint/config_bugs.c examples/clint/clean.c > clint.got.json; \
+		status=$$?; \
+		if [ "$$status" -ne 1 ]; then echo "clint exit $$status, want 1"; rm -f clint.smoke clint.got.json; exit 1; fi
+	@diff clint.got.json examples/clint/golden.json && echo "analyze-smoke: golden match"
+	@rm -f clint.smoke clint.got.json

@@ -1,0 +1,303 @@
+// Command clint is the variability-aware C linter: it preprocesses and
+// parses each compilation unit configuration-preservingly, runs the
+// analysis passes over the choice AST and the preprocessor's condition
+// records, and reports every diagnostic with the presence condition under
+// which it holds plus a concrete witness configuration (re-verified on the
+// independent SAT representation).
+//
+// Units are processed on a worker pool (-j wide, GOMAXPROCS by default)
+// with per-file output buffered and flushed in argument order, so the
+// output is byte-identical regardless of -j.
+//
+// Usage:
+//
+//	clint [flags] file.c [file2.c ...]
+//
+// Examples:
+//
+//	clint -I include drivers/mouse.c        # text diagnostics
+//	clint -format json file.c               # machine-readable output
+//	clint -format sarif file.c              # SARIF 2.1.0 for code-scanning UIs
+//	clint -passes deadbranch,errreach f.c   # run a subset of passes
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+	"repro/internal/cgrammar"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/hcache"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var includes, defines stringList
+	flag.Var(&includes, "I", "include search path (repeatable)")
+	flag.Var(&defines, "D", "macro definition NAME or NAME=VALUE (repeatable)")
+	mode := flag.String("mode", "bdd", "presence-condition representation: bdd or sat")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	passNames := flag.String("passes", "", "comma-separated pass names (default: all)")
+	listPasses := flag.Bool("list", false, "list the available passes and exit")
+	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
+	showStats := flag.Bool("stats", false, "print per-unit analysis statistics to stderr")
+	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
+	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	limits := guard.FlagLimits(flag.CommandLine)
+	flag.Parse()
+
+	if *listPasses {
+		for _, a := range passes.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: clint [flags] file.c [file2.c ...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cgrammar.DisableTableCache(*noCache)
+
+	condMode := cond.ModeBDD
+	if *mode == "sat" {
+		condMode = cond.ModeSAT
+	} else if *mode != "bdd" {
+		fmt.Fprintf(os.Stderr, "clint: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "clint: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+	var selected []*analysis.Analyzer
+	if *passNames == "" {
+		selected = passes.All()
+	} else {
+		names := strings.Split(*passNames, ",")
+		selected = passes.ByName(names)
+		known := make(map[string]bool)
+		for _, a := range passes.All() {
+			known[a.Name] = true
+		}
+		for _, n := range names {
+			if !known[strings.TrimSpace(n)] {
+				fmt.Fprintf(os.Stderr, "clint: unknown pass %q (see -list)\n", n)
+				os.Exit(2)
+			}
+		}
+	}
+
+	defs := map[string]string{}
+	for _, d := range defines {
+		name, val := d, "1"
+		if i := strings.IndexByte(d, '='); i >= 0 {
+			name, val = d[:i], d[i+1:]
+		}
+		defs[name] = val
+	}
+
+	cfg := core.Config{
+		IncludePaths: includes,
+		Defines:      defs,
+		CondMode:     condMode,
+	}
+	if !*noHeaderCache {
+		cfg.HeaderCache = hcache.New(hcache.Options{})
+	}
+
+	files := flag.Args()
+	results := make([]*analysis.Result, len(files))
+	errOuts := make([]bytes.Buffer, len(files))
+
+	nWorkers := *jobs
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > len(files) {
+		nWorkers = len(files)
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+
+	// Each file gets its own tool — a fresh condition space and macro table —
+	// so units are independent and any worker can take any file. Results are
+	// indexed by argument position: the output is a pure function of the
+	// inputs, not of scheduling.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = lintFile(cfg, files[i], selected, *limits, &errOuts[i])
+			}
+		}()
+	}
+	for i := range files {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	exit := 0
+	for i := range errOuts {
+		if errOuts[i].Len() > 0 {
+			io.Copy(os.Stderr, &errOuts[i])
+			exit = 1
+		}
+	}
+	total := 0
+	for _, r := range results {
+		if r != nil {
+			total += len(r.Diags)
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := analysis.WriteJSON(os.Stdout, compact(results)); err != nil {
+			fmt.Fprintf(os.Stderr, "clint: %v\n", err)
+			exit = 1
+		}
+	case "sarif":
+		if err := analysis.WriteSARIF(os.Stdout, "clint", compact(results)); err != nil {
+			fmt.Fprintf(os.Stderr, "clint: %v\n", err)
+			exit = 1
+		}
+	default:
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			for _, d := range r.Diags {
+				fmt.Println(renderText(d))
+			}
+		}
+	}
+	if *showStats {
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			s := r.Stats
+			fmt.Fprintf(os.Stderr, "clint: %s: %d passes, %d diagnostics (%s); %d witness checks, %d failed, %d infeasible dropped, %d error regions skipped\n",
+				r.File, s.PassesRun, s.Diagnostics, byPassSummary(s.ByPass),
+				s.WitnessChecks, s.WitnessFailures, s.InfeasibleDropped, s.ErrorRegions)
+		}
+	}
+	if total > 0 {
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// lintFile parses and analyzes one unit; nil is returned only when the unit
+// could not be processed at all (the error is on w).
+func lintFile(cfg core.Config, file string, analyzers []*analysis.Analyzer, limits guard.Limits, w io.Writer) *analysis.Result {
+	tool := core.New(cfg)
+	if !limits.Zero() {
+		tool.SetBudget(guard.New(context.Background(), limits))
+	}
+	res, err := tool.ParseFile(file)
+	if err != nil {
+		fmt.Fprintf(w, "clint: %s: %v\n", file, err)
+		return nil
+	}
+	for _, d := range res.Unit.Diags {
+		if !d.Warning {
+			fmt.Fprintf(w, "clint: %s\n", d)
+		}
+	}
+	return analysis.Run(&analysis.Unit{
+		File:   file,
+		Space:  tool.Space(),
+		AST:    res.AST,
+		PP:     res.Unit,
+		Budget: tool.Budget(),
+	}, analyzers)
+}
+
+func renderText(d analysis.Diagnostic) string {
+	pos := d.File
+	if d.Line > 0 {
+		pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+	}
+	verified := ""
+	if !d.WitnessVerified {
+		verified = " UNVERIFIED"
+	}
+	return fmt.Sprintf("%s: %s: %s [when %s; witness %s%s]",
+		pos, d.Pass, d.Msg, d.CondStr, witnessText(d.Witness), verified)
+}
+
+func witnessText(w map[string]bool) string {
+	if len(w) == 0 {
+		return "any"
+	}
+	names := make([]string, 0, len(w))
+	for n := range w {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		v := "0"
+		if w[n] {
+			v = "1"
+		}
+		parts[i] = n + "=" + v
+	}
+	return strings.Join(parts, " ")
+}
+
+func byPassSummary(byPass map[string]int) string {
+	if len(byPass) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(byPass))
+	for n := range byPass {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s %d", n, byPass[n])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// compact drops nil results (failed units) keeping order.
+func compact(results []*analysis.Result) []*analysis.Result {
+	out := make([]*analysis.Result, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -10,6 +10,7 @@
 //	cstats -table 3         # just Table 3
 //	cstats -seed 7 -cfiles 200 -headers 48
 //	cstats -table 3 -j 8 -metrics
+//	cstats -analyze         # run the analysis passes over the corpus
 //	cstats -table 3 -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -21,6 +22,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/analysis/passes"
 	"repro/internal/cgrammar"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
@@ -37,6 +39,7 @@ func main() {
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	metrics := flag.Bool("metrics", false, "print the harness metrics snapshot after the Table 3 sweep")
+	analyze := flag.Bool("analyze", false, "run the variability analysis passes during the Table 3 sweep and print diagnostics")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
@@ -87,8 +90,29 @@ func main() {
 		fmt.Println(harness.Table2b(c))
 	}
 	if *table == "all" || *table == "3" {
-		results, m := harness.RunMetered(context.Background(), c, harness.RunConfig{Parser: fmlr.OptAll})
+		cfg := harness.RunConfig{Parser: fmlr.OptAll}
+		if *analyze {
+			cfg.Analyzers = passes.All()
+		}
+		results, m := harness.RunMetered(context.Background(), c, cfg)
 		fmt.Println(harness.Table3(results))
+		if *analyze {
+			// Results are indexed by corpus position, and each unit's
+			// diagnostics are sorted by the driver, so this listing is
+			// deterministic regardless of -j.
+			for _, r := range results {
+				if r.Analysis == nil {
+					continue
+				}
+				for _, d := range r.Analysis.Diags {
+					pos := d.File
+					if d.Line > 0 {
+						pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+					}
+					fmt.Printf("%s: %s: %s [when %s]\n", pos, d.Pass, d.Msg, d.CondStr)
+				}
+			}
+		}
 		if *metrics {
 			fmt.Print(m)
 		}

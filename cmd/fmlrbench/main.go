@@ -33,6 +33,7 @@ import (
 	"runtime/pprof"
 	"testing"
 
+	"repro/internal/analysis/passes"
 	"repro/internal/cgrammar"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -162,6 +163,19 @@ type benchRobustness struct {
 	Quarantined      []string         `json:"quarantined,omitempty"`
 }
 
+// benchAnalysis summarizes the variability analysis that rides along the
+// instrumented sweep: passes run, diagnostics per pass, the independent SAT
+// witness checks, and how many opaque _Error regions the passes skipped.
+type benchAnalysis struct {
+	PassesRun           int64            `json:"passes_run"`
+	Diagnostics         int64            `json:"diagnostics"`
+	DiagsByPass         map[string]int64 `json:"diags_by_pass,omitempty"`
+	WitnessChecks       int64            `json:"witness_checks"`
+	WitnessFailures     int64            `json:"witness_failures"`
+	InfeasibleDropped   int64            `json:"infeasible_dropped"`
+	SkippedErrorRegions int64            `json:"skipped_error_regions"`
+}
+
 type benchFile struct {
 	Schema     string          `json:"schema"`
 	CorpusSeed int64           `json:"corpus_seed"`
@@ -170,6 +184,7 @@ type benchFile struct {
 	KillSwitch int             `json:"kill_switch"`
 	Levels     []benchLevel    `json:"levels"`
 	Robustness benchRobustness `json:"robustness"`
+	Analysis   benchAnalysis   `json:"analysis"`
 }
 
 // runBenchJSON measures the parse stage at every optimization level and
@@ -240,8 +255,13 @@ func runBenchJSON(c *corpus.Corpus, kill int, path string) error {
 	}
 	// A governed instrumented sweep contributes the robustness counters
 	// (budget trips, retries, quarantine), under whatever -timeout/-budget-*
-	// limits and -quarantine setting the invocation carries.
-	_, m := harness.RunMetered(context.Background(), c, harness.RunConfig{Parser: fmlr.OptAll, KillSwitch: kill})
+	// limits and -quarantine setting the invocation carries, plus the
+	// analysis counters (the passes run over every unit in this sweep).
+	_, m := harness.RunMetered(context.Background(), c, harness.RunConfig{
+		Parser:     fmlr.OptAll,
+		KillSwitch: kill,
+		Analyzers:  passes.All(),
+	})
 	out.Robustness = benchRobustness{
 		BudgetTrips:      m.BudgetTrips,
 		RetriedUnits:     m.RetriedUnits,
@@ -256,8 +276,26 @@ func runBenchJSON(c *corpus.Corpus, kill int, path string) error {
 			out.Robustness.TripsByAxis[guard.Axis(a).String()] = n
 		}
 	}
+	out.Analysis = benchAnalysis{
+		PassesRun:           m.AnalysisPasses,
+		Diagnostics:         m.AnalysisDiags,
+		WitnessChecks:       m.WitnessChecks,
+		WitnessFailures:     m.WitnessFailures,
+		InfeasibleDropped:   m.InfeasibleDropped,
+		SkippedErrorRegions: m.SkippedErrorRegions,
+	}
+	for n, v := range m.AnalysisByPass {
+		if v > 0 {
+			if out.Analysis.DiagsByPass == nil {
+				out.Analysis.DiagsByPass = map[string]int64{}
+			}
+			out.Analysis.DiagsByPass[n] = v
+		}
+	}
 	fmt.Printf("robustness: %d budget trips, %d retried, %d quarantined\n",
 		m.BudgetTrips, m.RetriedUnits, m.QuarantinedUnits)
+	fmt.Printf("analysis: %d passes, %d diagnostics, %d witness checks (%d failed)\n",
+		m.AnalysisPasses, m.AnalysisDiags, m.WitnessChecks, m.WitnessFailures)
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

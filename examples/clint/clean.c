@@ -1,0 +1,9 @@
+/* Well-formed variability: both configurations compile, so clint must
+ * report nothing here — the analyze-smoke job checks the negative too. */
+#ifdef CONFIG_FAST
+static int scale(int v) { return v * 2; }
+#else
+static int scale(int v) { return v + 1; }
+#endif
+
+int run(int v) { return scale(v); }

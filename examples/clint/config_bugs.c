@@ -1,0 +1,31 @@
+/* Seeded variability bugs for the clint analyze-smoke fixture: one finding
+ * per pass, each reachable only under a specific configuration, so the
+ * golden JSON exercises presence conditions and witnesses end to end. */
+#include "unguarded.h"
+
+#ifdef CONFIG_NET
+#ifndef CONFIG_NET
+int dead_code; /* deadbranch: contradicts the enclosing #ifdef */
+#endif
+#endif
+
+#if defined(CONFIG_A) && defined(CONFIG_LEGACY)
+#error CONFIG_A conflicts with CONFIG_LEGACY
+#endif
+
+#define BUF_SIZE 64
+#ifdef CONFIG_BIG
+#define BUF_SIZE 4096 /* hygiene: overlapping redefinition, different body */
+#endif
+
+#ifdef CONFIG_X
+int duplicated = 1;
+#endif
+#ifdef CONFIG_Y
+int duplicated = 2; /* condredef: double definition under CONFIG_X && CONFIG_Y */
+#endif
+
+#ifdef CONFIG_COUNTERS
+int hit_count;
+#endif
+int bump(void) { return hit_count; } /* undefuse: undeclared under !CONFIG_COUNTERS */

@@ -1,0 +1,1 @@
+int shared_decl;

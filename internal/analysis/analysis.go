@@ -235,7 +235,24 @@ func (ix *Index) CoverageReport() []Coverage {
 			})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Fraction < out[j].Fraction })
+	// Full tie-break chain: Fraction alone leaves equal-coverage symbols in
+	// insertion order, which depends on how units were fed to the index —
+	// the report must be byte-stable across worker counts.
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Fraction != b.Fraction:
+			return a.Fraction < b.Fraction
+		case a.Symbol.Name != b.Symbol.Name:
+			return a.Symbol.Name < b.Symbol.Name
+		case a.Symbol.File != b.Symbol.File:
+			return a.Symbol.File < b.Symbol.File
+		case a.Symbol.Line != b.Symbol.Line:
+			return a.Symbol.Line < b.Symbol.Line
+		default:
+			return a.Symbol.Col < b.Symbol.Col
+		}
+	})
 	return out
 }
 
@@ -245,6 +262,16 @@ func DeclaredName(n *ast.Node) string {
 	name, _, _ := declaredNamePos(n)
 	return name
 }
+
+// DeclaredNamePos is DeclaredName with the declarator's source position.
+func DeclaredNamePos(n *ast.Node) (name string, line, col int) {
+	return declaredNamePos(n)
+}
+
+// HasLeaf reports whether the subtree contains a token with the given text
+// (choice alternatives included) — used by passes to spot storage-class and
+// typedef specifiers.
+func HasLeaf(n *ast.Node, text string) bool { return containsLeaf(n, text) }
 
 func declaredNamePos(n *ast.Node) (name string, line, col int) {
 	ast.Walk(n, func(m *ast.Node) bool {

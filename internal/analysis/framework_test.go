@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/guard"
+	"repro/internal/token"
+)
+
+// reportAnalyzer builds a one-shot analyzer that reports fixed diagnostics.
+func reportAnalyzer(name string, diags ...Diagnostic) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer",
+		Run: func(p *Pass) error {
+			for _, d := range diags {
+				p.Report(d)
+			}
+			return nil
+		},
+	}
+}
+
+func tok(line, col int) token.Token {
+	return token.Token{File: "u.c", Line: line, Col: col, Kind: token.Identifier}
+}
+
+func TestRunSortsAndAttachesWitnesses(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("(defined A)")
+	u := &Unit{File: "u.c", Space: s}
+	an := reportAnalyzer("demo",
+		Diagnostic{Line: 9, Col: 1, Msg: "later", Cond: s.True()},
+		Diagnostic{Line: 2, Col: 5, Msg: "earlier", Cond: a},
+	)
+	res := Run(u, []*Analyzer{an})
+	if len(res.Diags) != 2 {
+		t.Fatalf("diags = %d, want 2", len(res.Diags))
+	}
+	if res.Diags[0].Msg != "earlier" || res.Diags[1].Msg != "later" {
+		t.Errorf("order: %q then %q", res.Diags[0].Msg, res.Diags[1].Msg)
+	}
+	for _, d := range res.Diags {
+		if !d.WitnessVerified {
+			t.Errorf("%s: witness not verified", d.Msg)
+		}
+		if d.Pass != "demo" || d.File != "u.c" {
+			t.Errorf("driver-filled fields: %+v", d)
+		}
+	}
+	// The conditional diagnostic's witness must enable A.
+	if w := res.Diags[0].Witness; !w["(defined A)"] {
+		t.Errorf("witness %v does not satisfy (defined A)", w)
+	}
+	if res.Stats.WitnessChecks != 2 || res.Stats.WitnessFailures != 0 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestRunDropsInfeasibleDiagnostics(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	contradiction := s.And(a, s.Not(a))
+	u := &Unit{File: "u.c", Space: s}
+	res := Run(u, []*Analyzer{reportAnalyzer("demo",
+		Diagnostic{Line: 1, Col: 1, Msg: "impossible", Cond: contradiction},
+		Diagnostic{Line: 1, Col: 1, Msg: "possible", Cond: a},
+	)})
+	if len(res.Diags) != 1 || res.Diags[0].Msg != "possible" {
+		t.Fatalf("diags: %+v", res.Diags)
+	}
+	if res.Stats.InfeasibleDropped != 1 {
+		t.Errorf("InfeasibleDropped = %d, want 1", res.Stats.InfeasibleDropped)
+	}
+}
+
+func TestRunDedupsSharedPathSightings(t *testing.T) {
+	// A pass walking a DAG-shaped AST sights one finding once per incoming
+	// path; identical (position, pass, message, condition) reports collapse.
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	d := Diagnostic{Line: 3, Col: 7, Msg: "dup", Cond: a}
+	res := Run(&Unit{File: "u.c", Space: s}, []*Analyzer{reportAnalyzer("demo", d, d, d)})
+	if len(res.Diags) != 1 {
+		t.Fatalf("diags = %d, want 1 after dedup", len(res.Diags))
+	}
+	if res.Stats.Diagnostics != 1 || res.Stats.ByPass["demo"] != 1 {
+		t.Errorf("stats count duplicates: %+v", res.Stats)
+	}
+}
+
+func TestRunPassErrorDoesNotAbortOthers(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	failing := &Analyzer{Name: "aaa-fails", Doc: "", Run: func(p *Pass) error {
+		return fmt.Errorf("deliberate")
+	}}
+	ok := reportAnalyzer("bbb-ok", Diagnostic{Line: 1, Col: 1, Msg: "fine", Cond: s.True()})
+	res := Run(&Unit{File: "u.c", Space: s}, []*Analyzer{failing, ok})
+	if len(res.Errs) != 1 || !strings.Contains(res.Errs[0].Error(), "aaa-fails") {
+		t.Fatalf("errs: %v", res.Errs)
+	}
+	if res.Stats.PassErrors != 1 || res.Stats.PassesRun != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	if len(res.Diags) != 1 {
+		t.Errorf("surviving pass's diagnostics lost: %+v", res.Diags)
+	}
+}
+
+func TestRunTrippedBudgetDegrades(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	b := guard.New(context.Background(), guard.Limits{Tokens: 1})
+	b.ForceTrip("test", guard.AxisTokens)
+	res := Run(&Unit{File: "u.c", Space: s, Budget: b},
+		[]*Analyzer{reportAnalyzer("demo", Diagnostic{Line: 1, Col: 1, Msg: "x", Cond: s.True()})})
+	if res.Stats.PassesRun != 0 || len(res.Diags) != 0 {
+		t.Errorf("tripped budget still ran passes: %+v", res.Stats)
+	}
+}
+
+func TestRunCountsErrorRegions(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	root := ast.New("Unit", ast.NewChoice(
+		ast.Choice{Cond: a, Node: leaf("ok")},
+		ast.Choice{Cond: s.Not(a), Node: ast.Error("abandoned")},
+	))
+	res := Run(&Unit{File: "u.c", Space: s, AST: root}, nil)
+	if res.Stats.ErrorRegions != 1 {
+		t.Errorf("ErrorRegions = %d, want 1", res.Stats.ErrorRegions)
+	}
+}
+
+// randomCond builds a random condition term over the variables.
+func randomCond(s *cond.Space, rng *rand.Rand, vars []string, depth int) cond.Cond {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		v := s.Var(vars[rng.Intn(len(vars))])
+		if rng.Intn(2) == 0 {
+			return s.Not(v)
+		}
+		return v
+	}
+	l := randomCond(s, rng, vars, depth-1)
+	r := randomCond(s, rng, vars, depth-1)
+	if rng.Intn(2) == 0 {
+		return s.And(l, r)
+	}
+	return s.Or(l, r)
+}
+
+// TestWitnessProperty is the witness soundness property test: for random
+// conditions in both representations, SatOne either proves unsatisfiability
+// (the condition is False) or yields an assignment that the independent SAT
+// expression evaluation accepts.
+func TestWitnessProperty(t *testing.T) {
+	vars := []string{"(defined A)", "(defined B)", "(defined C)", "(defined D)", "(defined E)"}
+	for _, mode := range []cond.Mode{cond.ModeBDD, cond.ModeSAT} {
+		s := cond.NewSpace(mode)
+		rng := rand.New(rand.NewSource(11))
+		sat, unsat := 0, 0
+		for i := 0; i < 300; i++ {
+			c := randomCond(s, rng, vars, 4)
+			w, ok := s.SatOne(c)
+			if !ok {
+				unsat++
+				if !s.IsFalse(c) {
+					t.Fatalf("mode %v: SatOne said unsat for satisfiable %s", mode, s.String(c))
+				}
+				continue
+			}
+			sat++
+			if !VerifyWitness(s, c, w) {
+				t.Fatalf("mode %v: witness %v rejected for %s", mode, w, s.String(c))
+			}
+			// The witness must also satisfy the condition under the space's
+			// own evaluator — two independent routes, one verdict.
+			if !s.Eval(c, w) {
+				t.Fatalf("mode %v: space evaluation rejects witness %v for %s", mode, w, s.String(c))
+			}
+		}
+		if sat == 0 || unsat == 0 {
+			t.Logf("mode %v: coverage sat=%d unsat=%d (want both > 0)", mode, sat, unsat)
+		}
+	}
+}
+
+// TestWitnessNegativeDetection: a corrupted witness must fail the
+// independent check — the verifier is not a rubber stamp.
+func TestWitnessNegativeDetection(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a, b := s.Var("(defined A)"), s.Var("(defined B)")
+	c := s.And(a, b)
+	w, ok := s.SatOne(c)
+	if !ok {
+		t.Fatal("A&B unsat?")
+	}
+	if !VerifyWitness(s, c, w) {
+		t.Fatal("good witness rejected")
+	}
+	w["(defined A)"] = false
+	if VerifyWitness(s, c, w) {
+		t.Error("corrupted witness accepted")
+	}
+}
+
+func TestWriteJSONStableAndWellFormed(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	u := &Unit{File: "u.c", Space: s}
+	an := reportAnalyzer("demo",
+		Diagnostic{Line: 2, Col: 1, Msg: "m1", Cond: s.Var("(defined A)")},
+		Diagnostic{Line: 1, Col: 1, Msg: "m0", Cond: s.True()},
+	)
+	res := Run(u, []*Analyzer{an})
+	var first bytes.Buffer
+	if err := WriteJSON(&first, []*Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := WriteJSON(&again, []*Result{Run(u, []*Analyzer{an})}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("JSON output unstable:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	if !strings.Contains(first.String(), `"witnessVerified": true`) {
+		t.Errorf("witness flag missing:\n%s", first.String())
+	}
+}
+
+func TestWriteSARIFMentionsRulesAndPositions(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	res := Run(&Unit{File: "u.c", Space: s}, []*Analyzer{
+		reportAnalyzer("demo", Diagnostic{Line: 4, Col: 2, Msg: "finding", Cond: s.Var("(defined A)")}),
+	})
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "clint", []*Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": "2.1.0"`, `"ruleId": "demo"`, `"startLine": 4`, "finding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SARIF missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// jsonDiag is the wire form of a Diagnostic. Witness maps marshal with
+// sorted keys (encoding/json orders map keys), so the rendering is a pure
+// function of the diagnostic.
+type jsonDiag struct {
+	Pass            string          `json:"pass"`
+	File            string          `json:"file"`
+	Line            int             `json:"line"`
+	Col             int             `json:"col"`
+	Message         string          `json:"message"`
+	Cond            string          `json:"cond"`
+	Witness         map[string]bool `json:"witness"`
+	WitnessVerified bool            `json:"witnessVerified"`
+}
+
+type jsonUnit struct {
+	File        string     `json:"file"`
+	Diagnostics []jsonDiag `json:"diagnostics"`
+}
+
+func toJSONDiags(diags []Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		w := d.Witness
+		if w == nil {
+			w = map[string]bool{}
+		}
+		out[i] = jsonDiag{
+			Pass:            d.Pass,
+			File:            d.File,
+			Line:            d.Line,
+			Col:             d.Col,
+			Message:         d.Msg,
+			Cond:            d.CondStr,
+			Witness:         w,
+			WitnessVerified: d.WitnessVerified,
+		}
+	}
+	return out
+}
+
+// WriteJSON renders per-unit results as an indented JSON array in the order
+// given (callers pass results in input order, making the bytes independent
+// of worker scheduling).
+func WriteJSON(w io.Writer, results []*Result) error {
+	units := make([]jsonUnit, len(results))
+	for i, r := range results {
+		units[i] = jsonUnit{File: r.File, Diagnostics: toJSONDiags(r.Diags)}
+		if units[i].Diagnostics == nil {
+			units[i].Diagnostics = []jsonDiag{}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(units)
+}
+
+// Minimal SARIF 2.1.0 structures — enough for standard viewers: one run,
+// one rule per pass, one result per diagnostic with the presence condition
+// and witness in the message.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders the results as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, toolName string, results []*Result) error {
+	ruleSet := make(map[string]bool)
+	var sresults []sarifResult
+	for _, r := range results {
+		for _, d := range r.Diags {
+			ruleSet[d.Pass] = true
+			msg := d.Msg + " [when " + d.CondStr + "; witness " + witnessString(d.Witness) + "]"
+			line, col := d.Line, d.Col
+			if line == 0 {
+				line = 1
+			}
+			if col == 0 {
+				col = 1
+			}
+			sresults = append(sresults, sarifResult{
+				RuleID:  d.Pass,
+				Message: sarifMessage{Text: msg},
+				Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.File},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				}}},
+			})
+		}
+	}
+	rules := make([]sarifRule, 0, len(ruleSet))
+	for id := range ruleSet {
+		rules = append(rules, sarifRule{ID: id, Name: id})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if sresults == nil {
+		sresults = []sarifResult{}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: toolName, Rules: rules}},
+			Results: sresults,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// witnessString renders a witness assignment compactly with sorted variable
+// names: "A=1 B=0", or "any" for the empty (unconstrained) witness.
+func witnessString(w map[string]bool) string {
+	if len(w) == 0 {
+		return "any"
+	}
+	names := make([]string, 0, len(w))
+	for n := range w {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		v := "0"
+		if w[n] {
+			v = "1"
+		}
+		out += n + "=" + v
+	}
+	return out
+}

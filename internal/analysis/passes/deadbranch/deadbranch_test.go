@@ -1,0 +1,163 @@
+package deadbranch_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/deadbranch"
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+func lint(t *testing.T, src string) *analysis.Result {
+	t.Helper()
+	tool := core.New(core.Config{})
+	res, err := tool.ParseString("main.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run(&analysis.Unit{
+		File:  "main.c",
+		Space: tool.Space(),
+		AST:   res.AST,
+		PP:    res.Unit,
+	}, []*analysis.Analyzer{deadbranch.Analyzer})
+}
+
+func TestContradictingNestedBranch(t *testing.T) {
+	r := lint(t, `
+#ifdef CONFIG_A
+#ifndef CONFIG_A
+int dead;
+#endif
+#endif
+int live;
+`)
+	if len(r.Diags) != 1 {
+		t.Fatalf("diags: %+v", r.Diags)
+	}
+	d := r.Diags[0]
+	if !strings.Contains(d.Msg, "contradicts enclosing") {
+		t.Errorf("msg: %s", d.Msg)
+	}
+	if d.Line != 3 {
+		t.Errorf("line = %d, want 3 (the #ifndef)", d.Line)
+	}
+	if !d.WitnessVerified {
+		t.Error("witness not verified")
+	}
+}
+
+func TestUnreachableElseAfterExhaustiveBranches(t *testing.T) {
+	r := lint(t, `
+#if defined(CONFIG_A)
+int a;
+#elif !defined(CONFIG_A)
+int b;
+#else
+int never;
+#endif
+`)
+	if len(r.Diags) != 1 {
+		t.Fatalf("diags: %+v", r.Diags)
+	}
+	if !strings.Contains(r.Diags[0].Msg, "#else unreachable") {
+		t.Errorf("msg: %s", r.Diags[0].Msg)
+	}
+}
+
+func TestFeasibleBranchesNotFlagged(t *testing.T) {
+	r := lint(t, `
+#ifdef CONFIG_A
+int a;
+#else
+int b;
+#endif
+#if defined(CONFIG_B) && !defined(CONFIG_C)
+int c;
+#endif
+`)
+	if len(r.Diags) != 0 {
+		t.Errorf("false positives: %+v", r.Diags)
+	}
+}
+
+// TestIncludeGuardIdiomNotFlagged: the second inclusion of a guarded header
+// makes the guard's #ifndef concretely false — classic dead text, but not a
+// bug, and flagging it would poison the header cache.
+func TestIncludeGuardIdiomNotFlagged(t *testing.T) {
+	hdr := "#ifndef GUARD_H\n#define GUARD_H\nint decl;\n#endif\n"
+	src := "#include \"g.h\"\n#include \"g.h\"\nint user;\n"
+	tool := core.New(core.Config{
+		FS:           mapFS{"g.h": hdr},
+		IncludePaths: []string{"."},
+	})
+	res, err := tool.ParseString("main.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analysis.Run(&analysis.Unit{
+		File: "main.c", Space: tool.Space(), AST: res.AST, PP: res.Unit,
+	}, []*analysis.Analyzer{deadbranch.Analyzer})
+	if len(r.Diags) != 0 {
+		t.Errorf("include-guard idiom flagged: %+v", r.Diags)
+	}
+}
+
+type mapFS map[string]string
+
+func (m mapFS) ReadFile(p string) ([]byte, error) {
+	if s, ok := m[p]; ok {
+		return []byte(s), nil
+	}
+	return nil, errNotFound(p)
+}
+func (m mapFS) Exists(p string) bool { _, ok := m[p]; return ok }
+
+type errNotFound string
+
+func (e errNotFound) Error() string { return "not found: " + string(e) }
+
+// TestChoiceAlternativeDeadOnEveryPath exercises the AST-level invariant on
+// a hand-built DAG: an alternative satisfiable on its own but excluded by
+// the union of every path reaching its node is dead; an alternative excluded
+// on one path but selected on another is not.
+func TestChoiceAlternativeDeadOnEveryPath(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("(defined A)")
+	leaf := func(text string) *ast.Node {
+		return ast.Leaf(token.Token{File: "u.c", Line: 1, Col: 1, Kind: token.Identifier, Text: text})
+	}
+
+	// inner's !A alternative can never be selected: the only path to inner
+	// runs under A.
+	inner := ast.NewChoice(
+		ast.Choice{Cond: s.Not(a), Node: leaf("dead")},
+		ast.Choice{Cond: a, Node: leaf("ok")},
+	)
+	root := ast.New("Unit", ast.NewChoice(ast.Choice{Cond: a, Node: inner}))
+	r := analysis.Run(&analysis.Unit{File: "u.c", Space: s, AST: root},
+		[]*analysis.Analyzer{deadbranch.Analyzer})
+	if len(r.Diags) != 1 || !strings.Contains(r.Diags[0].Msg, "no configuration selects it") {
+		t.Fatalf("diags: %+v", r.Diags)
+	}
+
+	// A shared node reached under A and under !A: each path excludes one
+	// alternative, but the union covers both — no report.
+	shared := ast.NewChoice(
+		ast.Choice{Cond: a, Node: leaf("under_a")},
+		ast.Choice{Cond: s.Not(a), Node: leaf("under_not_a")},
+	)
+	root2 := ast.New("Unit", ast.NewChoice(
+		ast.Choice{Cond: a, Node: ast.New("L", shared)},
+		ast.Choice{Cond: s.Not(a), Node: ast.New("R", shared)},
+	))
+	r2 := analysis.Run(&analysis.Unit{File: "u.c", Space: s, AST: root2},
+		[]*analysis.Analyzer{deadbranch.Analyzer})
+	if len(r2.Diags) != 0 {
+		t.Errorf("shared-node alternatives flagged: %+v", r2.Diags)
+	}
+}

@@ -1,0 +1,31 @@
+// Package errreach reports #error directives that some configuration
+// reaches. A single-configuration compiler only hits the one #error its
+// macro state selects; under configuration-preserving preprocessing every
+// reachable #error is visible at once, each with the exact condition that
+// triggers it and a concrete offending configuration.
+package errreach
+
+import (
+	"repro/internal/analysis"
+)
+
+// Analyzer is the #error-reachability pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errreach",
+	Doc:  "report #error directives reachable under some configuration",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	if p.Unit.PP == nil {
+		return nil
+	}
+	for _, r := range p.Unit.PP.Errors {
+		msg := r.Msg
+		if msg == "" {
+			msg = "(no message)"
+		}
+		p.Reportf(r.Tok, r.Cond, "#error reachable: %s", msg)
+	}
+	return nil
+}

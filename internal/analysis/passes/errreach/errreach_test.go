@@ -1,0 +1,75 @@
+package errreach_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/errreach"
+	"repro/internal/core"
+)
+
+func lint(t *testing.T, src string) (*analysis.Result, *core.Tool) {
+	t.Helper()
+	tool := core.New(core.Config{})
+	res, err := tool.ParseString("main.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analysis.Run(&analysis.Unit{
+		File:  "main.c",
+		Space: tool.Space(),
+		AST:   res.AST,
+		PP:    res.Unit,
+	}, []*analysis.Analyzer{errreach.Analyzer})
+	return r, tool
+}
+
+func TestReachableErrorDirective(t *testing.T) {
+	r, tool := lint(t, `
+#if defined(CONFIG_X) && defined(CONFIG_BROKEN)
+#error X and BROKEN are incompatible
+#endif
+int ok;
+`)
+	if len(r.Diags) != 1 {
+		t.Fatalf("diags: %+v", r.Diags)
+	}
+	d := r.Diags[0]
+	if !strings.Contains(d.Msg, "X and BROKEN are incompatible") {
+		t.Errorf("msg: %s", d.Msg)
+	}
+	// The witness must be a configuration that actually hits the #error.
+	if !d.Witness["(defined CONFIG_X)"] || !d.Witness["(defined CONFIG_BROKEN)"] {
+		t.Errorf("witness %v does not reach the #error", d.Witness)
+	}
+	if !d.WitnessVerified {
+		t.Error("witness not verified")
+	}
+	if !tool.Space().Eval(d.Cond, d.Witness) {
+		t.Error("witness does not satisfy the reported condition")
+	}
+}
+
+func TestUnreachableErrorNotReported(t *testing.T) {
+	// The #error sits in a contradictory region: no configuration reaches
+	// it, so the driver's feasibility gate drops it.
+	r, _ := lint(t, `
+#ifdef CONFIG_A
+#ifndef CONFIG_A
+#error impossible
+#endif
+#endif
+int ok;
+`)
+	if len(r.Diags) != 0 {
+		t.Errorf("unreachable #error reported: %+v", r.Diags)
+	}
+}
+
+func TestNoErrorDirectives(t *testing.T) {
+	r, _ := lint(t, "int clean;\n")
+	if len(r.Diags) != 0 {
+		t.Errorf("diags on clean unit: %+v", r.Diags)
+	}
+}

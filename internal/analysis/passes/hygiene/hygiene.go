@@ -1,0 +1,35 @@
+// Package hygiene lints preprocessor usage: headers included without a
+// recognizable include guard (every re-include re-lexes and re-expands the
+// file, and double inclusion of definitions is one missing #ifndef away)
+// and macros redefined with a different body under overlapping presence
+// conditions (the later definition silently wins exactly where the
+// conditions overlap — a classic configuration-dependent surprise).
+package hygiene
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/token"
+)
+
+// Analyzer is the preprocessor-hygiene pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hygiene",
+	Doc:  "lint unguarded headers and overlapping macro redefinitions",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	u := p.Unit
+	if u.PP == nil {
+		return nil
+	}
+	for _, h := range u.PP.Unguarded {
+		p.Reportf(token.Token{File: u.File, Line: 1, Col: 1}, u.Space.True(),
+			"header %q has no include guard", h)
+	}
+	for _, r := range u.PP.MacroRedefs {
+		p.Reportf(r.Tok, r.Cond,
+			"macro %q redefined with a different body under an overlapping condition", r.Msg)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package hygiene_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/hygiene"
+	"repro/internal/core"
+)
+
+type mapFS map[string]string
+
+func (m mapFS) ReadFile(p string) ([]byte, error) {
+	if s, ok := m[p]; ok {
+		return []byte(s), nil
+	}
+	return nil, errNotFound(p)
+}
+func (m mapFS) Exists(p string) bool { _, ok := m[p]; return ok }
+
+type errNotFound string
+
+func (e errNotFound) Error() string { return "not found: " + string(e) }
+
+func lint(t *testing.T, fs mapFS, src string) *analysis.Result {
+	t.Helper()
+	tool := core.New(core.Config{FS: fs, IncludePaths: []string{"."}})
+	res, err := tool.ParseString("main.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run(&analysis.Unit{
+		File:  "main.c",
+		Space: tool.Space(),
+		AST:   res.AST,
+		PP:    res.Unit,
+	}, []*analysis.Analyzer{hygiene.Analyzer})
+}
+
+func TestOverlappingMacroRedefinition(t *testing.T) {
+	r := lint(t, nil, `
+#define LIMIT 10
+#ifdef CONFIG_BIG
+#define LIMIT 100
+#endif
+int x;
+`)
+	if len(r.Diags) != 1 {
+		t.Fatalf("diags: %+v", r.Diags)
+	}
+	if !strings.Contains(r.Diags[0].Msg, `macro "LIMIT" redefined`) {
+		t.Errorf("msg: %s", r.Diags[0].Msg)
+	}
+}
+
+func TestDisjointRedefinitionNotFlagged(t *testing.T) {
+	r := lint(t, nil, `
+#ifdef CONFIG_BIG
+#define LIMIT 100
+#else
+#define LIMIT 10
+#endif
+int x;
+`)
+	if len(r.Diags) != 0 {
+		t.Errorf("disjoint redefinition flagged: %+v", r.Diags)
+	}
+}
+
+func TestSameBodyRedefinitionNotFlagged(t *testing.T) {
+	// C11 6.10.3p2 allows benign redefinition with an identical body.
+	r := lint(t, nil, `
+#define LIMIT 10
+#define LIMIT 10
+int x;
+`)
+	if len(r.Diags) != 0 {
+		t.Errorf("benign redefinition flagged: %+v", r.Diags)
+	}
+}
+
+func TestUnguardedHeader(t *testing.T) {
+	r := lint(t, mapFS{"bare.h": "int from_header;\n"}, `
+#include "bare.h"
+int x;
+`)
+	if len(r.Diags) != 1 {
+		t.Fatalf("diags: %+v", r.Diags)
+	}
+	d := r.Diags[0]
+	if !strings.Contains(d.Msg, `"bare.h" has no include guard`) {
+		t.Errorf("msg: %s", d.Msg)
+	}
+	if d.CondStr != "1" {
+		t.Errorf("unguarded-header finding should be unconditional, got %s", d.CondStr)
+	}
+}
+
+func TestGuardedHeaderNotFlagged(t *testing.T) {
+	r := lint(t, mapFS{"safe.h": "#ifndef SAFE_H\n#define SAFE_H\nint from_header;\n#endif\n"}, `
+#include "safe.h"
+#include "safe.h"
+int x;
+`)
+	if len(r.Diags) != 0 {
+		t.Errorf("guarded header flagged: %+v", r.Diags)
+	}
+}

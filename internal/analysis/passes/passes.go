@@ -1,0 +1,42 @@
+// Package passes registers the built-in variability-aware analysis passes.
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/condredef"
+	"repro/internal/analysis/passes/deadbranch"
+	"repro/internal/analysis/passes/errreach"
+	"repro/internal/analysis/passes/hygiene"
+	"repro/internal/analysis/passes/undefuse"
+)
+
+// All returns the built-in passes in registration order (the driver runs
+// them in name order regardless).
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		condredef.Analyzer,
+		deadbranch.Analyzer,
+		errreach.Analyzer,
+		hygiene.Analyzer,
+		undefuse.Analyzer,
+	}
+}
+
+// ByName returns the subset of All whose names are listed; unknown names are
+// ignored. An empty list selects every pass.
+func ByName(names []string) []*analysis.Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

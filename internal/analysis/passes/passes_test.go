@@ -1,0 +1,116 @@
+package passes_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+func TestAllAndByName(t *testing.T) {
+	all := passes.All()
+	if len(all) < 5 {
+		t.Fatalf("builtin passes = %d, want >= 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("incomplete analyzer: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate pass name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	sub := passes.ByName([]string{"deadbranch", "undefuse"})
+	if len(sub) != 2 {
+		t.Errorf("ByName subset = %d, want 2", len(sub))
+	}
+	if got := passes.ByName(nil); len(got) != len(all) {
+		t.Errorf("ByName(nil) = %d, want all %d", len(got), len(all))
+	}
+	if got := passes.ByName([]string{"no-such-pass"}); len(got) != 0 {
+		t.Errorf("unknown name matched %d passes", len(got))
+	}
+}
+
+// degradedSource forks enough subparsers that a Subparsers budget of 1
+// trips during the parse, degrading the AST to an _Error region. The code
+// itself is variability-clean: any diagnostic on it is a false positive.
+const degradedSource = `
+#ifdef CONFIG_A
+int f(int a) { return a + 1; }
+#else
+long f(long a) { return a + 2; }
+#endif
+int g(void) { return 0; }
+`
+
+func parseDegraded(t *testing.T) (*core.Tool, *core.Result) {
+	t.Helper()
+	tool := core.New(core.Config{})
+	tool.SetBudget(guard.New(context.Background(), guard.Limits{Subparsers: 1}))
+	res, err := tool.ParseString("main.c", degradedSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tool.Budget().Tripped() {
+		t.Fatal("subparser budget did not trip; test needs a forkier source")
+	}
+	hasError := false
+	ast.Walk(res.AST, func(n *ast.Node) bool {
+		if n.IsError() {
+			hasError = true
+		}
+		return true
+	})
+	if !hasError {
+		t.Fatal("tripped parse produced no _Error region")
+	}
+	return tool, res
+}
+
+// TestNoFalseDiagnosticsOnDegradedAST is the error-opacity contract: when a
+// budget trip abandons part of the parse, every pass must treat the _Error
+// region as opaque and report nothing it cannot see whole. The degraded AST
+// is analyzed under a fresh budget so the passes actually run.
+func TestNoFalseDiagnosticsOnDegradedAST(t *testing.T) {
+	tool, res := parseDegraded(t)
+	r := analysis.Run(&analysis.Unit{
+		File:  "main.c",
+		Space: tool.Space(),
+		AST:   res.AST,
+		PP:    res.Unit,
+	}, passes.All())
+	if len(r.Diags) != 0 {
+		t.Errorf("false diagnostics on degraded AST: %+v", r.Diags)
+	}
+	if r.Stats.ErrorRegions == 0 {
+		t.Error("driver did not count the skipped _Error region")
+	}
+	if r.Stats.PassesRun != len(passes.All()) {
+		t.Errorf("passes run = %d, want %d", r.Stats.PassesRun, len(passes.All()))
+	}
+}
+
+// TestTrippedBudgetSkipsPasses: carrying the already-tripped parse budget
+// into the analysis degrades further — no passes run at all, and that is a
+// recorded degradation, not a failure.
+func TestTrippedBudgetSkipsPasses(t *testing.T) {
+	tool, res := parseDegraded(t)
+	r := analysis.Run(&analysis.Unit{
+		File:   "main.c",
+		Space:  tool.Space(),
+		AST:    res.AST,
+		PP:     res.Unit,
+		Budget: tool.Budget(),
+	}, passes.All())
+	if r.Stats.PassesRun != 0 || len(r.Diags) != 0 {
+		t.Errorf("tripped budget: passes=%d diags=%d, want 0/0",
+			r.Stats.PassesRun, len(r.Diags))
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"repro/internal/ast"
+	"repro/internal/cond"
+)
+
+// Walker is the condition-carrying AST traversal every pass shares: it
+// visits nodes in preorder with the full presence condition of each node —
+// conjoining alternative conditions as it descends through static choice
+// nodes — prunes alternatives that are infeasible on the current path, and
+// treats degradation error nodes (ast.ErrorLabel) as opaque: neither the
+// error node nor anything beneath it is visited, so passes never diagnose
+// inside a region whose parse was abandoned under a tripped budget.
+type Walker struct {
+	Space *cond.Space
+	// SkippedErrors counts opaque _Error regions encountered.
+	SkippedErrors int
+}
+
+// Walk traverses root under base condition c. The visitor runs for every
+// feasible non-error node with that node's presence condition; returning
+// false prunes the node's subtree. A shared subtree reachable through
+// several choice alternatives is visited once per path, each time under that
+// path's condition — the path condition, not the node, is the analysis
+// subject.
+func (w *Walker) Walk(root *ast.Node, c cond.Cond, visit func(n *ast.Node, c cond.Cond) bool) {
+	if root == nil || w.Space.IsFalse(c) {
+		return
+	}
+	if root.IsError() {
+		w.SkippedErrors++
+		return
+	}
+	if root.Kind == ast.KindChoice {
+		// The choice node itself is visited under the path condition (so
+		// passes can inspect the raw alternatives); feasible alternatives
+		// are then descended under the conjoined condition.
+		if !visit(root, c) {
+			return
+		}
+		for _, alt := range root.Alts {
+			w.Walk(alt.Node, w.Space.And(c, alt.Cond), visit)
+		}
+		return
+	}
+	if !visit(root, c) {
+		return
+	}
+	for _, ch := range root.Children {
+		w.Walk(ch, c, visit)
+	}
+}

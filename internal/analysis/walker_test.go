@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/cond"
+	"repro/internal/token"
+)
+
+func leaf(text string) *ast.Node {
+	return ast.Leaf(token.Token{Kind: token.Identifier, Text: text})
+}
+
+// enumerate returns every assignment over the variable names.
+func enumerate(vars []string) []map[string]bool {
+	out := []map[string]bool{{}}
+	for _, v := range vars {
+		next := make([]map[string]bool, 0, 2*len(out))
+		for _, a := range out {
+			on := make(map[string]bool, len(a)+1)
+			off := make(map[string]bool, len(a)+1)
+			for k, val := range a {
+				on[k], off[k] = val, val
+			}
+			on[v], off[v] = true, false
+			next = append(next, on, off)
+		}
+		out = next
+	}
+	return out
+}
+
+// walkerTokens returns the leaf texts the walker visits whose path condition
+// holds under the assignment, in visit order.
+func walkerTokens(s *cond.Space, root *ast.Node, assign map[string]bool) []string {
+	w := &Walker{Space: s}
+	var out []string
+	w.Walk(root, s.True(), func(n *ast.Node, c cond.Cond) bool {
+		if n.Kind == ast.KindToken && s.Eval(c, assign) {
+			out = append(out, n.Tok.Text)
+		}
+		return true
+	})
+	return out
+}
+
+// projectTokens returns the leaf texts of the brute-force single-
+// configuration projection.
+func projectTokens(s *cond.Space, root *ast.Node, assign map[string]bool) []string {
+	var out []string
+	ast.Walk(ast.Project(s, root, assign), func(n *ast.Node) bool {
+		if n.Kind == ast.KindToken {
+			out = append(out, n.Tok.Text)
+		}
+		return true
+	})
+	return out
+}
+
+// checkDifferential compares the walker's condition-filtered view against
+// brute-force projection under every configuration of the variables.
+func checkDifferential(t *testing.T, s *cond.Space, root *ast.Node, vars []string) {
+	t.Helper()
+	for _, assign := range enumerate(vars) {
+		got := strings.Join(walkerTokens(s, root, assign), " ")
+		want := strings.Join(projectTokens(s, root, assign), " ")
+		if got != want {
+			t.Fatalf("config %v:\nwalker:  %q\nproject: %q", assign, got, want)
+		}
+	}
+}
+
+func TestWalkerDeeplyNestedChoices(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	// A 12-deep tower of binary choices: each level splits on its own
+	// variable, the taken branch descends, the other holds a marker leaf.
+	const depth = 12
+	var vars []string
+	inner := leaf("bottom")
+	for i := depth - 1; i >= 0; i-- {
+		v := fmt.Sprintf("V%02d", i)
+		vars = append(vars, v)
+		inner = ast.NewChoice(
+			ast.Choice{Cond: s.Var(v), Node: ast.New("Level", inner)},
+			ast.Choice{Cond: s.Not(s.Var(v)), Node: leaf("stop" + v)},
+		)
+	}
+	root := ast.New("Unit", inner)
+
+	// The bottom leaf's condition must be the conjunction of every level.
+	var bottomCond cond.Cond
+	found := false
+	w := &Walker{Space: s}
+	w.Walk(root, s.True(), func(n *ast.Node, c cond.Cond) bool {
+		if n.Text() == "bottom" {
+			bottomCond, found = c, true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("bottom leaf not visited")
+	}
+	want := s.True()
+	for _, v := range vars {
+		want = s.And(want, s.Var(v))
+	}
+	if !s.Equal(bottomCond, want) {
+		t.Errorf("bottom cond = %s, want %s", s.String(bottomCond), s.String(want))
+	}
+
+	// Differential over a sample of configurations (2^12 is too many to
+	// enumerate cheaply; all-on, all-off, and random assignments suffice).
+	rng := rand.New(rand.NewSource(7))
+	configs := []map[string]bool{{}, {}}
+	for _, v := range vars {
+		configs[0][v] = true
+		configs[1][v] = false
+	}
+	for i := 0; i < 32; i++ {
+		a := make(map[string]bool, len(vars))
+		for _, v := range vars {
+			a[v] = rng.Intn(2) == 0
+		}
+		configs = append(configs, a)
+	}
+	for _, a := range configs {
+		got := strings.Join(walkerTokens(s, root, a), " ")
+		wantToks := strings.Join(projectTokens(s, root, a), " ")
+		if got != wantToks {
+			t.Fatalf("config %v: walker %q, project %q", a, got, wantToks)
+		}
+	}
+}
+
+func TestWalkerSharedChoiceNodes(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a, b := s.Var("A"), s.Var("B")
+	// One subtree shared by both alternatives of an outer choice — the DAG
+	// shape subparser merging produces. The walker must visit it once per
+	// path, under each path's condition.
+	shared := ast.NewChoice(
+		ast.Choice{Cond: b, Node: leaf("with_b")},
+		ast.Choice{Cond: s.Not(b), Node: leaf("without_b")},
+	)
+	root := ast.New("Unit", ast.NewChoice(
+		ast.Choice{Cond: a, Node: ast.New("Left", leaf("left"), shared)},
+		ast.Choice{Cond: s.Not(a), Node: ast.New("Right", leaf("right"), shared)},
+	))
+
+	visits := 0
+	conds := []cond.Cond{}
+	w := &Walker{Space: s}
+	w.Walk(root, s.True(), func(n *ast.Node, c cond.Cond) bool {
+		if n == shared {
+			visits++
+			conds = append(conds, c)
+		}
+		return true
+	})
+	if visits != 2 {
+		t.Fatalf("shared node visited %d times, want 2 (once per path)", visits)
+	}
+	// The two path conditions are complementary: their union is True.
+	if union := s.Or(conds[0], conds[1]); !s.IsTrue(union) {
+		t.Errorf("union of path conditions = %s, want 1", s.String(union))
+	}
+	checkDifferential(t, s, root, []string{"A", "B"})
+}
+
+func TestWalkerErrorOpacity(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	// An _Error region under one alternative: nothing inside it may be
+	// visited, and the skip is counted.
+	root := ast.New("Unit",
+		ast.NewChoice(
+			ast.Choice{Cond: a, Node: leaf("ok")},
+			ast.Choice{Cond: s.Not(a), Node: ast.Error("parse abandoned")},
+		),
+		leaf("after"),
+	)
+	w := &Walker{Space: s}
+	var seen []string
+	w.Walk(root, s.True(), func(n *ast.Node, c cond.Cond) bool {
+		if n.Kind == ast.KindToken {
+			seen = append(seen, n.Tok.Text)
+		}
+		return true
+	})
+	if w.SkippedErrors != 1 {
+		t.Errorf("SkippedErrors = %d, want 1", w.SkippedErrors)
+	}
+	for _, txt := range seen {
+		if txt == "parse abandoned" {
+			t.Error("walker descended into an _Error region")
+		}
+	}
+	if len(seen) != 2 { // "ok" and "after"
+		t.Errorf("visited leaves %v, want [ok after]", seen)
+	}
+}
+
+func TestWalkerPrunesInfeasibleAlternatives(t *testing.T) {
+	s := cond.NewSpace(cond.ModeBDD)
+	a := s.Var("A")
+	// Under path condition A, the !A alternative must not be entered.
+	inner := ast.NewChoice(
+		ast.Choice{Cond: a, Node: leaf("feasible")},
+		ast.Choice{Cond: s.Not(a), Node: leaf("infeasible")},
+	)
+	root := ast.NewChoice(ast.Choice{Cond: a, Node: inner})
+	var seen []string
+	w := &Walker{Space: s}
+	w.Walk(root, s.True(), func(n *ast.Node, c cond.Cond) bool {
+		if n.Kind == ast.KindToken {
+			seen = append(seen, n.Tok.Text)
+		}
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "feasible" {
+		t.Errorf("visited %v, want [feasible]", seen)
+	}
+}
+
+// TestWalkerDifferentialRandomTrees builds random choice DAGs (nested
+// choices with disjoint alternative conditions, shared subtrees, occasional
+// error nodes) and checks the walker against per-configuration projection
+// under every assignment.
+func TestWalkerDifferentialRandomTrees(t *testing.T) {
+	vars := []string{"A", "B", "C", "D"}
+	for seed := int64(0); seed < 20; seed++ {
+		s := cond.NewSpace(cond.ModeBDD)
+		rng := rand.New(rand.NewSource(seed))
+		nextLeaf := 0
+		var build func(depth int) *ast.Node
+		build = func(depth int) *ast.Node {
+			if depth <= 0 || rng.Intn(3) == 0 {
+				nextLeaf++
+				return leaf(fmt.Sprintf("t%d", nextLeaf))
+			}
+			switch rng.Intn(4) {
+			case 0: // binary choice on a fresh variable, disjoint alts
+				v := s.Var(vars[rng.Intn(len(vars))])
+				return ast.NewChoice(
+					ast.Choice{Cond: v, Node: build(depth - 1)},
+					ast.Choice{Cond: s.Not(v), Node: build(depth - 1)},
+				)
+			case 1: // shared subtree under complementary alternatives
+				v := s.Var(vars[rng.Intn(len(vars))])
+				shared := build(depth - 1)
+				return ast.NewChoice(
+					ast.Choice{Cond: v, Node: ast.New("L", build(depth-1), shared)},
+					ast.Choice{Cond: s.Not(v), Node: ast.New("R", shared)},
+				)
+			case 2: // interior node
+				return ast.New("N", build(depth-1), build(depth-1))
+			default: // list with an occasional absent alternative
+				v := s.Var(vars[rng.Intn(len(vars))])
+				return ast.List("Items",
+					build(depth-1),
+					ast.NewChoice(ast.Choice{Cond: v, Node: build(depth - 1)}),
+				)
+			}
+		}
+		root := ast.New("Unit", build(4))
+		checkDifferential(t, s, root, vars)
+	}
+}

@@ -445,6 +445,31 @@ func (f *Factory) Exists(a Node, name string) Node {
 	return f.Or(f.Restrict(a, name, false), f.Restrict(a, name, true))
 }
 
+// SatOne returns one satisfying assignment of a, or ok = false when a is
+// unsatisfiable. The map assigns only the variables along the chosen path;
+// all other variables are don't-cares (Eval treats absent variables as
+// false). The walk prefers the low (false) child at every decision node, so
+// the witness is deterministic and enables the fewest variables the
+// diagram's structure allows — the "minimal configuration" convention of
+// configuration-coverage tools.
+func (f *Factory) SatOne(a Node) (assign map[string]bool, ok bool) {
+	if a == False {
+		return nil, false
+	}
+	assign = make(map[string]bool)
+	for a != True {
+		nd := f.nodes[a]
+		if nd.lo != False {
+			assign[f.names[nd.level]] = false
+			a = nd.lo
+		} else {
+			assign[f.names[nd.level]] = true
+			a = nd.hi
+		}
+	}
+	return assign, true
+}
+
 // IsFalse reports whether a is the unsatisfiable constant.
 func (f *Factory) IsFalse(a Node) bool { return a == False }
 

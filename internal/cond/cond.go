@@ -429,3 +429,31 @@ func (s *Space) SatCount(a Cond) float64 {
 	}
 	return s.bf.SatCount(a.n)
 }
+
+// SatOne returns one configuration satisfying a — a witness assignment for
+// diagnostics; variables absent from the map are don't-cares (Eval treats
+// them as false). ok is false when a is unsatisfiable. In ModeBDD the
+// witness follows the diagram's preferring-false path and is deterministic;
+// in ModeSAT it is the DPLL solver's model, falling back to the exact
+// shadow BDD when the budgeted search gives up.
+func (s *Space) SatOne(a Cond) (assign map[string]bool, ok bool) {
+	if s.mode == ModeBDD {
+		return s.bf.SatOne(a.n)
+	}
+	if a.e.Op == sat.OpConst {
+		if a.e.Value {
+			return map[string]bool{}, true
+		}
+		return nil, false
+	}
+	model, satisfiable, gaveUp := sat.ExprSolve(a.e, s.NaiveLimit)
+	s.Stats.Checks++
+	if gaveUp {
+		s.Stats.GaveUps++
+		return s.shadow.SatOne(s.shadowNode(a.e))
+	}
+	if !satisfiable {
+		return nil, false
+	}
+	return model, true
+}

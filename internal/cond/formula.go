@@ -79,6 +79,44 @@ func (f *Formula) write(b *strings.Builder) {
 	}
 }
 
+// Expr converts the formula to an internal/sat expression tree, memoizing
+// shared subformulas so the result stays DAG-sized. It is the bridge the
+// analysis framework uses to re-verify BDD-derived witnesses with the
+// independent SAT representation: export the condition, convert to an
+// expression, and evaluate or solve with no BDD machinery in the loop.
+func (f *Formula) Expr() *sat.Expr {
+	return f.expr(make(map[*Formula]*sat.Expr))
+}
+
+func (f *Formula) expr(memo map[*Formula]*sat.Expr) *sat.Expr {
+	if e, ok := memo[f]; ok {
+		return e
+	}
+	var e *sat.Expr
+	switch f.Op {
+	case FFalse:
+		e = sat.FalseExpr
+	case FTrue:
+		e = sat.TrueExpr
+	case FVar:
+		e = sat.Var(f.Name)
+	case FNot:
+		e = sat.Not(f.Args[0].expr(memo))
+	case FAnd, FOr:
+		args := make([]*sat.Expr, len(f.Args))
+		for i, a := range f.Args {
+			args[i] = a.expr(memo)
+		}
+		if f.Op == FAnd {
+			e = sat.And(args...)
+		} else {
+			e = sat.Or(args...)
+		}
+	}
+	memo[f] = e
+	return e
+}
+
 // Exporter converts conditions of one Space into Formulas, memoizing shared
 // structure so conditions exported repeatedly (macro-table entry conditions,
 // branch conditions of the same header) reuse their formula DAG. An Exporter

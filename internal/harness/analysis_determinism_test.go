@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/fmlr"
+)
+
+// renderAnalysis flattens a run's analysis output into one string covering
+// every field that reaches the user: position, pass, message, condition,
+// witness, verification flag.
+func renderAnalysis(results []UnitResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		if r.Analysis == nil {
+			continue
+		}
+		for _, d := range r.Analysis.Diags {
+			fmt.Fprintf(&b, "%s:%d:%d %s %s [%s] %v verified=%v\n",
+				d.File, d.Line, d.Col, d.Pass, d.Msg, d.CondStr, d.Witness, d.WitnessVerified)
+		}
+		s := r.Analysis.Stats
+		fmt.Fprintf(&b, "%s stats %d %d %d %d %d %d\n", r.File,
+			s.PassesRun, s.Diagnostics, s.WitnessChecks, s.WitnessFailures,
+			s.InfeasibleDropped, s.ErrorRegions)
+	}
+	return b.String()
+}
+
+// TestAnalysisOutputStableAcrossJobs is the -j golden test: the rendered
+// diagnostics of a sequential run and a wide parallel run must be
+// byte-identical — ordering is a function of the corpus, not of scheduling.
+func TestAnalysisOutputStableAcrossJobs(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 3, CFiles: 10, GenHeaders: 10})
+	cfg := RunConfig{Parser: fmlr.OptAll, Analyzers: passes.All()}
+
+	cfg.Jobs = 1
+	sequential := renderAnalysis(Run(c, cfg))
+	if sequential == "" {
+		t.Fatal("no analysis output at -j 1")
+	}
+	for _, jobs := range []int{2, 8} {
+		cfg.Jobs = jobs
+		parallel := renderAnalysis(Run(c, cfg))
+		if parallel != sequential {
+			t.Errorf("analysis output differs between -j 1 and -j %d:\n--- j1 ---\n%s\n--- j%d ---\n%s",
+				jobs, sequential, jobs, parallel)
+		}
+	}
+}
+
+// TestCoverageReportStableOrdering: the coverage report's sort is a total
+// order, so repeated builds over the same units render identically even
+// when map iteration varies underneath.
+func TestCoverageReportStableOrdering(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 3, CFiles: 6, GenHeaders: 8})
+	render := func() string {
+		tool := core.New(core.Config{FS: c.FS, IncludePaths: IncludePaths})
+		ix := analysis.NewIndex(tool.Space())
+		for _, cf := range c.CFiles {
+			res, err := tool.ParseFile(cf)
+			if err != nil || res.AST == nil {
+				t.Fatalf("%s: %v", cf, err)
+			}
+			ix.AddUnit(cf, res.AST)
+		}
+		var b strings.Builder
+		for _, e := range ix.CoverageReport() {
+			fmt.Fprintf(&b, "%s %s:%d:%d %.4f\n", e.Symbol.Name, e.Symbol.File,
+				e.Symbol.Line, e.Symbol.Col, e.Fraction)
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("empty coverage report")
+	}
+	for i := 0; i < 3; i++ {
+		if again := render(); again != first {
+			t.Fatalf("coverage report ordering unstable:\n%s\nvs\n%s", first, again)
+		}
+	}
+}

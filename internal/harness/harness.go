@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cgrammar"
 	"repro/internal/cond"
 	"repro/internal/core"
@@ -122,6 +123,11 @@ type RunConfig struct {
 	// second failure, marks it quarantined instead of retrying forever.
 	// False defers to DefaultQuarantine.
 	Quarantine bool
+	// Analyzers, when non-empty, runs the variability-aware analysis passes
+	// over every unit after parsing (internal/analysis); each unit's
+	// diagnostics land in its UnitResult.Analysis and the run's counters in
+	// Metrics.
+	Analyzers []*analysis.Analyzer
 }
 
 // limits resolves the effective per-unit resource limits.
@@ -186,6 +192,10 @@ type UnitResult struct {
 	BDDTableSlots  int // unique-table capacity at end of unit
 	CondOps        int64
 	CondFastPaths  int64
+
+	// Analysis is the unit's variability-aware analysis result (nil when
+	// RunConfig.Analyzers is empty or the unit failed before analysis).
+	Analysis *analysis.Result
 }
 
 // Metrics is a snapshot of one run's per-stage observability counters.
@@ -241,6 +251,15 @@ type Metrics struct {
 	HeaderLexMisses   int64
 	HeaderBytesSaved  int64 // source bytes not re-preprocessed
 	HeaderEvictions   int64
+
+	// Variability-aware analysis counters (zero unless RunConfig.Analyzers).
+	AnalysisPasses      int64            // passes run, summed over units
+	AnalysisDiags       int64            // diagnostics reported
+	AnalysisByPass      map[string]int64 // diagnostics per pass name
+	WitnessChecks       int64            // witnesses extracted and independently re-verified
+	WitnessFailures     int64            // witnesses the independent SAT check rejected
+	InfeasibleDropped   int64            // diagnostics dropped for unsatisfiable conditions
+	SkippedErrorRegions int64            // opaque _Error regions analysis refused to enter
 }
 
 // String renders the snapshot as the block cmd/fmlrbench prints.
@@ -286,6 +305,19 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "  header cache: %s (%d hits, %d misses; lex %d hits, %d misses; %d bytes saved, %d evictions)\n",
 		m.HeaderCacheState, m.HeaderCacheHits, m.HeaderCacheMisses,
 		m.HeaderLexHits, m.HeaderLexMisses, m.HeaderBytesSaved, m.HeaderEvictions)
+	if m.AnalysisPasses > 0 || m.AnalysisDiags > 0 {
+		fmt.Fprintf(&b, "  analysis: %d passes run, %d diagnostics; %d witness checks (%d failed), %d infeasible dropped, %d error regions skipped\n",
+			m.AnalysisPasses, m.AnalysisDiags, m.WitnessChecks, m.WitnessFailures,
+			m.InfeasibleDropped, m.SkippedErrorRegions)
+		names := make([]string, 0, len(m.AnalysisByPass))
+		for n := range m.AnalysisByPass {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "    %s: %d\n", n, m.AnalysisByPass[n])
+		}
+	}
 	return b.String()
 }
 
@@ -309,10 +341,21 @@ type collector struct {
 	retried, quarantined stats.Counter
 	quarMu               sync.Mutex
 	quarantinedFiles     []string
+
+	anPasses, anDiags stats.Counter
+	anWitChecks       stats.Counter
+	anWitFailures     stats.Counter
+	anInfeasible      stats.Counter
+	anErrRegions      stats.Counter
+	anByPassMu        sync.Mutex
+	anByPass          map[string]int64
 }
 
 func newCollector() *collector {
-	return &collector{axisTrips: stats.NewCounterSet(int(guard.NumAxes))}
+	return &collector{
+		axisTrips: stats.NewCounterSet(int(guard.NumAxes)),
+		anByPass:  make(map[string]int64),
+	}
 }
 
 // add folds one finished unit into the collector.
@@ -352,6 +395,19 @@ func (col *collector) add(r *UnitResult) {
 	col.opEvictions.Add(r.BDDOpEvictions)
 	col.condOps.Add(r.CondOps)
 	col.condFastPaths.Add(r.CondFastPaths)
+	if a := r.Analysis; a != nil {
+		col.anPasses.Add(int64(a.Stats.PassesRun))
+		col.anDiags.Add(int64(a.Stats.Diagnostics))
+		col.anWitChecks.Add(int64(a.Stats.WitnessChecks))
+		col.anWitFailures.Add(int64(a.Stats.WitnessFailures))
+		col.anInfeasible.Add(int64(a.Stats.InfeasibleDropped))
+		col.anErrRegions.Add(int64(a.Stats.ErrorRegions))
+		col.anByPassMu.Lock()
+		for pass, n := range a.Stats.ByPass {
+			col.anByPass[pass] += int64(n)
+		}
+		col.anByPassMu.Unlock()
+	}
 }
 
 // Run processes every compilation unit of the corpus under cfg.
@@ -448,6 +504,15 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 	}
 	sort.Strings(col.quarantinedFiles)
 	m.Quarantined = col.quarantinedFiles
+	if len(cfg.Analyzers) > 0 {
+		m.AnalysisPasses = col.anPasses.Load()
+		m.AnalysisDiags = col.anDiags.Load()
+		m.WitnessChecks = col.anWitChecks.Load()
+		m.WitnessFailures = col.anWitFailures.Load()
+		m.InfeasibleDropped = col.anInfeasible.Load()
+		m.SkippedErrorRegions = col.anErrRegions.Load()
+		m.AnalysisByPass = col.anByPass
+	}
 	if hc != nil {
 		d := hc.Stats().Sub(hcBefore)
 		m.HeaderCacheState = "on"
@@ -552,6 +617,17 @@ func runUnit(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.O
 	hot := tool.Space().Hot
 	res.CondOps = hot.Ops
 	res.CondFastPaths = hot.FastPaths
+	if len(cfg.Analyzers) > 0 {
+		// Analysis runs under the same per-unit budget: a trip degrades to
+		// the passes already completed, never hangs the unit.
+		res.Analysis = analysis.Run(&analysis.Unit{
+			File:   cf,
+			Space:  tool.Space(),
+			AST:    parse.AST,
+			PP:     unit,
+			Budget: budget,
+		}, cfg.Analyzers)
+	}
 	res.Budget = budget.Trip()
 	return res
 }

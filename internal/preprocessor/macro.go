@@ -67,6 +67,19 @@ type MacroTable struct {
 	Definitions   int // #define directives recorded
 	Redefinitions int // #defines that trimmed earlier entries
 	Undefinitions int // #undef directives recorded
+
+	// Redefs records each non-benign redefinition with the condition under
+	// which the old and new definitions overlap, for the hygiene analysis
+	// pass. Replay-coherent: cached-header replays route through Define, so
+	// the records regenerate identically.
+	Redefs []RedefRecord
+}
+
+// RedefRecord is one overlapping macro redefinition: under Overlap, a #define
+// of Name replaced a token-different earlier definition.
+type RedefRecord struct {
+	Name    string
+	Overlap cond.Cond
 }
 
 // tableObserver receives macro-table events for the header-cache recorder.
@@ -121,6 +134,8 @@ func (t *MacroTable) add(name string, def *MacroDef, c cond.Cond) {
 	old := t.entries[name]
 	kept := old[:0:0]
 	trimmed := false
+	var overlap cond.Cond
+	haveOverlap := false
 	for _, e := range old {
 		nc := t.space.AndNot(e.cond, c)
 		if t.space.IsFalse(nc) {
@@ -129,18 +144,36 @@ func (t *MacroTable) add(name string, def *MacroDef, c cond.Cond) {
 			// not count toward Table 3's redefinitions.
 			if !sameDef(e.def, def) {
 				trimmed = true
+				if def != nil && e.def != nil {
+					overlap, haveOverlap = orCond(t.space, overlap, haveOverlap, e.cond)
+				}
 			}
 			continue
 		}
 		if !t.space.Equal(nc, e.cond) && !sameDef(e.def, def) {
 			trimmed = true
+			if def != nil && e.def != nil {
+				overlap, haveOverlap = orCond(t.space, overlap, haveOverlap, t.space.And(e.cond, c))
+			}
 		}
 		kept = append(kept, macroEntry{cond: nc, def: e.def})
 	}
 	if trimmed {
 		t.Redefinitions++
 	}
+	if haveOverlap && !t.space.IsFalse(overlap) {
+		t.Redefs = append(t.Redefs, RedefRecord{Name: name, Overlap: overlap})
+	}
 	t.entries[name] = append(kept, macroEntry{cond: c, def: def})
+}
+
+// orCond accumulates a disjunction without materializing False for the empty
+// case (cond.Cond zero values must not reach Space operations).
+func orCond(s *cond.Space, acc cond.Cond, have bool, c cond.Cond) (cond.Cond, bool) {
+	if !have {
+		return c, true
+	}
+	return s.Or(acc, c), true
 }
 
 // ActiveDef is one definition alternative of a macro at a use site: under

@@ -2,6 +2,7 @@ package preprocessor
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -54,6 +55,17 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Tok.Pos(), kind, d.Msg)
 }
 
+// CondRecord is a condition-carrying observation the preprocessor makes for
+// the analysis passes: a directive position, the presence condition under
+// which the observation holds, and a short message. Unlike Diagnostic it is
+// not itself an error — the analysis framework decides what to report and
+// attaches SAT-checked witnesses.
+type CondRecord struct {
+	Tok  token.Token
+	Cond cond.Cond
+	Msg  string
+}
+
 // Unit is the result of preprocessing one compilation unit: the token forest
 // with static conditionals intact, per-unit statistics, and diagnostics.
 type Unit struct {
@@ -61,6 +73,12 @@ type Unit struct {
 	Segments []Segment
 	Stats    UnitStats
 	Diags    []Diagnostic
+
+	// Analysis records, consumed by internal/analysis passes.
+	Errors       []CondRecord // #error directives with their reachability conditions
+	DeadBranches []CondRecord // conditional branches infeasible in their nesting context
+	MacroRedefs  []CondRecord // macro redefinitions overlapping an earlier definition (Msg = name)
+	Unguarded    []string     // headers included without a recognizable include guard, sorted
 }
 
 // Preprocessor is SuperC's configuration-preserving preprocessor. A
@@ -84,6 +102,8 @@ type Preprocessor struct {
 	guardOf      map[string]string // file -> guard macro name ("" = none)
 	timesInc     map[string]int    // file -> times included
 	counter      int               // __COUNTER__ state
+	errRecs      []CondRecord      // #error observations for the analysis passes
+	deadRecs     []CondRecord      // context-infeasible branch observations
 
 	// budget is the unit's resource governor (nil: ungoverned).
 	budget *guard.Budget
@@ -206,6 +226,9 @@ func (p *Preprocessor) PreprocessKeepTable(path string) (*Unit, error) {
 	p.counter = 0
 	p.timesInc = make(map[string]int)
 	p.recorders = nil
+	p.errRecs = nil
+	p.deadRecs = nil
+	p.macros.Redefs = nil
 
 	faultinject.At(faultinject.PointPreprocess, path, p.budget)
 	p.budget.Tick("preprocessor")
@@ -220,7 +243,39 @@ func (p *Preprocessor) PreprocessKeepTable(path string) (*Unit, error) {
 		p.diags = append(p.diags, Diagnostic{Tok: token.Token{File: path}, Msg: d.Error(), Warning: true})
 	}
 	p.stats.Tokens = CountTokens(segs)
-	return &Unit{File: path, Segments: segs, Stats: *p.stats, Diags: p.diags}, nil
+	u := &Unit{
+		File:         path,
+		Segments:     segs,
+		Stats:        *p.stats,
+		Diags:        p.diags,
+		Errors:       p.errRecs,
+		DeadBranches: p.deadRecs,
+		Unguarded:    p.unguardedHeaders(),
+	}
+	for _, r := range p.macros.Redefs {
+		u.MacroRedefs = append(u.MacroRedefs, CondRecord{
+			Tok:  token.Token{File: path},
+			Cond: r.Overlap,
+			Msg:  r.Name,
+		})
+	}
+	return u, nil
+}
+
+// unguardedHeaders lists files included this unit that have no recognized
+// include guard, in sorted order. Both maps consulted here are per-unit and
+// replay-coherent (the header cache re-creates their entries via opTimesInc
+// and opGuardOf), so the list is the same whether headers came from the cache
+// or a fresh read. The entry file itself is never in timesInc.
+func (p *Preprocessor) unguardedHeaders() []string {
+	var out []string
+	for path := range p.timesInc {
+		if g, ok := p.guardOf[path]; !ok || g == "" {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (p *Preprocessor) errorf(tok token.Token, format string, args ...interface{}) {
@@ -473,6 +528,29 @@ type condFrame struct {
 	out      outFrame  // current branch accumulation
 	sawElse  bool
 	inert    bool // frame opened inside a dropped branch: track nesting only
+	lit      bool // opened by a literal "#if 0"/"#if 1": intentional toggle, not analyzed
+	// varBranch marks that some earlier branch condition was genuinely
+	// configuration-dependent (neither concretely true nor false). A later
+	// branch left unreachable purely by concrete branches (e.g. #else after
+	// #ifdef of a macro the unit defines) is ordinary preprocessing, not a
+	// dead block; only variable coverage makes unreachability reportable.
+	varBranch bool
+}
+
+// recordDeadBranch notes a branch that is infeasible in its nesting context
+// for the deadbranch analysis pass. Such branches are genuine oddities (the
+// undertaker-style "dead #ifdef block"), so the record is rare; it cannot be
+// regenerated from a cached-header replay, so active recordings are poisoned.
+func (p *Preprocessor) recordDeadBranch(tok token.Token, c cond.Cond, msg string) {
+	p.poisonRecorders()
+	p.deadRecs = append(p.deadRecs, CondRecord{Tok: tok, Cond: c, Msg: msg})
+}
+
+// litConstArg reports whether a conditional's argument list is the single
+// pp-number 0 or 1 — the conventional way to toggle a region off or on, which
+// the dead-branch analysis deliberately ignores.
+func litConstArg(args []token.Token) bool {
+	return len(args) == 1 && (args[0].Text == "0" || args[0].Text == "1")
 }
 
 // processLines runs the directive machine over one file's lines.
@@ -588,10 +666,16 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 			p.stats.Conditionals++
 			base := curCond()
 			rel := p.evalConditionalDirective(name, args, base, line[0])
-			fr := &condFrame{base: base, taken: p.space.False()}
+			fr := &condFrame{base: base, taken: p.space.False(), lit: name == "if" && litConstArg(args)}
 			stack = append(stack, fr)
 			beginBranch(fr, rel)
 			fr.taken = rel // taken accumulates at commit; seed here for elif math
+			fr.varBranch = !p.space.IsTrue(rel) && !p.space.IsFalse(rel)
+			if !fr.lit && !p.space.IsFalse(rel) && p.space.IsFalse(p.space.And(base, rel)) {
+				// The branch condition is satisfiable on its own but
+				// contradicts the enclosing conditionals: a dead block.
+				p.recordDeadBranch(line[0], rel, fmt.Sprintf("#%s branch contradicts enclosing conditionals", name))
+			}
 		case "elif", "else":
 			if len(stack) == 0 {
 				p.errorf(line[0], "#%s without #if", name)
@@ -610,12 +694,34 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 			if name == "else" {
 				top.sawElse = true
 				beginBranch(top, remaining)
+				if !top.lit && p.space.IsFalse(p.space.And(top.base, remaining)) {
+					switch {
+					case !p.space.IsFalse(remaining):
+						p.recordDeadBranch(line[0], remaining, "#else branch contradicts enclosing conditionals")
+					case top.varBranch:
+						// The record's condition is the context that reaches
+						// the directive (remaining itself is unsatisfiable —
+						// that is the finding).
+						p.recordDeadBranch(line[0], top.base, "#else unreachable: earlier branches cover all configurations")
+					}
+				}
 				top.taken = p.space.True()
 				continue
 			}
 			p.stats.Conditionals++
 			rel := p.space.And(remaining, p.evalConditionalDirective("if", args, p.space.And(top.base, remaining), line[0]))
 			beginBranch(top, rel)
+			if !top.lit && !litConstArg(args) && p.space.IsFalse(p.space.And(top.base, rel)) {
+				switch {
+				case !p.space.IsFalse(rel):
+					p.recordDeadBranch(line[0], rel, "#elif branch contradicts enclosing conditionals")
+				case p.space.IsFalse(remaining) && top.varBranch:
+					p.recordDeadBranch(line[0], top.base, "#elif unreachable: earlier branches cover all configurations")
+				}
+			}
+			if !p.space.IsTrue(rel) && !p.space.IsFalse(rel) {
+				top.varBranch = true
+			}
 			top.taken = p.space.Or(top.taken, rel)
 		case "endif":
 			if len(stack) == 0 {
@@ -647,6 +753,12 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 			}
 			p.stats.ErrorDirectives++
 			msg := tokensText(args)
+			// Record the directive with its reachability condition for the
+			// errreach analysis pass. The record cannot be regenerated from a
+			// cached-header replay, so active recordings are poisoned (#error
+			// in a shared header is rare enough that this costs nothing).
+			p.poisonRecorders()
+			p.errRecs = append(p.errRecs, CondRecord{Tok: line[0], Cond: curCond(), Msg: msg})
 			if len(stack) == 0 {
 				p.errorf(line[0], "#error %s", msg)
 			} else {

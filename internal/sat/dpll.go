@@ -240,6 +240,38 @@ func ExprSatisfiable(e *Expr, naiveLimit int) (satisfiable bool, stats Conversio
 	return sat, stats, s.GaveUp
 }
 
+// ExprSolve is ExprSatisfiable with model extraction: when the search
+// succeeds it also returns a satisfying assignment over e's variables
+// (variables the search left unassigned are don't-cares and omitted). When
+// the solver hits its budget the verdict is the conservative "satisfiable"
+// but the partial assignment is not a model, so model is nil and gaveUp is
+// true — the caller may consult an oracle.
+func ExprSolve(e *Expr, naiveLimit int) (model map[string]bool, satisfiable bool, gaveUp bool) {
+	cnf, _, ok := NaiveCNF(e, naiveLimit)
+	if !ok {
+		cnf, _ = TseitinCNF(e)
+	}
+	var s Solver
+	assign, sat := s.Solve(cnf)
+	if !sat {
+		return nil, false, false
+	}
+	if s.GaveUp {
+		return nil, true, true
+	}
+	model = make(map[string]bool)
+	for name := range e.Vars() {
+		v, ok := cnf.index[name]
+		if !ok {
+			continue // simplified away during conversion: don't-care
+		}
+		if assign[v] != 0 {
+			model[name] = assign[v] > 0
+		}
+	}
+	return model, true, false
+}
+
 // ExprEquivalent reports whether a and b denote the same boolean function,
 // via two satisfiability checks (a ∧ ¬b and ¬a ∧ b both unsatisfiable).
 func ExprEquivalent(a, b *Expr, naiveLimit int) bool {

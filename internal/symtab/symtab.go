@@ -135,6 +135,38 @@ func (t *Table) Classify(name string, c cond.Cond) Classification {
 	}
 }
 
+// Declared returns the conditions under which name has any declaration in
+// scope — typedef or object meaning, any scope level. The analysis passes
+// use it to decide whether an identifier use is covered by a declaration
+// under every configuration that reaches the use.
+func (t *Table) Declared(name string) cond.Cond {
+	var c cond.Cond
+	for i := len(t.scopes) - 1; i >= 0; i-- {
+		e, ok := t.scopes[i].names[name]
+		if !ok {
+			continue
+		}
+		c = orDefined(t.space, c, orDefined(t.space, e.typedefCond, e.objectCond))
+	}
+	if c == (cond.Cond{}) {
+		return t.space.False()
+	}
+	return c
+}
+
+// CurrentScope returns name's classification conditions in the innermost
+// scope only, without consulting outer scopes. The conditional-redefinition
+// pass queries it before registering a definition: an overlap with an
+// existing same-scope entry is a redefinition, whereas an outer-scope entry
+// is legal shadowing. ok is false when the scope has no entry for name.
+func (t *Table) CurrentScope(name string) (typedefCond, objectCond cond.Cond, ok bool) {
+	e, ok := t.top().names[name]
+	if !ok {
+		return cond.Cond{}, cond.Cond{}, false
+	}
+	return e.typedefCond, e.objectCond, true
+}
+
 // MayMerge allows merging only at the same scope nesting level (paper
 // §5.2).
 func (t *Table) MayMerge(o *Table) bool {
