@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench chaos guard-overhead lint analyze-smoke
+.PHONY: ci build test race vet fmt bench chaos guard-overhead lint analyze-smoke daemon-smoke docs-lint
 
-ci: lint build race analyze-smoke
+ci: lint build race analyze-smoke daemon-smoke
 
-lint: fmt vet
+lint: fmt vet docs-lint
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Every internal package must carry a package doc comment (DESIGN.md links
+# into them; an undocumented package is invisible to godoc readers).
+docs-lint:
+	@out=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...); \
+		if [ -n "$$out" ]; then \
+			echo "packages missing a package doc comment:"; echo "$$out"; exit 1; fi
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -45,3 +52,9 @@ analyze-smoke:
 		if [ "$$status" -ne 1 ]; then echo "clint exit $$status, want 1"; rm -f clint.smoke clint.got.json; exit 1; fi
 	@diff clint.got.json examples/clint/golden.json && echo "analyze-smoke: golden match"
 	@rm -f clint.smoke clint.got.json
+
+# Cold-then-warm superd round trip over a persisted store: outputs must be
+# byte-identical and the warm batch must be served from disk artifacts
+# (CI's daemon-smoke). Requires curl.
+daemon-smoke:
+	@sh scripts/daemon_smoke.sh

@@ -38,8 +38,11 @@ import (
 	"repro/internal/cgrammar"
 	"repro/internal/cond"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/guard"
 	"repro/internal/hcache"
+	"repro/internal/preprocessor"
+	"repro/internal/store"
 )
 
 type stringList []string
@@ -62,6 +65,8 @@ func main() {
 	showStats := flag.Bool("stats", false, "print per-unit analysis statistics to stderr")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); falls back in-process if unreachable")
+	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
@@ -125,44 +130,72 @@ func main() {
 		CondMode:     condMode,
 	}
 	if !*noHeaderCache {
-		cfg.HeaderCache = hcache.New(hcache.Options{})
+		opts := hcache.Options{}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir, store.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clint:", err)
+				os.Exit(1)
+			}
+			opts.Backing = store.NewHeaderBacking(st, preprocessor.PayloadCodec())
+		}
+		cfg.HeaderCache = hcache.New(opts)
 	}
 
 	files := flag.Args()
 	results := make([]*analysis.Result, len(files))
 	errOuts := make([]bytes.Buffer, len(files))
 
-	nWorkers := *jobs
-	if nWorkers <= 0 {
-		nWorkers = runtime.GOMAXPROCS(0)
+	served := false
+	if *daemonAddr != "" {
+		err := lintViaDaemon(*daemonAddr, daemon.LintRequest{
+			Files:        files,
+			IncludePaths: includes,
+			Defines:      defs,
+			Mode:         *mode,
+			Passes:       splitPasses(*passNames),
+			Jobs:         *jobs,
+			Limits:       daemon.FromGuard(*limits),
+		}, results, errOuts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clint: %v; running in-process\n", err)
+		} else {
+			served = true
+		}
 	}
-	if nWorkers > len(files) {
-		nWorkers = len(files)
-	}
-	if nWorkers < 1 {
-		nWorkers = 1
-	}
+	if !served {
+		nWorkers := *jobs
+		if nWorkers <= 0 {
+			nWorkers = runtime.GOMAXPROCS(0)
+		}
+		if nWorkers > len(files) {
+			nWorkers = len(files)
+		}
+		if nWorkers < 1 {
+			nWorkers = 1
+		}
 
-	// Each file gets its own tool — a fresh condition space and macro table —
-	// so units are independent and any worker can take any file. Results are
-	// indexed by argument position: the output is a pure function of the
-	// inputs, not of scheduling.
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = lintFile(cfg, files[i], selected, *limits, &errOuts[i])
-			}
-		}()
+		// Each file gets its own tool — a fresh condition space and macro
+		// table — so units are independent and any worker can take any file.
+		// Results are indexed by argument position: the output is a pure
+		// function of the inputs, not of scheduling.
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i] = lintFile(cfg, files[i], selected, *limits, &errOuts[i])
+				}
+			}()
+		}
+		for i := range files {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
 	}
-	for i := range files {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 
 	exit := 0
 	for i := range errOuts {
@@ -214,6 +247,45 @@ func main() {
 		exit = 1
 	}
 	os.Exit(exit)
+}
+
+// splitPasses converts the -passes flag to wire form (nil = server default,
+// which is every pass, matching the in-process default).
+func splitPasses(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// lintViaDaemon serves the batch from a superd daemon. The daemon returns
+// structured diagnostics and the same error text lintFile would produce, so
+// the reassembled results render byte-identically to an in-process run.
+func lintViaDaemon(addr string, req daemon.LintRequest, results []*analysis.Result, errOuts []bytes.Buffer) error {
+	client, err := daemon.Dial(addr)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Lint(&req)
+	if err != nil {
+		return err
+	}
+	for i, u := range resp.Units {
+		errOuts[i].WriteString(u.Errors)
+		if u.Failed {
+			continue // results[i] stays nil, as lintFile returns on failure
+		}
+		r := &analysis.Result{File: u.File, Stats: u.Stats}
+		for _, d := range u.Diags {
+			r.Diags = append(r.Diags, d.ToAnalysis())
+		}
+		results[i] = r
+	}
+	return nil
 }
 
 // lintFile parses and analyzes one unit; nil is returned only when the unit

@@ -22,9 +22,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/passes"
 	"repro/internal/cgrammar"
 	"repro/internal/corpus"
+	"repro/internal/daemon"
 	"repro/internal/fmlr"
 	"repro/internal/guard"
 	"repro/internal/harness"
@@ -43,6 +45,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
+	daemonAddr := flag.String("daemon", "", "serve the Table 3 sweep from a superd daemon at this address; falls back in-process")
+	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
@@ -51,6 +55,12 @@ func main() {
 	harness.DisableHeaderCache = *noHeaderCache
 	harness.DefaultBudget = *limits
 	harness.DefaultQuarantine = *quarantine
+	if *storeDir != "" {
+		if _, err := harness.UseStore(*storeDir, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "cstats:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -90,6 +100,13 @@ func main() {
 		fmt.Println(harness.Table2b(c))
 	}
 	if *table == "all" || *table == "3" {
+		if *daemonAddr != "" {
+			if err := table3ViaDaemon(*daemonAddr, *seed, *cfiles, *headers, *analyze, *jobs, *limits, *metrics); err == nil {
+				return
+			} else {
+				fmt.Fprintf(os.Stderr, "cstats: %v; running in-process\n", err)
+			}
+		}
 		cfg := harness.RunConfig{Parser: fmlr.OptAll}
 		if *analyze {
 			cfg.Analyzers = passes.All()
@@ -117,4 +134,68 @@ func main() {
 			fmt.Print(m)
 		}
 	}
+}
+
+// table3ViaDaemon runs the Table 3 sweep on a superd daemon and renders it
+// from the returned deterministic per-unit statistics — the same fields the
+// in-process path feeds harness.Table3, so the table is byte-identical.
+func table3ViaDaemon(addr string, seed int64, cfiles, headers int, analyze bool, jobs int, limits guard.Limits, metrics bool) error {
+	client, err := daemon.Dial(addr)
+	if err != nil {
+		return err
+	}
+	req := daemon.CorpusRequest{
+		Seed:    seed,
+		CFiles:  cfiles,
+		Headers: headers,
+		Mode:    "bdd",
+		Opt:     "all",
+		Jobs:    jobs,
+		Limits:  daemon.FromGuard(limits),
+	}
+	if analyze {
+		req.Passes = []string{"all"}
+	}
+	resp, err := client.Corpus(&req)
+	if err != nil {
+		return err
+	}
+	results := make([]harness.UnitResult, len(resp.Units))
+	for i, u := range resp.Units {
+		results[i] = harness.UnitResult{
+			File:        u.File,
+			Bytes:       u.Bytes,
+			Tokens:      u.Tokens,
+			Pre:         u.Pre,
+			ChoiceNodes: u.Parse.ChoiceNodes,
+		}
+		results[i].Parse.TypedefForks = u.Parse.TypedefForks
+		if u.HasAnalysis {
+			r := &analysis.Result{File: u.File, Stats: u.Stats}
+			for _, d := range u.Diags {
+				r.Diags = append(r.Diags, d.ToAnalysis())
+			}
+			results[i].Analysis = r
+		}
+	}
+	fmt.Println(harness.Table3(results))
+	if analyze {
+		for i := range results {
+			if results[i].Analysis == nil {
+				continue
+			}
+			for _, d := range results[i].Analysis.Diags {
+				pos := d.File
+				if d.Line > 0 {
+					pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+				}
+				fmt.Printf("%s: %s: %s [when %s]\n", pos, d.Pass, d.Msg, d.CondStr)
+			}
+		}
+	}
+	if metrics {
+		fmt.Printf("daemon corpus metrics: %d units, %d served from facts, %d computed\n",
+			len(resp.Units), resp.FactsHits, resp.FactsMisses)
+	}
+	return nil
 }

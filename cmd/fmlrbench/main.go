@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"testing"
+	"time"
 
 	"repro/internal/analysis/passes"
 	"repro/internal/cgrammar"
@@ -40,8 +41,10 @@ import (
 	"repro/internal/fmlr"
 	"repro/internal/guard"
 	"repro/internal/harness"
+	"repro/internal/hcache"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	benchJSON := flag.String("bench-json", "", "skip the figures; benchmark the parse stage per optimization level and write the JSON baseline to this file")
+	storeDir := flag.String("store", "", "artifact store directory for the -bench-json warm-run measurement (empty: a throwaway temp dir)")
 	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
@@ -99,7 +103,7 @@ func main() {
 	c := corpus.Generate(corpus.Params{Seed: *seed, CFiles: *cfiles, GenHeaders: *headers})
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(c, *kill, *benchJSON); err != nil {
+		if err := runBenchJSON(c, *kill, *benchJSON, *storeDir); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			os.Exit(1)
 		}
@@ -176,6 +180,23 @@ type benchAnalysis struct {
 	SkippedErrorRegions int64            `json:"skipped_error_regions"`
 }
 
+// benchStore measures the on-disk artifact store: a cold sweep writes the
+// header artifacts, then a warm sweep with a fresh in-memory cache reads
+// them back. WarmHitRate is hits/(hits+misses) for store Gets during the
+// warm sweep; wall times are end-to-end for each RunMetered call.
+type benchStore struct {
+	Dir            string  `json:"dir"`
+	ColdWallMS     int64   `json:"cold_wall_ms"`
+	WarmWallMS     int64   `json:"warm_wall_ms"`
+	ColdWrites     int64   `json:"cold_writes"`
+	WarmStoreHits  int64   `json:"warm_store_hits"`
+	WarmStoreMiss  int64   `json:"warm_store_misses"`
+	WarmHitRate    float64 `json:"warm_hit_rate"`
+	ArtifactBytes  int64   `json:"artifact_bytes"`
+	ArtifactCount  int64   `json:"artifact_count"`
+	CorruptDropped int64   `json:"corrupt_dropped"`
+}
+
 type benchFile struct {
 	Schema     string          `json:"schema"`
 	CorpusSeed int64           `json:"corpus_seed"`
@@ -185,13 +206,14 @@ type benchFile struct {
 	Levels     []benchLevel    `json:"levels"`
 	Robustness benchRobustness `json:"robustness"`
 	Analysis   benchAnalysis   `json:"analysis"`
+	Store      benchStore      `json:"store"`
 }
 
 // runBenchJSON measures the parse stage at every optimization level and
 // writes the machine-readable baseline. Preprocessing runs once, outside
 // the measurement; each level then re-parses the prepared segments under
 // testing.Benchmark for calibrated ns/op and allocs/op.
-func runBenchJSON(c *corpus.Corpus, kill int, path string) error {
+func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 	lang := cgrammar.MustLoad()
 	tool := core.New(core.Config{FS: c.FS, IncludePaths: harness.IncludePaths})
 	units := make([]*preprocessor.Unit, 0, len(c.CFiles))
@@ -297,10 +319,74 @@ func runBenchJSON(c *corpus.Corpus, kill int, path string) error {
 	fmt.Printf("analysis: %d passes, %d diagnostics, %d witness checks (%d failed)\n",
 		m.AnalysisPasses, m.AnalysisDiags, m.WitnessChecks, m.WitnessFailures)
 
+	st, err := benchStoreSweep(c, kill, storeDir)
+	if err != nil {
+		return err
+	}
+	out.Store = st
+	fmt.Printf("store: cold %d ms (%d writes), warm %d ms (%.0f%% hit rate, %d hits / %d misses)\n",
+		st.ColdWallMS, st.ColdWrites, st.WarmWallMS, st.WarmHitRate*100, st.WarmStoreHits, st.WarmStoreMiss)
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// benchStoreSweep measures the artifact store's cold/warm behavior: one
+// sweep against an empty (or existing) store populates the header
+// artifacts, then a second sweep with a fresh in-memory header cache —
+// simulating a process restart — replays them from disk. An empty dir uses
+// a throwaway temp directory so the measurement never pollutes a real
+// store.
+func benchStoreSweep(c *corpus.Corpus, kill int, dir string) (benchStore, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "fmlrbench-store-")
+		if err != nil {
+			return benchStore{}, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return benchStore{}, err
+	}
+	sweep := func() time.Duration {
+		hc := hcache.New(hcache.Options{
+			Backing: store.NewHeaderBacking(st, preprocessor.PayloadCodec()),
+		})
+		start := time.Now()
+		harness.RunMetered(context.Background(), c, harness.RunConfig{
+			Parser:      fmlr.OptAll,
+			KillSwitch:  kill,
+			HeaderCache: hc,
+		})
+		return time.Since(start)
+	}
+	before := st.Stats()
+	coldWall := sweep()
+	afterCold := st.Stats()
+	warmWall := sweep()
+	afterWarm := st.Stats()
+
+	cold := afterCold.Sub(before)
+	warm := afterWarm.Sub(afterCold)
+	out := benchStore{
+		Dir:            dir,
+		ColdWallMS:     coldWall.Milliseconds(),
+		WarmWallMS:     warmWall.Milliseconds(),
+		ColdWrites:     cold.Writes,
+		WarmStoreHits:  warm.Hits,
+		WarmStoreMiss:  warm.Misses,
+		ArtifactBytes:  afterWarm.Bytes,
+		ArtifactCount:  afterWarm.Entries,
+		CorruptDropped: afterWarm.Corrupt,
+	}
+	if total := warm.Hits + warm.Misses; total > 0 {
+		out.WarmHitRate = float64(warm.Hits) / float64(total)
+	}
+	return out, nil
 }

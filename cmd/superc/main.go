@@ -41,11 +41,14 @@ import (
 	"repro/internal/cgrammar"
 	"repro/internal/cond"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/fmlr"
 	"repro/internal/guard"
 	"repro/internal/hcache"
+	"repro/internal/preprocessor"
 	"repro/internal/printer"
 	"repro/internal/refactor"
+	"repro/internal/store"
 )
 
 type stringList []string
@@ -92,6 +95,8 @@ func main() {
 	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); summary mode only, falls back in-process")
+	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
@@ -135,7 +140,16 @@ func main() {
 	if !*noHeaderCache && !*single {
 		// One cache shared by every unit (and every worker: it is
 		// concurrency-safe, unlike the per-unit condition spaces).
-		cfg.HeaderCache = hcache.New(hcache.Options{})
+		opts := hcache.Options{}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir, store.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "superc:", err)
+				os.Exit(1)
+			}
+			opts.Backing = store.NewHeaderBacking(st, preprocessor.PayloadCodec())
+		}
+		cfg.HeaderCache = hcache.New(opts)
 	}
 	ff := fileFlags{
 		printAST: *printAST, project: *project, showStats: *showStats,
@@ -143,6 +157,25 @@ func main() {
 		limits: *limits,
 	}
 	files := flag.Args()
+
+	if *daemonAddr != "" {
+		if *printAST || *project != "" || *check || *printSrc || *rename != "" {
+			fmt.Fprintln(os.Stderr, "superc: -daemon serves summaries only; -ast/-project/-check/-print/-rename run in-process")
+		} else if exit, err := parseViaDaemon(*daemonAddr, daemon.ParseRequest{
+			Files:        files,
+			IncludePaths: includes,
+			Defines:      defs,
+			Mode:         *mode,
+			Opt:          *opt,
+			Single:       *single,
+			Jobs:         *jobs,
+			Limits:       daemon.FromGuard(*limits),
+		}, *showStats); err != nil {
+			fmt.Fprintf(os.Stderr, "superc: %v; running in-process\n", err)
+		} else {
+			os.Exit(exit)
+		}
+	}
 
 	nWorkers := *jobs
 	if nWorkers <= 0 {
@@ -216,6 +249,67 @@ func main() {
 		exit |= outs[i].exit
 	}
 	os.Exit(exit)
+}
+
+// parseViaDaemon serves the batch from a superd daemon and renders each
+// unit's summary exactly as processFile does — the wire carries the
+// deterministic statistics and pre-rendered space-tied diagnostics. The
+// "tables:" line reflects the daemon's parse-table cache (the client loads
+// no tables in daemon mode).
+func parseViaDaemon(addr string, req daemon.ParseRequest, showStats bool) (int, error) {
+	client, err := daemon.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Parse(&req)
+	if err != nil {
+		return 0, err
+	}
+	exit := 0
+	for _, u := range resp.Units {
+		if u.Err != "" {
+			fmt.Fprintf(os.Stderr, "superc: %s\n", u.Err)
+			exit = 1
+			continue
+		}
+		for _, d := range u.PreDiags {
+			fmt.Fprintln(os.Stderr, d)
+			if !d.Warning {
+				exit = 1
+			}
+		}
+		for _, line := range u.ParseErrs {
+			fmt.Fprintln(os.Stderr, line)
+			exit = 1
+		}
+		if u.Killed {
+			fmt.Fprintln(os.Stderr, "superc: subparser kill switch tripped")
+			exit = 1
+		}
+		if u.BudgetErr != "" {
+			fmt.Fprintf(os.Stderr, "superc: %s: degraded to partial result: %s\n", u.File, u.BudgetErr)
+			exit = 1
+		}
+		if showStats {
+			us := u.Pre
+			fmt.Printf("preprocess: %d bytes, %d tokens, %d directives, %d defines, %d invocations (%d nested, %d trimmed, %d hoisted), %d includes, %d conditionals (depth %d)\n",
+				us.Bytes, us.Tokens, us.Directives, us.MacroDefinitions,
+				us.Invocations, us.NestedInvocations, us.TrimmedInvocations, us.HoistedInvocations,
+				us.Includes, us.Conditionals, us.MaxCondDepth)
+			if u.HasAST {
+				p := u.Parse
+				fmt.Printf("parse: %d iterations, max %d subparsers (p99 %d), %d forks, %d merges, %d typedef forks; AST: %d nodes, %d choice nodes\n",
+					p.Iterations, p.MaxSubparsers, p.P99, p.Forks, p.Merges, p.TypedefForks,
+					p.ASTNodes, p.ChoiceNodes)
+			}
+			fmt.Printf("tables: cache %s\n", resp.TableCache)
+		}
+		if !u.HasAST {
+			fmt.Fprintln(os.Stderr, "superc: no configuration parsed successfully")
+			exit = 1
+		}
+	}
+	return exit, nil
 }
 
 // fileFlags carries the per-file output options.

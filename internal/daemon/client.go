@@ -1,0 +1,147 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin superd client. The zero value is not usable; Dial
+// constructs one bound to a -daemon style address.
+type Client struct {
+	base string // always http://superd for unix sockets, http://host:port for TCP
+	hc   *http.Client
+}
+
+// Dial builds a client for addr ("unix:PATH", a socket path containing a
+// slash, "tcp:HOST:PORT", or a plain host:port) and verifies the daemon is
+// alive and speaks this protocol version. It does not keep a connection
+// open; each request dials through the shared transport.
+func Dial(addr string) (*Client, error) {
+	c := newClient(addr)
+	h, err := c.Health()
+	if err != nil {
+		return nil, fmt.Errorf("daemon at %s unreachable: %w", addr, err)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("daemon at %s speaks %s, this client needs %s", addr, h.Version, Version)
+	}
+	return c, nil
+}
+
+func newClient(addr string) *Client {
+	network, dialAddr := "tcp", addr
+	base := "http://" + addr
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, dialAddr, base = "unix", path, "http://superd"
+	} else if strings.Contains(addr, "/") {
+		network, dialAddr, base = "unix", addr, "http://superd"
+	} else if hostport, ok := strings.CutPrefix(addr, "tcp:"); ok {
+		dialAddr, base = hostport, "http://"+hostport
+	}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, network, dialAddr)
+		},
+	}
+	return &Client{base: base, hc: &http.Client{Transport: transport}}
+}
+
+// post sends a JSON request body and decodes the JSON response into out.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("daemon: %s", e.Error)
+		}
+		return fmt.Errorf("daemon: HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks liveness without the version gate (Dial applies it).
+func (c *Client) Health() (*HealthResponse, error) {
+	// A liveness probe should fail fast when nothing is listening.
+	prev := c.hc.Timeout
+	c.hc.Timeout = 5 * time.Second
+	defer func() { c.hc.Timeout = prev }()
+	var h HealthResponse
+	if err := c.get("/healthz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Lint runs a clint batch on the daemon.
+func (c *Client) Lint(req *LintRequest) (*LintResponse, error) {
+	var resp LintResponse
+	if err := c.post("/v1/lint", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Units) != len(req.Files) {
+		return nil, fmt.Errorf("daemon: %d units for %d files", len(resp.Units), len(req.Files))
+	}
+	return &resp, nil
+}
+
+// Parse runs a superc batch on the daemon.
+func (c *Client) Parse(req *ParseRequest) (*ParseResponse, error) {
+	var resp ParseResponse
+	if err := c.post("/v1/parse", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Units) != len(req.Files) {
+		return nil, fmt.Errorf("daemon: %d units for %d files", len(resp.Units), len(req.Files))
+	}
+	return &resp, nil
+}
+
+// Corpus runs a harness sweep on the daemon.
+func (c *Client) Corpus(req *CorpusRequest) (*CorpusResponse, error) {
+	var resp CorpusResponse
+	if err := c.post("/v1/corpus", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon's counter snapshot.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get("/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

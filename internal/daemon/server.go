@@ -1,0 +1,615 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+	"repro/internal/cgrammar"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/fmlr"
+	"repro/internal/guard"
+	"repro/internal/harness"
+	"repro/internal/hcache"
+	"repro/internal/preprocessor"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Root confines file-serving requests: every file and include path must
+	// be a local (no "..", not absolute) path resolved beneath it.
+	Root string
+	// MaxJobs clamps per-request worker counts; 0 means GOMAXPROCS.
+	MaxJobs int
+	// Caps are per-axis guard maximums clamped onto request limits (QoS):
+	// a request asking for more — or for no limit — gets the cap.
+	Caps guard.Limits
+	// Store, when non-nil, backs the header cache and the corpus facts
+	// cache, persisting warm state across daemon restarts.
+	Store *store.Store
+}
+
+// Server is the superd request handler: one warm header cache and an
+// optional artifact store shared by every request.
+type Server struct {
+	cfg   Config
+	hc    *hcache.Cache
+	mux   *http.ServeMux
+	http  *http.Server
+	start time.Time
+
+	reqLint, reqParse, reqCorpus stats.Counter
+	units                        stats.Counter
+	factsHits, factsMisses       stats.Counter
+	failedUnits, killedUnits     stats.Counter
+	budgetTrips                  stats.Counter
+	forks, merges                stats.Counter
+}
+
+// NewServer builds a server over cfg. The header cache is created here —
+// backed by cfg.Store when present — and lives for the server's lifetime.
+func NewServer(cfg Config) *Server {
+	if cfg.Root == "" {
+		cfg.Root = "."
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = runtime.GOMAXPROCS(0)
+	}
+	var backing hcache.Backing
+	if cfg.Store != nil {
+		backing = store.NewHeaderBacking(cfg.Store, preprocessor.PayloadCodec())
+	}
+	s := &Server{
+		cfg:   cfg,
+		hc:    hcache.New(hcache.Options{Backing: backing}),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
+	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
+	s.mux.HandleFunc("POST /v1/corpus", s.handleCorpus)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler exposes the route table (for tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown drains in-flight requests (http.Server.Shutdown): the listener
+// closes immediately, running batches finish, then Serve returns.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// Listen opens the listener for a -listen style address: "unix:PATH" or a
+// path containing a slash listens on a unix socket (removing a stale socket
+// file first); "tcp:ADDR" or a host:port listens on TCP.
+func Listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return listenUnix(path)
+	}
+	if hostport, ok := strings.CutPrefix(addr, "tcp:"); ok {
+		return net.Listen("tcp", hostport)
+	}
+	if strings.Contains(addr, "/") {
+		return listenUnix(addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+func listenUnix(path string) (net.Listener, error) {
+	// A previous daemon that died without cleanup leaves a stale socket
+	// file; binding requires removing it. A live daemon is detected by the
+	// remove-then-bind race window being negligible for a local tool.
+	os.Remove(path)
+	return net.Listen("unix", path)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// rootFS confines all file access to the server root: paths must be local
+// (relative, no traversal above the root) and are resolved beneath it.
+type rootFS struct{ root string }
+
+func (f rootFS) resolve(p string) (string, error) {
+	p = filepath.Clean(filepath.FromSlash(p))
+	if !filepath.IsLocal(p) {
+		return "", fmt.Errorf("daemon: path escapes server root: %s", p)
+	}
+	return filepath.Join(f.root, p), nil
+}
+
+func (f rootFS) ReadFile(p string) ([]byte, error) {
+	full, err := f.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(full)
+}
+
+func (f rootFS) Exists(p string) bool {
+	full, err := f.resolve(p)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(full)
+	return err == nil
+}
+
+// checkLocal rejects any request path that would escape the root.
+func checkLocal(paths []string) error {
+	for _, p := range paths {
+		if !filepath.IsLocal(filepath.Clean(filepath.FromSlash(p))) {
+			return fmt.Errorf("path escapes server root: %s", p)
+		}
+	}
+	return nil
+}
+
+func condMode(name string) (cond.Mode, error) {
+	switch name {
+	case "", "bdd":
+		return cond.ModeBDD, nil
+	case "sat":
+		return cond.ModeSAT, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+func parserOpts(name string) (fmlr.Options, error) {
+	switch name {
+	case "", "all":
+		return fmlr.OptAll, nil
+	case "sharedlazy":
+		return fmlr.OptSharedLazy, nil
+	case "shared":
+		return fmlr.OptShared, nil
+	case "lazy":
+		return fmlr.OptLazy, nil
+	case "follow":
+		return fmlr.OptFollowOnly, nil
+	case "mapr":
+		return fmlr.OptMAPR, nil
+	case "mapr-largest":
+		return fmlr.OptMAPRLargest, nil
+	}
+	return fmlr.Options{}, fmt.Errorf("unknown optimization level %q", name)
+}
+
+func selectPasses(names []string) ([]*analysis.Analyzer, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, a := range passes.All() {
+		known[a.Name] = true
+	}
+	for _, n := range names {
+		if n == "all" {
+			return passes.All(), nil
+		}
+		if !known[n] {
+			return nil, fmt.Errorf("unknown pass %q", n)
+		}
+	}
+	return passes.ByName(names), nil
+}
+
+// jobs clamps a requested worker count to the server bound.
+func (s *Server) jobs(req, n int) int {
+	j := req
+	if j <= 0 || j > s.cfg.MaxJobs {
+		j = s.cfg.MaxJobs
+	}
+	if j > n {
+		j = n
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// forEach runs fn over indices 0..n-1 on a bounded worker pool.
+func forEach(n, workers int, fn func(i int)) {
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	s.reqLint.Inc()
+	var req LintRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	mode, err := condMode(req.Mode)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	analyzers, err := selectPasses(req.Passes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if analyzers == nil {
+		analyzers = passes.All()
+	}
+	if err := checkLocal(req.Files); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkLocal(req.IncludePaths); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limits := Clamp(req.Limits.ToGuard(), s.cfg.Caps)
+	cfg := core.Config{
+		FS:           rootFS{s.cfg.Root},
+		IncludePaths: req.IncludePaths,
+		Defines:      req.Defines,
+		CondMode:     mode,
+		HeaderCache:  s.hc,
+	}
+	resp := LintResponse{Units: make([]LintUnit, len(req.Files))}
+	forEach(len(req.Files), s.jobs(req.Jobs, len(req.Files)), func(i int) {
+		resp.Units[i] = s.lintUnit(r.Context(), cfg, req.Files[i], analyzers, limits)
+	})
+	s.units.Add(int64(len(req.Files)))
+	writeJSON(w, &resp)
+}
+
+// lintUnit mirrors cmd/clint's lintFile: same tool construction, same error
+// text, so the client's reassembled output is byte-identical.
+func (s *Server) lintUnit(ctx context.Context, cfg core.Config, file string, analyzers []*analysis.Analyzer, limits guard.Limits) LintUnit {
+	u := LintUnit{File: file}
+	tool := core.New(cfg)
+	budget := guard.New(ctx, limits)
+	tool.SetBudget(budget)
+	res, err := tool.ParseFile(file)
+	if err != nil {
+		u.Failed = true
+		u.Errors = fmt.Sprintf("clint: %s: %v\n", file, err)
+		return u
+	}
+	var errs strings.Builder
+	for _, d := range res.Unit.Diags {
+		if !d.Warning {
+			fmt.Fprintf(&errs, "clint: %s\n", d)
+		}
+	}
+	u.Errors = errs.String()
+	result := analysis.Run(&analysis.Unit{
+		File:   file,
+		Space:  tool.Space(),
+		AST:    res.AST,
+		PP:     res.Unit,
+		Budget: tool.Budget(),
+	}, analyzers)
+	u.Diags = make([]Diag, len(result.Diags))
+	for i, d := range result.Diags {
+		u.Diags[i] = FromAnalysis(d)
+	}
+	u.Stats = result.Stats
+	if d := budget.Trip(); d != nil {
+		s.budgetTrips.Inc()
+	}
+	return u
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	s.reqParse.Inc()
+	var req ParseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	mode, err := condMode(req.Mode)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := parserOpts(req.Opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkLocal(req.Files); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkLocal(req.IncludePaths); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limits := Clamp(req.Limits.ToGuard(), s.cfg.Caps)
+	cfg := core.Config{
+		FS:           rootFS{s.cfg.Root},
+		IncludePaths: req.IncludePaths,
+		Defines:      req.Defines,
+		CondMode:     mode,
+		Parser:       &opts,
+		SingleConfig: req.Single,
+	}
+	if !req.Single {
+		cfg.HeaderCache = s.hc
+	}
+	resp := ParseResponse{Units: make([]ParseUnit, len(req.Files))}
+	forEach(len(req.Files), s.jobs(req.Jobs, len(req.Files)), func(i int) {
+		resp.Units[i] = s.parseUnit(r.Context(), cfg, req.Files[i], limits)
+	})
+	resp.TableCache = cgrammar.TableCacheState()
+	s.units.Add(int64(len(req.Files)))
+	writeJSON(w, &resp)
+}
+
+// parseUnit runs one superc-style unit and extracts the deterministic
+// summary (timings excluded; space-tied parse diagnostics pre-rendered).
+func (s *Server) parseUnit(ctx context.Context, cfg core.Config, file string, limits guard.Limits) ParseUnit {
+	u := ParseUnit{File: file}
+	tool := core.New(cfg)
+	budget := guard.New(ctx, limits)
+	tool.SetBudget(budget)
+	res, err := tool.ParseFile(file)
+	if err != nil {
+		u.Err = err.Error()
+		return u
+	}
+	u.PreDiags = res.Unit.Diags
+	for _, d := range res.Parse.Diags {
+		u.ParseErrs = append(u.ParseErrs, fmt.Sprintf("%s: parse error under %s: %s",
+			d.Tok.Pos(), tool.Space().String(d.Cond), d.Msg))
+	}
+	u.Killed = res.Parse.Killed
+	u.Pre = res.Unit.Stats
+	u.Pre.LexTime = 0
+	p := res.Parse.Stats
+	u.Parse = ParseStats{
+		Iterations:    p.Iterations,
+		MaxSubparsers: p.MaxSubparsers,
+		P99:           p.Percentile(0.99),
+		Forks:         p.Forks,
+		Merges:        p.Merges,
+		TypedefForks:  p.TypedefForks,
+	}
+	if res.AST != nil {
+		u.HasAST = true
+		u.Parse.ASTNodes = res.AST.Count()
+		u.Parse.ChoiceNodes = res.AST.CountChoices()
+	}
+	if d := budget.Trip(); d != nil {
+		u.BudgetErr = fmt.Sprintf("%v", d)
+		s.budgetTrips.Inc()
+	}
+	s.forks.Add(int64(p.Forks))
+	s.merges.Add(int64(p.Merges))
+	if res.Parse.Killed {
+		s.killedUnits.Inc()
+	}
+	if res.AST == nil {
+		s.failedUnits.Inc()
+	}
+	return u
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	s.reqCorpus.Inc()
+	var req CorpusRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	mode, err := condMode(req.Mode)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := parserOpts(req.Opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	analyzers, err := selectPasses(req.Passes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limits := Clamp(req.Limits.ToGuard(), s.cfg.Caps)
+	c := corpus.Generate(corpus.Params{Seed: req.Seed, CFiles: req.CFiles, GenHeaders: req.Headers})
+	fp := s.factsFingerprint(req, limits)
+
+	resp := CorpusResponse{Units: make([]CorpusUnit, len(c.CFiles))}
+	var missing []int
+	useFacts := s.cfg.Store != nil && !req.NoFacts
+	for i, f := range c.CFiles {
+		if useFacts && store.GetGob(s.cfg.Store, store.NSFacts, fp+"\x00"+f, &resp.Units[i]) {
+			resp.FactsHits++
+			continue
+		}
+		missing = append(missing, i)
+	}
+	if len(missing) > 0 {
+		resp.FactsMisses = int64(len(missing))
+		sub := *c
+		sub.CFiles = make([]string, len(missing))
+		for j, i := range missing {
+			sub.CFiles[j] = c.CFiles[i]
+		}
+		results, m := harness.RunMetered(r.Context(), &sub, harness.RunConfig{
+			Mode:        mode,
+			Parser:      opts,
+			Single:      req.Single,
+			Jobs:        s.jobs(req.Jobs, len(missing)),
+			HeaderCache: s.hc,
+			Budget:      limits,
+			Analyzers:   analyzers,
+		})
+		for j, i := range missing {
+			u := toCorpusUnit(&results[j])
+			resp.Units[i] = u
+			// A unit that errored (cancelled run, panic) is not a
+			// deterministic fact; everything else is a pure function of
+			// (corpus, config, limits) and may be served across restarts.
+			if useFacts && u.Err == "" {
+				store.PutGob(s.cfg.Store, store.NSFacts, fp+"\x00"+c.CFiles[i], &u)
+			}
+		}
+		s.failedUnits.Add(int64(m.FailedUnits))
+		s.killedUnits.Add(int64(m.KilledUnits))
+		s.budgetTrips.Add(int64(m.BudgetTrips))
+		s.forks.Add(m.Forks)
+		s.merges.Add(m.Merges)
+	}
+	s.factsHits.Add(resp.FactsHits)
+	s.factsMisses.Add(resp.FactsMisses)
+	s.units.Add(int64(len(c.CFiles)))
+	writeJSON(w, &resp)
+}
+
+// factsFingerprint keys the facts cache: every request knob that affects a
+// unit's deterministic result, plus the protocol version (result shapes may
+// change between builds).
+func (s *Server) factsFingerprint(req CorpusRequest, limits guard.Limits) string {
+	names := append([]string(nil), req.Passes...)
+	sort.Strings(names)
+	return fmt.Sprintf("%s;seed=%d;cfiles=%d;headers=%d;mode=%s;opt=%s;single=%t;passes=%s;limits=%+v",
+		Version, req.Seed, req.CFiles, req.Headers, req.Mode, req.Opt, req.Single,
+		strings.Join(names, ","), limits)
+}
+
+// toCorpusUnit extracts the deterministic subset of a harness result.
+func toCorpusUnit(r *harness.UnitResult) CorpusUnit {
+	u := CorpusUnit{
+		File:      r.File,
+		Bytes:     r.Bytes,
+		Tokens:    r.Tokens,
+		Pre:       r.Pre,
+		Killed:    r.Killed,
+		ParseFail: r.ParseFail,
+		Err:       r.Err,
+		Parse: ParseStats{
+			Iterations:    r.Parse.Iterations,
+			MaxSubparsers: r.Parse.MaxSubparsers,
+			P99:           r.Parse.Percentile(0.99),
+			Forks:         r.Parse.Forks,
+			Merges:        r.Parse.Merges,
+			TypedefForks:  r.Parse.TypedefForks,
+			ChoiceNodes:   r.ChoiceNodes,
+		},
+	}
+	u.Pre.LexTime = 0
+	if a := r.Analysis; a != nil {
+		u.HasAnalysis = true
+		u.Diags = make([]Diag, len(a.Diags))
+		for i, d := range a.Diags {
+			u.Diags[i] = FromAnalysis(d)
+		}
+		u.Stats = a.Stats
+	}
+	return u
+}
+
+// counters collects every exposed counter under stable names.
+func (s *Server) counters() map[string]int64 {
+	m := map[string]int64{
+		"requests_lint":        s.reqLint.Load(),
+		"requests_parse":       s.reqParse.Load(),
+		"requests_corpus":      s.reqCorpus.Load(),
+		"units_total":          s.units.Load(),
+		"facts_hits":           s.factsHits.Load(),
+		"facts_misses":         s.factsMisses.Load(),
+		"harness_failed_units": s.failedUnits.Load(),
+		"harness_killed_units": s.killedUnits.Load(),
+		"harness_budget_trips": s.budgetTrips.Load(),
+		"harness_forks":        s.forks.Load(),
+		"harness_merges":       s.merges.Load(),
+	}
+	hc := s.hc.Stats()
+	m["hcache_header_hits"] = hc.HeaderHits
+	m["hcache_header_misses"] = hc.HeaderMisses
+	m["hcache_lex_hits"] = hc.LexHits
+	m["hcache_lex_misses"] = hc.LexMisses
+	m["hcache_bytes_saved"] = hc.BytesSaved
+	m["hcache_evictions"] = hc.Evictions
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		m["store_hits"] = st.Hits
+		m["store_misses"] = st.Misses
+		m["store_writes"] = st.Writes
+		m["store_evictions"] = st.Evictions
+		m["store_corrupt"] = st.Corrupt
+		m["store_entries"] = st.Entries
+		m["store_bytes"] = st.Bytes
+	}
+	return m
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, &StatsResponse{
+		Version:  Version,
+		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
+		Counters: s.counters(),
+	})
+}
+
+// handleMetrics renders the counters in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.counters()
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, n := range names {
+		fmt.Fprintf(w, "superd_%s %d\n", n, c[n])
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, &HealthResponse{OK: true, Version: Version})
+}

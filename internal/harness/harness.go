@@ -52,6 +52,7 @@ import (
 	"repro/internal/hcache"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // IncludePaths are the corpus's include directories.
@@ -83,7 +84,37 @@ var DefaultQuarantine bool
 var (
 	headerCacheOnce   sync.Once
 	sharedHeaderCache *hcache.Cache
+
+	storeMu     sync.Mutex
+	sharedStore *store.Store
 )
+
+// UseStore opens the on-disk artifact store at dir and installs it as the
+// durable layer beneath the process-wide header cache. It must be called
+// before the first cached run (the cmd tools call it while parsing flags);
+// calling it after the shared cache exists returns an error rather than
+// silently leaving the cache unbacked. maxBytes <= 0 keeps the store's
+// default bound.
+func UseStore(dir string, maxBytes int64) (*store.Store, error) {
+	s, err := store.Open(dir, store.Options{MaxBytes: maxBytes})
+	if err != nil {
+		return nil, err
+	}
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	if sharedHeaderCache != nil {
+		return nil, fmt.Errorf("harness: UseStore called after the shared header cache was created")
+	}
+	sharedStore = s
+	return s, nil
+}
+
+// Store returns the artifact store installed by UseStore, or nil.
+func Store() *store.Store {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	return sharedStore
+}
 
 // headerCache resolves the cache a run should use: an explicit override, the
 // process-wide default, or nil when disabled (including single-configuration
@@ -95,7 +126,15 @@ func (cfg RunConfig) headerCache() *hcache.Cache {
 	if cfg.HeaderCache != nil {
 		return cfg.HeaderCache
 	}
-	headerCacheOnce.Do(func() { sharedHeaderCache = hcache.New(hcache.Options{}) })
+	headerCacheOnce.Do(func() {
+		storeMu.Lock()
+		defer storeMu.Unlock()
+		var backing hcache.Backing
+		if sharedStore != nil {
+			backing = store.NewHeaderBacking(sharedStore, preprocessor.PayloadCodec())
+		}
+		sharedHeaderCache = hcache.New(hcache.Options{Backing: backing})
+	})
 	return sharedHeaderCache
 }
 
@@ -109,6 +148,10 @@ type RunConfig struct {
 	// Jobs bounds the worker pool: 0 defers to DefaultJobs (then
 	// GOMAXPROCS), 1 is fully sequential.
 	Jobs int
+	// IncludePaths overrides the corpus include directories for this run
+	// (empty defers to the package-level IncludePaths). The daemon sets it
+	// per request, since different corpora need different include roots.
+	IncludePaths []string
 	// HeaderCache overrides the shared cross-unit header cache for this run.
 	// nil uses the process-wide default cache unless NoHeaderCache (or the
 	// global DisableHeaderCache) is set.
@@ -141,6 +184,14 @@ func (cfg RunConfig) limits() guard.Limits {
 // quarantine resolves whether retry-once-then-quarantine is active.
 func (cfg RunConfig) quarantine() bool {
 	return cfg.Quarantine || DefaultQuarantine
+}
+
+// includePaths resolves the effective include directories.
+func (cfg RunConfig) includePaths() []string {
+	if len(cfg.IncludePaths) > 0 {
+		return cfg.IncludePaths
+	}
+	return IncludePaths
 }
 
 // jobs resolves the effective worker count for n units.
@@ -252,6 +303,15 @@ type Metrics struct {
 	HeaderBytesSaved  int64 // source bytes not re-preprocessed
 	HeaderEvictions   int64
 
+	// Artifact-store outcome for this run (delta of the process-wide
+	// store's counters; "off" unless UseStore configured one).
+	StoreState     string
+	StoreHits      int64
+	StoreMisses    int64
+	StoreWrites    int64
+	StoreEvictions int64
+	StoreCorrupt   int64
+
 	// Variability-aware analysis counters (zero unless RunConfig.Analyzers).
 	AnalysisPasses      int64            // passes run, summed over units
 	AnalysisDiags       int64            // diagnostics reported
@@ -305,6 +365,12 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "  header cache: %s (%d hits, %d misses; lex %d hits, %d misses; %d bytes saved, %d evictions)\n",
 		m.HeaderCacheState, m.HeaderCacheHits, m.HeaderCacheMisses,
 		m.HeaderLexHits, m.HeaderLexMisses, m.HeaderBytesSaved, m.HeaderEvictions)
+	fmt.Fprintf(&b, "  artifact store: %s", m.StoreState)
+	if m.StoreState != "off" {
+		fmt.Fprintf(&b, " (%d hits, %d misses, %d writes, %d evictions, %d corrupt)",
+			m.StoreHits, m.StoreMisses, m.StoreWrites, m.StoreEvictions, m.StoreCorrupt)
+	}
+	b.WriteByte('\n')
 	if m.AnalysisPasses > 0 || m.AnalysisDiags > 0 {
 		fmt.Fprintf(&b, "  analysis: %d passes run, %d diagnostics; %d witness checks (%d failed), %d infeasible dropped, %d error regions skipped\n",
 			m.AnalysisPasses, m.AnalysisDiags, m.WitnessChecks, m.WitnessFailures,
@@ -433,6 +499,11 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 	if hc != nil {
 		hcBefore = hc.Stats()
 	}
+	st := Store()
+	var stBefore store.Snapshot
+	if st != nil {
+		stBefore = st.Stats()
+	}
 	start := time.Now()
 
 	work := make(chan int)
@@ -501,6 +572,7 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		TableCacheMisses: misses,
 		TableCacheState:  cgrammar.TableCacheState(),
 		HeaderCacheState: "off",
+		StoreState:       "off",
 	}
 	sort.Strings(col.quarantinedFiles)
 	m.Quarantined = col.quarantinedFiles
@@ -522,6 +594,15 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		m.HeaderLexMisses = d.LexMisses
 		m.HeaderBytesSaved = d.BytesSaved
 		m.HeaderEvictions = d.Evictions
+	}
+	if st != nil {
+		d := st.Stats().Sub(stBefore)
+		m.StoreState = "on"
+		m.StoreHits = d.Hits
+		m.StoreMisses = d.Misses
+		m.StoreWrites = d.Writes
+		m.StoreEvictions = d.Evictions
+		m.StoreCorrupt = d.Corrupt
 	}
 	return out, m
 }
@@ -572,7 +653,7 @@ func runUnit(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.O
 	// no mutable state and can run on any worker.
 	tool := core.New(core.Config{
 		FS:           c.FS,
-		IncludePaths: IncludePaths,
+		IncludePaths: cfg.includePaths(),
 		CondMode:     cfg.Mode,
 		Parser:       &parser,
 		SingleConfig: cfg.Single,

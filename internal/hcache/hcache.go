@@ -99,9 +99,38 @@ type Entry struct {
 	RelIncludeDepth int
 	Bytes           int // source bytes replay avoids re-preprocessing
 	Payload         any
+	// Portable reports that every fingerprint signature is process
+	// independent (no per-process canonical condition ids), so the entry may
+	// be persisted and replayed by a different process. The recorder sets it;
+	// only portable entries reach the backing store.
+	Portable bool
 
 	key  string        // owning cache key, for eviction bookkeeping
 	elem *list.Element // position in the cache's LRU list
+}
+
+// PayloadCodec serializes the opaque Level-2 payload for a durable backing
+// store. The preprocessor (which owns the payload representation) provides
+// the implementation; see preprocessor.PayloadCodec.
+type PayloadCodec interface {
+	EncodePayload(any) ([]byte, error)
+	DecodePayload([]byte) (any, error)
+}
+
+// Backing is an optional durable layer beneath the in-memory cache: misses
+// consult it, stores write through to it. Implementations must be safe for
+// concurrent use; Load/Save are called outside the cache's lock. The
+// canonical implementation is store.HeaderBacking, which persists entries to
+// the content-addressed artifact store.
+type Backing interface {
+	// LoadLex returns the persisted Level-1 entry for a cache key, if any.
+	LoadLex(key string) (*LexEntry, bool)
+	// SaveLex persists a Level-1 entry (best-effort).
+	SaveLex(key string, e *LexEntry)
+	// LoadEntries returns every persisted Level-2 entry recorded under key.
+	LoadEntries(key string) []*Entry
+	// SaveEntry persists one portable Level-2 entry (best-effort).
+	SaveEntry(key string, e *Entry)
 }
 
 // Snapshot is a point-in-time copy of the cache's counters.
@@ -132,6 +161,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 type Options struct {
 	MaxLexEntries    int // Level-1 bound; 0 means DefaultMaxLexEntries
 	MaxHeaderEntries int // Level-2 bound; 0 means DefaultMaxHeaderEntries
+	// Backing, when non-nil, is the durable layer beneath the in-memory
+	// cache: lookups that miss in memory consult it, and stores write
+	// through to it (Level-2 only for portable entries). In-memory eviction
+	// never touches the backing store; its own size bound governs it.
+	Backing Backing
 }
 
 // Default capacity bounds. Sized for corpora of a few thousand headers; at
@@ -145,15 +179,17 @@ const (
 // Cache is a concurrency-safe two-level header cache shared by every worker
 // of a harness run (and across runs of the same process).
 type Cache struct {
-	canon *Canon
+	canon   *Canon
+	backing Backing
 
-	mu     sync.Mutex
-	lex    map[string]*lexSlot
-	lexLRU *list.List // of *lexSlot, front = most recent
-	hdr    map[string][]*Entry
-	hdrLRU *list.List // of *Entry, front = most recent
-	maxLex int
-	maxHdr int
+	mu        sync.Mutex
+	lex       map[string]*lexSlot
+	lexLRU    *list.List // of *lexSlot, front = most recent
+	hdr       map[string][]*Entry
+	hdrLRU    *list.List      // of *Entry, front = most recent
+	consulted map[string]bool // Level-2 keys already loaded from the backing
+	maxLex    int
+	maxHdr    int
 	lexHits, lexMisses, hdrHits, hdrMisses,
 	bytesSaved, evictions stats.Counter
 }
@@ -173,40 +209,59 @@ func New(opts Options) *Cache {
 		opts.MaxHeaderEntries = DefaultMaxHeaderEntries
 	}
 	return &Cache{
-		canon:  NewCanon(),
-		lex:    make(map[string]*lexSlot),
-		lexLRU: list.New(),
-		hdr:    make(map[string][]*Entry),
-		hdrLRU: list.New(),
-		maxLex: opts.MaxLexEntries,
-		maxHdr: opts.MaxHeaderEntries,
+		canon:     NewCanon(),
+		backing:   opts.Backing,
+		lex:       make(map[string]*lexSlot),
+		lexLRU:    list.New(),
+		hdr:       make(map[string][]*Entry),
+		hdrLRU:    list.New(),
+		consulted: make(map[string]bool),
+		maxLex:    opts.MaxLexEntries,
+		maxHdr:    opts.MaxHeaderEntries,
 	}
 }
 
 // Canon exposes the cache's shared fingerprint canonicalizer.
 func (c *Cache) Canon() *Canon { return c.canon }
 
-// LookupLex returns the Level-1 entry for a content hash.
+// LookupLex returns the Level-1 entry for a content hash. An in-memory miss
+// consults the backing store, installing what it finds.
 func (c *Cache) LookupLex(hash string) (*LexEntry, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	slot, ok := c.lex[hash]
-	if !ok {
-		c.lexMisses.Inc()
-		return nil, false
+	if ok {
+		c.lexLRU.MoveToFront(slot.elem)
+		c.mu.Unlock()
+		c.lexHits.Inc()
+		return slot.entry, true
 	}
-	c.lexLRU.MoveToFront(slot.elem)
-	c.lexHits.Inc()
-	return slot.entry, true
+	c.mu.Unlock()
+	if c.backing != nil {
+		if e, ok := c.backing.LoadLex(hash); ok {
+			c.installLex(hash, e)
+			c.lexHits.Inc()
+			return e, true
+		}
+	}
+	c.lexMisses.Inc()
+	return nil, false
 }
 
 // StoreLex records a Level-1 entry, evicting the least recently used entry
-// when over capacity.
+// when over capacity, and writes through to the backing store.
 func (c *Cache) StoreLex(hash string, e *LexEntry) {
+	if c.installLex(hash, e) && c.backing != nil {
+		c.backing.SaveLex(hash, e)
+	}
+}
+
+// installLex adds a Level-1 entry to the in-memory level only, reporting
+// whether it was new.
+func (c *Cache) installLex(hash string, e *LexEntry) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.lex[hash]; ok {
-		return // concurrent producer won the race; results are identical
+		return false // concurrent producer won the race; results are identical
 	}
 	slot := &lexSlot{key: hash, entry: e}
 	slot.elem = c.lexLRU.PushFront(slot)
@@ -216,6 +271,7 @@ func (c *Cache) StoreLex(hash string, e *LexEntry) {
 		delete(c.lex, old.key)
 		c.evictions.Inc()
 	}
+	return true
 }
 
 // Lookup scans the Level-2 entries recorded under key (one per distinct
@@ -230,7 +286,23 @@ func (c *Cache) Lookup(key string, match func(*Entry) bool) (*Entry, bool) {
 	copy(snapshot, cands)
 	c.mu.Unlock()
 
-	for _, e := range snapshot {
+	if e, ok := c.matchOne(snapshot, match); ok {
+		return e, true
+	}
+	// In-memory miss: consult the backing store once per key per process
+	// (write-through keeps the in-memory level a superset afterwards).
+	if loaded := c.consultBacking(key); len(loaded) > 0 {
+		if e, ok := c.matchOne(loaded, match); ok {
+			return e, true
+		}
+	}
+	c.hdrMisses.Inc()
+	return nil, false
+}
+
+// matchOne runs match over candidates (outside the lock) and books the hit.
+func (c *Cache) matchOne(cands []*Entry, match func(*Entry) bool) (*Entry, bool) {
+	for _, e := range cands {
 		if match(e) {
 			c.mu.Lock()
 			if e.elem != nil { // not evicted while matching
@@ -242,15 +314,44 @@ func (c *Cache) Lookup(key string, match func(*Entry) bool) (*Entry, bool) {
 			return e, true
 		}
 	}
-	c.hdrMisses.Inc()
 	return nil, false
+}
+
+// consultBacking loads the backing store's Level-2 entries for key on the
+// first in-memory miss of that key and installs them. Returns the entries it
+// installed (nil when the backing was absent or already consulted).
+func (c *Cache) consultBacking(key string) []*Entry {
+	if c.backing == nil {
+		return nil
+	}
+	c.mu.Lock()
+	done := c.consulted[key]
+	c.consulted[key] = true
+	c.mu.Unlock()
+	if done {
+		return nil
+	}
+	loaded := c.backing.LoadEntries(key)
+	for _, e := range loaded {
+		c.install(key, e)
+	}
+	return loaded
 }
 
 // Store records a Level-2 entry under key, keeping earlier entries for the
 // same key (they memoize the header under different incoming macro states,
 // e.g. different include orders). The Level-2 LRU bound evicts at entry
-// granularity across all keys.
+// granularity across all keys. Portable entries write through to the
+// backing store.
 func (c *Cache) Store(key string, e *Entry) {
+	c.install(key, e)
+	if c.backing != nil && e.Portable {
+		c.backing.SaveEntry(key, e)
+	}
+}
+
+// install adds a Level-2 entry to the in-memory level only.
+func (c *Cache) install(key string, e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e.key = key

@@ -131,6 +131,12 @@ type headerRec struct {
 	startInc  int        // include depth at recording start
 	maxRelInc int        // deepest relative include nesting reached
 	poisoned  bool
+	// portable stays true while every captured fingerprint signature is
+	// process independent (built only from constant-condition canonical ids
+	// and token-level definition signatures). Non-portable entries embed
+	// per-process BDD node ids and must never leave this process — see
+	// hcache.Entry.Portable.
+	portable bool
 }
 
 // recording reports whether at least one header recording is active.
@@ -154,31 +160,53 @@ func (p *Preprocessor) touchKey(key string) {
 		return
 	}
 	sig := ""
+	portable := true
 	computed := false
 	for _, r := range p.recorders {
 		if r.poisoned || r.keys[key] {
 			continue
 		}
 		if !computed {
-			sig = p.sigOf(key)
+			sig, portable = p.sigOfTracked(key)
 			computed = true
 		}
 		r.keys[key] = true
 		r.fp = append(r.fp, hcache.KV{Key: key, Sig: sig})
+		if !portable {
+			r.portable = false
+		}
 	}
 }
 
 // sigOf returns the current canonical signature of a fingerprint key.
 func (p *Preprocessor) sigOf(key string) string {
+	sig, _ := p.sigOfTracked(key)
+	return sig
+}
+
+// sigOfTracked is sigOf plus portability: portable is false when the
+// signature embeds the canonical id of a non-constant condition, which is a
+// per-process BDD node id and therefore meaningless to other processes.
+// Equal signature strings always have equal portability, so replaying a
+// persisted entry can trust a string match.
+func (p *Preprocessor) sigOfTracked(key string) (sig string, portable bool) {
 	body := key[2:]
 	if strings.HasPrefix(key, "m:") {
-		return p.macros.StateSig(body, p.canonOf)
+		portable = true
+		canon := func(c cond.Cond) string {
+			f := p.exporter.Export(c)
+			if f.Op != cond.FTrue && f.Op != cond.FFalse {
+				portable = false
+			}
+			return p.hcache.Canon().ID(f)
+		}
+		return p.macros.StateSig(body, canon), portable
 	}
 	// "g:<path>": the file's registered guard macro, or absence.
 	if g, ok := p.guardOf[body]; ok {
-		return "=" + g
+		return "=" + g, true
 	}
-	return ""
+	return "", true
 }
 
 // canonOf maps a condition of this unit's space to a process-wide canonical
@@ -314,6 +342,7 @@ func (p *Preprocessor) beginRecording() *headerRec {
 		diagStart: len(p.diags),
 		prevStats: p.stats,
 		startInc:  p.includeDepth,
+		portable:  true,
 	}
 	p.stats = &UnitStats{}
 	p.recorders = append(p.recorders, r)
@@ -351,6 +380,7 @@ func (p *Preprocessor) endRecording(r *headerRec, key string, segs []Segment, fa
 		RelIncludeDepth: r.maxRelInc,
 		Bytes:           delta.Bytes,
 		Payload:         pl,
+		Portable:        r.portable,
 	})
 }
 

@@ -1,0 +1,439 @@
+// Package store is the content-addressed on-disk artifact store that makes
+// the process-lifetime caches durable: hcache token streams and preprocessed
+// headers, and per-unit analysis facts, persisted across runs and across
+// daemon restarts.
+//
+// Artifacts are opaque byte payloads addressed by (namespace, key), where
+// the key already embeds the content hashes and configuration fingerprints
+// the in-memory caches use — the store adds no invalidation semantics of its
+// own beyond what the keys and the replay-time dep/probe checks carry (see
+// internal/hcache: a stale entry's key stops being looked up, and a replayed
+// entry re-validates its recorded file hashes and existence probes against
+// the live file system before use).
+//
+// The on-disk format is corruption-safe in the same best-effort style as the
+// LALR table cache (internal/cgrammar): every artifact file carries a magic
+// header, the payload length, and a sha256 checksum; writes go through a
+// temp file and an atomic rename; a truncated, bit-flipped, or torn entry
+// fails its checksum, counts as corrupt, is deleted, and reads as a miss —
+// never an error and never a wrong payload. The total payload size is
+// bounded: when Put pushes the store over Options.MaxBytes, least recently
+// used artifacts are evicted (access order is tracked in memory and seeded
+// from file modification times at Open).
+//
+// A Store is safe for concurrent use by any number of goroutines. It
+// assumes a single process owns the directory at a time (the superd daemon,
+// or one CLI run); concurrent processes cannot corrupt each other thanks to
+// the atomic writes, but their hit accounting and eviction order are then
+// only approximate.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// magic identifies an artifact file and versions the wire format.
+const magic = "superc-artifact/v1\n"
+
+// headerSize is magic + 8-byte payload length + 32-byte sha256.
+const headerSize = len(magic) + 8 + sha256.Size
+
+// DefaultMaxBytes bounds the store's total payload size when Options.MaxBytes
+// is zero: 256 MiB, roughly a few thousand preprocessed headers.
+const DefaultMaxBytes = 256 << 20
+
+// Options bounds a Store.
+type Options struct {
+	// MaxBytes bounds the total payload bytes on disk; 0 means
+	// DefaultMaxBytes, negative means unbounded.
+	MaxBytes int64
+}
+
+// Snapshot is a point-in-time copy of the store's counters.
+type Snapshot struct {
+	Hits      int64 // Get found a valid artifact
+	Misses    int64 // Get found nothing
+	Writes    int64 // Put stored an artifact
+	Evictions int64 // artifacts dropped by the size bound
+	Corrupt   int64 // artifacts dropped for failing their checksum
+	Entries   int64 // current artifact count
+	Bytes     int64 // current total payload bytes
+}
+
+// Sub returns s - o for the cumulative counters (population fields are
+// carried over from s), mirroring hcache.Snapshot.Sub for delta reporting.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Writes:    s.Writes - o.Writes,
+		Evictions: s.Evictions - o.Evictions,
+		Corrupt:   s.Corrupt - o.Corrupt,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+	}
+}
+
+// Store is a bounded content-addressed artifact store rooted at one
+// directory.
+type Store struct {
+	dir string
+	max int64
+
+	mu    sync.Mutex
+	index map[string]*artifact // ns+"\x00"+key -> entry
+	lru   *list.List           // of *artifact, front = most recent
+	bytes int64
+
+	hits, misses, writes,
+	evictions, corrupt stats.Counter
+}
+
+// artifact is one indexed on-disk entry.
+type artifact struct {
+	id   string // index key (ns + NUL + key)
+	path string
+	size int64
+	elem *list.Element
+}
+
+// Open opens (creating if needed) the store rooted at dir and indexes the
+// artifacts already present. Unreadable or malformed files found during the
+// scan are deleted and counted corrupt.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	max := opts.MaxBytes
+	if max == 0 {
+		max = DefaultMaxBytes
+	}
+	s := &Store{
+		dir:   dir,
+		max:   max,
+		index: make(map[string]*artifact),
+		lru:   list.New(),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// scan rebuilds the index from the directory contents. Access order is
+// seeded from modification times (oldest = least recently used).
+func (s *Store) scan() error {
+	type found struct {
+		a     *artifact
+		mtime int64
+	}
+	var all []found
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".art") {
+			return err
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil // raced with a concurrent delete; skip
+		}
+		id, size, ok := s.readMeta(path)
+		if !ok {
+			s.corrupt.Inc()
+			os.Remove(path)
+			return nil
+		}
+		all = append(all, found{
+			a:     &artifact{id: id, path: path, size: size},
+			mtime: info.ModTime().UnixNano(),
+		})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scan: %w", err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime < all[j].mtime })
+	for _, f := range all {
+		if prev, ok := s.index[f.a.id]; ok {
+			// Duplicate id (two files hashing the same key can only happen if
+			// the naming scheme changed); keep the newer file.
+			s.removeLocked(prev)
+		}
+		f.a.elem = s.lru.PushFront(f.a)
+		s.index[f.a.id] = f.a
+		s.bytes += f.a.size
+	}
+	s.evictOverLocked()
+	return nil
+}
+
+// pathFor maps an index id to its artifact file, sharding by the first key
+// hash byte so directories stay small.
+func (s *Store) pathFor(ns, key string) string {
+	sum := sha256.Sum256([]byte(ns + "\x00" + key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, ns, name[:2], name+".art")
+}
+
+// Get returns the artifact payload stored under (ns, key). A missing entry,
+// or one that fails its checksum (which is deleted), reads as a miss.
+func (s *Store) Get(ns, key string) ([]byte, bool) {
+	return s.get(ns, key, true)
+}
+
+// peek is Get without hit/miss accounting, for read-modify-write cycles
+// that are not cache lookups (corruption is still counted and cleaned up).
+func (s *Store) peek(ns, key string) ([]byte, bool) {
+	return s.get(ns, key, false)
+}
+
+func (s *Store) get(ns, key string, counted bool) ([]byte, bool) {
+	id := ns + "\x00" + key
+	s.mu.Lock()
+	a, ok := s.index[id]
+	if ok {
+		s.lru.MoveToFront(a.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		if counted {
+			s.misses.Inc()
+		}
+		return nil, false
+	}
+	payload, ok := readArtifact(a.path, id)
+	if !ok {
+		// A file that vanished under us (a concurrent Delete or eviction won
+		// the race) is an ordinary miss; only a file that is present but
+		// fails validation counts as corrupt.
+		if _, err := os.Stat(a.path); err == nil {
+			s.corrupt.Inc()
+		}
+		if counted {
+			s.misses.Inc()
+		}
+		s.mu.Lock()
+		if cur, still := s.index[id]; still && cur == a {
+			s.removeLocked(a)
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	if counted {
+		s.hits.Inc()
+	}
+	return payload, true
+}
+
+// Put stores payload under (ns, key), replacing any previous artifact, and
+// evicts least recently used artifacts while the store exceeds its size
+// bound. Failures (a full or read-only disk) are swallowed: the store is an
+// accelerator, never a correctness dependency.
+func (s *Store) Put(ns, key string, payload []byte) {
+	id := ns + "\x00" + key
+	path := s.pathFor(ns, key)
+	if !writeArtifact(path, id, payload) {
+		return
+	}
+	s.writes.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.index[id]; ok {
+		s.bytes -= prev.size
+		prev.size = int64(len(payload))
+		s.bytes += prev.size
+		s.lru.MoveToFront(prev.elem)
+	} else {
+		a := &artifact{id: id, path: path, size: int64(len(payload))}
+		a.elem = s.lru.PushFront(a)
+		s.index[id] = a
+		s.bytes += a.size
+	}
+	s.evictOverLocked()
+}
+
+// Delete removes the artifact stored under (ns, key), if any.
+func (s *Store) Delete(ns, key string) {
+	id := ns + "\x00" + key
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.index[id]; ok {
+		s.removeLocked(a)
+	}
+}
+
+// evictOverLocked drops least recently used artifacts until the size bound
+// holds. Caller holds mu.
+func (s *Store) evictOverLocked() {
+	if s.max < 0 {
+		return
+	}
+	for s.bytes > s.max && s.lru.Len() > 0 {
+		a := s.lru.Back().Value.(*artifact)
+		s.removeLocked(a)
+		s.evictions.Inc()
+	}
+}
+
+// removeLocked unindexes and deletes one artifact. Caller holds mu.
+func (s *Store) removeLocked(a *artifact) {
+	s.lru.Remove(a.elem)
+	delete(s.index, a.id)
+	s.bytes -= a.size
+	os.Remove(a.path)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Snapshot {
+	s.mu.Lock()
+	entries, bytes := int64(s.lru.Len()), s.bytes
+	s.mu.Unlock()
+	return Snapshot{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Writes:    s.writes.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// readMeta validates an artifact file's header during the Open scan and
+// returns its index id and payload size. The payload checksum is not
+// verified here (that would read the whole store at startup); Get verifies
+// it on first use.
+func (s *Store) readMeta(path string) (id string, size int64, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, false
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	if _, err := readFull(f, hdr); err != nil {
+		return "", 0, false
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return "", 0, false
+	}
+	idLen := binary.BigEndian.Uint64(hdr[len(magic) : len(magic)+8])
+	if idLen > 1<<20 {
+		return "", 0, false
+	}
+	idBuf := make([]byte, idLen)
+	if _, err := readFull(f, idBuf); err != nil {
+		return "", 0, false
+	}
+	var lenBuf [8]byte
+	if _, err := readFull(f, lenBuf[:]); err != nil {
+		return "", 0, false
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return "", 0, false
+	}
+	payloadLen := int64(binary.BigEndian.Uint64(lenBuf[:]))
+	want := int64(headerSize) + int64(idLen) + 8 + payloadLen
+	if payloadLen < 0 || info.Size() != want {
+		return "", 0, false
+	}
+	return string(idBuf), payloadLen, true
+}
+
+// Artifact layout:
+//
+//	magic
+//	8-byte big-endian id length | id bytes      (the ns+NUL+key, for scan)
+//	32-byte sha256(payload)                     (within the fixed header)
+//	8-byte big-endian payload length | payload
+//
+// The id is embedded so Open can rebuild the index without a side file; the
+// checksum makes any torn or flipped payload detectable.
+
+func writeArtifact(path, id string, payload []byte) bool {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return false
+	}
+	defer os.Remove(tmp.Name())
+	sum := sha256.Sum256(payload)
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(id)))
+	hdr = append(hdr, sum[:]...)
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	for _, chunk := range [][]byte{hdr, []byte(id), lenBuf[:], payload} {
+		if _, err := tmp.Write(chunk); err != nil {
+			tmp.Close()
+			return false
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return false
+	}
+	return os.Rename(tmp.Name(), path) == nil
+}
+
+func readArtifact(path, id string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if len(data) < headerSize || string(data[:len(magic)]) != magic {
+		return nil, false
+	}
+	off := len(magic)
+	idLen := binary.BigEndian.Uint64(data[off : off+8])
+	off += 8
+	var sum [sha256.Size]byte
+	copy(sum[:], data[off:off+sha256.Size])
+	off += sha256.Size
+	if uint64(len(data)-off) < idLen+8 {
+		return nil, false
+	}
+	if string(data[off:off+int(idLen)]) != id {
+		return nil, false
+	}
+	off += int(idLen)
+	payloadLen := binary.BigEndian.Uint64(data[off : off+8])
+	off += 8
+	if uint64(len(data)-off) != payloadLen {
+		return nil, false
+	}
+	payload := data[off:]
+	if sha256.Sum256(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+func readFull(f *os.File, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := f.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

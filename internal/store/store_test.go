@@ -1,0 +1,299 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("ns", "k1", []byte("hello"))
+	s.Put("other", "k1", []byte("world")) // same key, different namespace
+	got, ok := s.Get("ns", "k1")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get(ns,k1) = %q, %v; want hello", got, ok)
+	}
+	got, ok = s.Get("other", "k1")
+	if !ok || string(got) != "world" {
+		t.Fatalf("Get(other,k1) = %q, %v; want world", got, ok)
+	}
+	if _, ok := s.Get("ns", "absent"); ok {
+		t.Fatal("Get(absent) hit")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Writes != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss, 2 writes, 2 entries", st)
+	}
+	if st.Bytes != int64(len("hello")+len("world")) {
+		t.Fatalf("bytes = %d; want %d", st.Bytes, len("hello")+len("world"))
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("ns", "k", []byte("v1"))
+	s.Put("ns", "k", []byte("longer-v2"))
+	got, ok := s.Get("ns", "k")
+	if !ok || string(got) != "longer-v2" {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != int64(len("longer-v2")) {
+		t.Fatalf("stats after overwrite = %+v", st)
+	}
+	s.Delete("ns", "k")
+	if _, ok := s.Get("ns", "k"); ok {
+		t.Fatal("Get after Delete hit")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after delete = %+v", st)
+	}
+}
+
+// corruptFile applies fn to the artifact file backing (ns, key).
+func corruptFile(t *testing.T, s *Store, ns, key string, fn func(path string, data []byte)) {
+	t.Helper()
+	path := s.pathFor(ns, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	fn(path, data)
+}
+
+func TestCorruptTruncated(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("ns", "k", []byte("payload-bytes-here"))
+	corruptFile(t, s, "ns", "k", func(path string, data []byte) {
+		if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, ok := s.Get("ns", "k"); ok {
+		t.Fatal("Get on truncated artifact hit")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("stats after truncation = %+v; want 1 corrupt, 0 entries", st)
+	}
+	if _, err := os.Stat(s.pathFor("ns", "k")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact not deleted: %v", err)
+	}
+	// The slot is reusable after the corruption is cleared.
+	s.Put("ns", "k", []byte("fresh"))
+	if got, ok := s.Get("ns", "k"); !ok || string(got) != "fresh" {
+		t.Fatalf("Get after re-Put = %q, %v", got, ok)
+	}
+}
+
+func TestCorruptBitFlip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		at   func(n int) int // byte offset to flip, given file size
+	}{
+		{"payload", func(n int) int { return n - 1 }},
+		{"checksum", func(n int) int { return len(magic) + 8 }},
+		{"magic", func(n int) int { return 0 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t, t.TempDir(), Options{})
+			s.Put("ns", "k", []byte("some payload worth protecting"))
+			corruptFile(t, s, "ns", "k", func(path string, data []byte) {
+				data[tc.at(len(data))] ^= 0x40
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got, ok := s.Get("ns", "k"); ok {
+				t.Fatalf("Get on bit-flipped artifact returned %q", got)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats = %+v; want 1 corrupt", st)
+			}
+		})
+	}
+}
+
+func TestReopenScan(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		s.Put("ns", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("payload %d", i)))
+	}
+	// A second process opens the same directory.
+	s2 := open(t, dir, Options{})
+	if st := s2.Stats(); st.Entries != 10 {
+		t.Fatalf("reopened entries = %d; want 10", st.Entries)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := s2.Get("ns", fmt.Sprintf("k%d", i))
+		if !ok || string(got) != fmt.Sprintf("payload %d", i) {
+			t.Fatalf("Get(k%d) after reopen = %q, %v", i, got, ok)
+		}
+	}
+}
+
+func TestReopenDropsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	s.Put("ns", "good", []byte("kept"))
+	s.Put("ns", "bad", []byte("will be mangled"))
+	badPath := s.pathFor("ns", "bad")
+	data, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the magic so the Open scan rejects it outright.
+	data[0] ^= 0xFF
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	st := s2.Stats()
+	if st.Entries != 1 || st.Corrupt != 1 {
+		t.Fatalf("reopen stats = %+v; want 1 entry, 1 corrupt", st)
+	}
+	if _, err := os.Stat(badPath); !os.IsNotExist(err) {
+		t.Fatalf("malformed artifact not deleted during scan: %v", err)
+	}
+	if got, ok := s2.Get("ns", "good"); !ok || string(got) != "kept" {
+		t.Fatalf("Get(good) = %q, %v", got, ok)
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	payload := make([]byte, 100)
+	s := open(t, t.TempDir(), Options{MaxBytes: 550})
+	for i := 0; i < 20; i++ {
+		s.Put("ns", fmt.Sprintf("k%d", i), payload)
+		if st := s.Stats(); st.Bytes > 550 {
+			t.Fatalf("bytes %d exceed bound after put %d", st.Bytes, i)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 5 {
+		t.Fatalf("entries = %d; want 5 (550/100)", st.Entries)
+	}
+	if st.Evictions != 15 {
+		t.Fatalf("evictions = %d; want 15", st.Evictions)
+	}
+	// The survivors are the most recently written.
+	for i := 15; i < 20; i++ {
+		if _, ok := s.Get("ns", fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recent k%d evicted", i)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		if _, ok := s.Get("ns", fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("old k%d survived", i)
+		}
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	payload := make([]byte, 100)
+	s := open(t, t.TempDir(), Options{MaxBytes: 300})
+	s.Put("ns", "a", payload)
+	s.Put("ns", "b", payload)
+	s.Put("ns", "c", payload)
+	// Touch "a" so "b" is now least recently used.
+	if _, ok := s.Get("ns", "a"); !ok {
+		t.Fatal("Get(a) missed")
+	}
+	s.Put("ns", "d", payload) // evicts exactly one
+	if _, ok := s.Get("ns", "b"); ok {
+		t.Fatal("LRU key b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.Get("ns", k); !ok {
+			t.Fatalf("recently used key %s evicted", k)
+		}
+	}
+}
+
+// TestEvictionBoundProperty drives a pseudo-random Put/Get/Delete sequence
+// with varying payload sizes and checks the size bound and index/disk
+// agreement after every operation.
+func TestEvictionBoundProperty(t *testing.T) {
+	const maxBytes = 4 << 10
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxBytes: maxBytes})
+	rng := rand.New(rand.NewSource(42))
+	live := map[string][]byte{} // what SHOULD be returned if present
+	for op := 0; op < 800; op++ {
+		key := fmt.Sprintf("k%d", rng.Intn(40))
+		switch rng.Intn(4) {
+		case 0, 1: // put
+			payload := make([]byte, rng.Intn(512)+1)
+			rng.Read(payload)
+			s.Put("ns", key, payload)
+			live[key] = payload
+		case 2: // get: a hit must return the last-put payload
+			if got, ok := s.Get("ns", key); ok {
+				if want, stored := live[key]; !stored || string(got) != string(want) {
+					t.Fatalf("op %d: Get(%s) returned stale or wrong payload", op, key)
+				}
+			}
+		case 3:
+			s.Delete("ns", key)
+			delete(live, key)
+		}
+		if st := s.Stats(); st.Bytes > maxBytes {
+			t.Fatalf("op %d: bytes %d exceed bound %d", op, st.Bytes, maxBytes)
+		}
+	}
+	// Reopening recovers exactly the surviving artifacts within the bound.
+	s2 := open(t, dir, Options{MaxBytes: maxBytes})
+	st, st2 := s.Stats(), s2.Stats()
+	if st2.Entries != st.Entries || st2.Bytes != st.Bytes {
+		t.Fatalf("reopen sees %d entries/%d bytes; live store had %d/%d",
+			st2.Entries, st2.Bytes, st.Entries, st.Bytes)
+	}
+}
+
+// TestConcurrent exercises parallel readers, writers, and deleters over a
+// shared key space; run with -race.
+func TestConcurrent(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxBytes: 64 << 10})
+	const workers, ops, keys = 8, 200, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(keys))
+				switch rng.Intn(3) {
+				case 0:
+					payload := make([]byte, rng.Intn(256)+1)
+					rng.Read(payload)
+					s.Put("ns", key, payload)
+				case 1:
+					s.Get("ns", key)
+				case 2:
+					s.Delete("ns", key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Corrupt != 0 {
+		t.Fatalf("concurrent use produced %d corrupt artifacts", st.Corrupt)
+	}
+	if st.Bytes > 64<<10 {
+		t.Fatalf("bytes %d exceed bound", st.Bytes)
+	}
+}

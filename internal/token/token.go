@@ -79,6 +79,45 @@ func (h *HideSet) Union(o *HideSet) *HideSet {
 	return h
 }
 
+// GobEncode flattens the hide set to its member names so tokens inside
+// persisted artifacts (the on-disk header store) round-trip. Sets are tiny
+// (macro nesting depth), so the flat representation costs nothing.
+func (h *HideSet) GobEncode() ([]byte, error) {
+	var b []byte
+	for s := h; s != nil; s = s.rest {
+		b = append(b, s.name...)
+		b = append(b, 0)
+	}
+	return b, nil
+}
+
+// GobDecode rebuilds a hide set from its flattened names, preserving order.
+func (h *HideSet) GobDecode(data []byte) error {
+	var names []string
+	for len(data) > 0 {
+		i := 0
+		for i < len(data) && data[i] != 0 {
+			i++
+		}
+		names = append(names, string(data[:i]))
+		if i < len(data) {
+			i++
+		}
+		data = data[i:]
+	}
+	// The encoder walks outermost-first; rebuild in reverse so With
+	// reproduces the original chain order.
+	var s *HideSet
+	for i := len(names) - 1; i >= 1; i-- {
+		s = s.With(names[i])
+	}
+	if len(names) > 0 {
+		h.name = names[0]
+		h.rest = s
+	}
+	return nil
+}
+
 // Token is one lexical token with its source position. Tokens are treated as
 // immutable after creation; derived tokens (from macro expansion or pasting)
 // copy and modify.
