@@ -39,6 +39,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/fmlr"
 	"repro/internal/guard"
 	"repro/internal/hcache"
 	"repro/internal/preprocessor"
@@ -62,6 +63,7 @@ func main() {
 	passNames := flag.String("passes", "", "comma-separated pass names (default: all)")
 	listPasses := flag.Bool("list", false, "list the available passes and exit")
 	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
+	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per file; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
 	showStats := flag.Bool("stats", false, "print per-unit analysis statistics to stderr")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
@@ -124,10 +126,15 @@ func main() {
 		defs[name] = val
 	}
 
+	if *parseWorkers <= 0 {
+		*parseWorkers = fmlr.AutoWorkers()
+	}
+
 	cfg := core.Config{
 		IncludePaths: includes,
 		Defines:      defs,
 		CondMode:     condMode,
+		ParseWorkers: *parseWorkers,
 	}
 	if !*noHeaderCache {
 		opts := hcache.Options{}
@@ -155,6 +162,7 @@ func main() {
 			Mode:         *mode,
 			Passes:       splitPasses(*passNames),
 			Jobs:         *jobs,
+			ParseWorkers: *parseWorkers,
 			Limits:       daemon.FromGuard(*limits),
 		}, results, errOuts)
 		if err != nil {

@@ -38,6 +38,7 @@ func main() {
 	cfiles := flag.Int("cfiles", 40, "number of compilation units")
 	headers := flag.Int("headers", 24, "number of generated headers")
 	jobs := flag.Int("j", 0, "worker-pool width for the Table 3 sweep (0: GOMAXPROCS)")
+	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per unit; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	metrics := flag.Bool("metrics", false, "print the harness metrics snapshot after the Table 3 sweep")
@@ -51,7 +52,11 @@ func main() {
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
+	if *parseWorkers <= 0 {
+		*parseWorkers = fmlr.AutoWorkers()
+	}
 	harness.DefaultJobs = *jobs
+	harness.DefaultParseWorkers = *parseWorkers
 	harness.DisableHeaderCache = *noHeaderCache
 	harness.DefaultBudget = *limits
 	harness.DefaultQuarantine = *quarantine
@@ -101,7 +106,7 @@ func main() {
 	}
 	if *table == "all" || *table == "3" {
 		if *daemonAddr != "" {
-			if err := table3ViaDaemon(*daemonAddr, *seed, *cfiles, *headers, *analyze, *jobs, *limits, *metrics); err == nil {
+			if err := table3ViaDaemon(*daemonAddr, *seed, *cfiles, *headers, *analyze, *jobs, *parseWorkers, *limits, *metrics); err == nil {
 				return
 			} else {
 				fmt.Fprintf(os.Stderr, "cstats: %v; running in-process\n", err)
@@ -139,19 +144,20 @@ func main() {
 // table3ViaDaemon runs the Table 3 sweep on a superd daemon and renders it
 // from the returned deterministic per-unit statistics — the same fields the
 // in-process path feeds harness.Table3, so the table is byte-identical.
-func table3ViaDaemon(addr string, seed int64, cfiles, headers int, analyze bool, jobs int, limits guard.Limits, metrics bool) error {
+func table3ViaDaemon(addr string, seed int64, cfiles, headers int, analyze bool, jobs, parseWorkers int, limits guard.Limits, metrics bool) error {
 	client, err := daemon.Dial(addr)
 	if err != nil {
 		return err
 	}
 	req := daemon.CorpusRequest{
-		Seed:    seed,
-		CFiles:  cfiles,
-		Headers: headers,
-		Mode:    "bdd",
-		Opt:     "all",
-		Jobs:    jobs,
-		Limits:  daemon.FromGuard(limits),
+		Seed:         seed,
+		CFiles:       cfiles,
+		Headers:      headers,
+		Mode:         "bdd",
+		Opt:          "all",
+		Jobs:         jobs,
+		ParseWorkers: parseWorkers,
+		Limits:       daemon.FromGuard(limits),
 	}
 	if analyze {
 		req.Passes = []string{"all"}

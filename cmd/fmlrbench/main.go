@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/analysis/passes"
 	"repro/internal/cgrammar"
+	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fmlr"
@@ -55,6 +56,7 @@ func main() {
 	kill := flag.Int("kill", 1000, "subparser kill switch for the MAPR rows")
 	points := flag.Int("points", 10, "CDF resolution")
 	jobs := flag.Int("j", 0, "worker-pool width for corpus runs (0: GOMAXPROCS)")
+	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per unit; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -66,7 +68,11 @@ func main() {
 	flag.Parse()
 
 	cgrammar.DisableTableCache(*noCache)
+	if *parseWorkers <= 0 {
+		*parseWorkers = fmlr.AutoWorkers()
+	}
 	harness.DefaultJobs = *jobs
+	harness.DefaultParseWorkers = *parseWorkers
 	harness.DisableHeaderCache = *noHeaderCache
 	harness.DefaultBudget = *limits
 	harness.DefaultQuarantine = *quarantine
@@ -197,6 +203,26 @@ type benchStore struct {
 	CorruptDropped int64   `json:"corrupt_dropped"`
 }
 
+// benchParallelPoint is one worker count's measurement on the giant unit.
+// Speedup is sequential ns/op over this point's ns/op; workers=1 runs the
+// plain sequential engine (the region-parallel path is bypassed), so its
+// row doubles as the no-regression baseline for ordinary parses.
+type benchParallelPoint struct {
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// benchParallel records the intra-unit scaling curve: one generated unit
+// large enough that region parallelism, not the per-unit pool, determines
+// wall time, parsed at increasing -parse-workers counts.
+type benchParallel struct {
+	Seed   int64                `json:"seed"`
+	Items  int                  `json:"items"`
+	Tokens int                  `json:"tokens"`
+	Points []benchParallelPoint `json:"points"`
+}
+
 type benchFile struct {
 	Schema     string          `json:"schema"`
 	CorpusSeed int64           `json:"corpus_seed"`
@@ -204,6 +230,7 @@ type benchFile struct {
 	Headers    int             `json:"headers"`
 	KillSwitch int             `json:"kill_switch"`
 	Levels     []benchLevel    `json:"levels"`
+	Parallel   benchParallel   `json:"parallel"`
 	Robustness benchRobustness `json:"robustness"`
 	Analysis   benchAnalysis   `json:"analysis"`
 	Store      benchStore      `json:"store"`
@@ -275,6 +302,14 @@ func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 		fmt.Printf("%-24s %12d ns/op %10d allocs/op %8d peak subparsers (%d killed)\n",
 			lv.Name, entry.NsPerOp, entry.AllocsPerOp, entry.MaxSubparsers, entry.KilledUnits)
 	}
+	par, err := runBenchParallel(lang)
+	if err != nil {
+		return err
+	}
+	out.Parallel = par
+	for _, p := range par.Points {
+		fmt.Printf("parallel: workers=%d %12d ns/op  %.2fx\n", p.Workers, p.NsPerOp, p.Speedup)
+	}
 	// A governed instrumented sweep contributes the robustness counters
 	// (budget trips, retries, quarantine), under whatever -timeout/-budget-*
 	// limits and -quarantine setting the invocation carries, plus the
@@ -333,6 +368,47 @@ func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runBenchParallel measures the intra-unit scaling curve on the same giant
+// generated unit BenchmarkParseGiantUnit uses. Preprocessing runs once per
+// worker count (each parse family shares one condition space with its
+// preprocessor output); only the parse is timed.
+func runBenchParallel(lang *cgrammar.C) (benchParallel, error) {
+	const seed, items = 42, 3600
+	src := corpus.GiantUnit(seed, items)
+	out := benchParallel{Seed: seed, Items: items}
+	var seqNs int64
+	for _, w := range []int{1, 2, 4, 8} {
+		space := cond.NewSpace(cond.ModeBDD)
+		pp := preprocessor.New(preprocessor.Options{
+			Space: space,
+			FS:    preprocessor.MapFS(map[string]string{"giant.c": src}),
+		})
+		u, err := pp.Preprocess("giant.c")
+		if err != nil {
+			return out, fmt.Errorf("preprocess giant unit: %w", err)
+		}
+		out.Tokens = u.Stats.Tokens
+		opts := fmlr.OptAll
+		opts.ParseWorkers = w
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := fmlr.New(space, lang, opts).Parse(u.Segments, u.File); res.AST == nil {
+					b.Fatalf("giant unit failed to parse at workers=%d", w)
+				}
+			}
+		})
+		p := benchParallelPoint{Workers: w, NsPerOp: r.NsPerOp()}
+		if w == 1 {
+			seqNs = p.NsPerOp
+		}
+		if p.NsPerOp > 0 {
+			p.Speedup = float64(seqNs) / float64(p.NsPerOp)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
 }
 
 // benchStoreSweep measures the artifact store's cold/warm behavior: one

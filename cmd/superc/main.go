@@ -93,6 +93,7 @@ func main() {
 	printSrc := flag.Bool("print", false, "print the preprocessed unit as conditional C source")
 	rename := flag.String("rename", "", "configuration-preserving rename: OLD=NEW")
 	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
+	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per file; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); summary mode only, falls back in-process")
@@ -130,12 +131,17 @@ func main() {
 		defs[name] = val
 	}
 
+	if *parseWorkers <= 0 {
+		*parseWorkers = fmlr.AutoWorkers()
+	}
+
 	cfg := core.Config{
 		IncludePaths: includes,
 		Defines:      defs,
 		CondMode:     condMode,
 		Parser:       &opts,
 		SingleConfig: *single,
+		ParseWorkers: *parseWorkers,
 	}
 	if !*noHeaderCache && !*single {
 		// One cache shared by every unit (and every worker: it is
@@ -169,6 +175,7 @@ func main() {
 			Opt:          *opt,
 			Single:       *single,
 			Jobs:         *jobs,
+			ParseWorkers: *parseWorkers,
 			Limits:       daemon.FromGuard(*limits),
 		}, *showStats); err != nil {
 			fmt.Fprintf(os.Stderr, "superc: %v; running in-process\n", err)

@@ -9,13 +9,27 @@
 //
 // The implementation is a hash-consed node store in the style of the mature
 // BDD engines the paper leans on (JavaBDD wrapping BuDDy/CUDD): nodes live
-// in one flat slice and are referenced by dense int32 ids, the unique table
-// is an open-addressed, linearly-probed array of node ids (no per-node map
-// boxes), and the operation cache is a fixed-size, direct-mapped, *lossy*
-// cache — colliding entries overwrite each other instead of growing,
-// trading rare recomputation for zero allocation on the And/Or/Not hot
-// path. Traversals that need per-node memoization (Restrict, SatCount) use
-// epoch-stamped scratch buffers reused across calls rather than fresh maps.
+// in fixed-size pages and are referenced by dense int32 ids, the unique
+// table is open-addressed and linearly probed (no per-node map boxes), and
+// the operation cache is a fixed-size, direct-mapped, *lossy* cache —
+// colliding entries overwrite each other instead of growing, trading rare
+// recomputation for zero allocation on the And/Or/Not hot path. Traversals
+// that need per-node memoization (Restrict, SatCount) use epoch-stamped
+// scratch buffers reused across calls rather than fresh maps.
+//
+// A Factory is safe for concurrent use by multiple goroutines: the unique
+// table is sharded into hash stripes, each with its own lock, so concurrent
+// subparsers (intra-unit parallel parsing, the daemon's request handlers)
+// share one factory. Lookups are lock-free — published nodes are immutable
+// and table slots are atomics — and a stripe lock is taken only to insert a
+// new node. Node ids remain canonical within a factory: the same
+// (level, lo, hi) triple yields the same id no matter which goroutine asks,
+// so handle equality stays semantic equality under any interleaving. (Id
+// *numbering* depends on allocation order and is not deterministic across
+// concurrent runs; nothing semantic depends on it.) Variable order is fixed
+// by Var creation order — concurrent creation of *new* variables is safe
+// but makes the order scheduling-dependent, so workloads that need
+// reproducible diagrams create variables before fanning out.
 //
 // Ids 0 and 1 are the False and True terminals. A Factory owns all nodes;
 // Node values from different factories must not be mixed.
@@ -26,6 +40,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/guard"
 )
@@ -41,7 +57,8 @@ const (
 )
 
 // node is the internal node representation: a variable level and two
-// children. Terminals use level = terminalLevel.
+// children. Terminals use level = terminalLevel. Nodes are immutable once
+// published in the unique table.
 type node struct {
 	level  int32 // variable order position; smaller levels closer to the root
 	lo, hi Node  // low (var=false) and high (var=true) children
@@ -58,46 +75,90 @@ const (
 	opNot
 )
 
-// opEntry is one slot of the direct-mapped operation cache. a == 0 marks an
-// empty slot: the False terminal never reaches the cache (every operation
-// with a terminal operand short-circuits first).
-type opEntry struct {
-	op     opKind
-	a, b   Node
-	result Node
-}
-
 const (
-	initialTableSlots = 1 << 9  // unique table, grows at 75% load
-	initialOpSlots    = 1 << 10 // op cache, grows with the unique table
-	maxOpSlots        = 1 << 18 // op cache stops growing here (4 MiB)
+	// pageShift/pageSize size the node store's pages: ids map to
+	// (id>>pageShift, id&pageMask). Pages are never moved once installed,
+	// so lock-free readers can dereference ids without coordinating with
+	// appenders (only the page *directory* is copied on growth).
+	pageShift = 10
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+
+	// The unique table is sharded into numStripes independent
+	// open-addressed tables; the low hash bits pick the stripe, the
+	// remaining bits index within it, so one stripe's probe sequence never
+	// crosses into another's lock domain.
+	stripeBits = 6
+	numStripes = 1 << stripeBits
+	stripeMask = numStripes - 1
+
+	initialStripeSlots = 16
+	initialTableSlots  = numStripes * initialStripeSlots // total, for tests
+
+	initialOpSlots = 1 << 10 // op cache, grows with the node count
+	maxOpSlots     = 1 << 18 // op cache stops growing here (2 MiB)
+
+	// opIDBits is how many bits of a node id fit in one packed op-cache
+	// word (3 op bits + 3×20 id bits = 63). Operations on ids beyond this
+	// skip the cache — still correct, just uncached; a factory that large
+	// has other problems first.
+	opIDBits = 20
+	opIDMax  = Node(1 << opIDBits)
 )
 
-// Factory allocates and owns BDD nodes. It is not safe for concurrent use.
+// page is one fixed block of the node store.
+type page [pageSize]node
+
+// stripe is one lock domain of the sharded unique table: a power-of-two
+// open-addressed array of node ids (0 = empty; terminals are never stored).
+// Readers probe the table lock-free through the atomic slots; writers hold
+// mu to insert or grow. Growth installs a fresh table and never mutates the
+// old one, so a concurrent reader on a stale table can at worst miss a new
+// node and retry under the lock.
+type stripe struct {
+	mu    sync.Mutex
+	table atomic.Pointer[[]atomic.Int32]
+	count int // nodes inserted; guarded by mu
+}
+
+// Factory allocates and owns BDD nodes. It is safe for concurrent use.
 type Factory struct {
-	nodes []node
+	// pages is the copy-on-write page directory. Appending a page copies
+	// the directory slice under pageMu and atomically republishes it;
+	// readers always dereference the current directory, and the
+	// happens-before chain through the unique-table slot (or any other
+	// synchronized channel an id traveled through) guarantees the directory
+	// they load covers the id.
+	pages  atomic.Pointer[[]*page]
+	pageMu sync.Mutex
+	nnodes atomic.Int64 // next id == number of allocated nodes
 
-	// Open-addressed unique table: power-of-two slots holding node ids,
-	// linear probing, 0 = empty. Nodes are never deleted, so no tombstones.
-	table []Node
-	mask  uint32
+	stripes [numStripes]stripe
 
-	// Direct-mapped lossy op cache.
-	ops    []opEntry
-	opMask uint32
+	// Direct-mapped lossy op cache: each slot packs (op, a, b, result)
+	// into one atomic word, so readers and writers race benignly — an
+	// entry is either absent, stale-but-valid, or current, never torn.
+	ops      atomic.Pointer[[]atomic.Uint64]
+	opMu     sync.Mutex
+	opGrowAt atomic.Int64 // node count that triggers the next cache doubling
 
-	names    []string       // level -> variable name
+	// Variable order: names is copy-on-write (snapshot readers), varIndex
+	// is guarded by varMu.
+	names    atomic.Pointer[[]string] // level -> variable name
+	varMu    sync.RWMutex
 	varIndex map[string]int // name -> level
 
 	// Epoch-stamped scratch buffers backing Restrict/SatCount memoization:
 	// stamp[id] == epoch marks a valid entry, so starting a new traversal
-	// is O(1) instead of allocating a map.
-	stamp []uint32
-	epoch uint32
-	memoN []Node
-	memoF []float64
+	// is O(1) instead of allocating a map. One traversal at a time holds
+	// scratchMu; these entry points are off the parse hot path.
+	scratchMu sync.Mutex
+	stamp     []uint32
+	epoch     uint32
+	memoN     []Node
+	memoF     []float64
 
-	opHits, opMisses, opEvictions int64
+	opHits, opMisses, opEvictions atomic.Int64
 
 	// budget, when set, is charged one guard.AxisBDDNodes per allocated
 	// node. mk never aborts mid-operation — that would corrupt the
@@ -108,39 +169,85 @@ type Factory struct {
 
 // NewFactory returns an empty factory containing only the two terminals.
 func NewFactory() *Factory {
-	f := &Factory{
-		table:    make([]Node, initialTableSlots),
-		mask:     initialTableSlots - 1,
-		ops:      make([]opEntry, initialOpSlots),
-		opMask:   initialOpSlots - 1,
-		varIndex: make(map[string]int),
+	f := &Factory{varIndex: make(map[string]int)}
+	p0 := &page{}
+	p0[0] = node{level: terminalLevel, lo: False, hi: False}
+	p0[1] = node{level: terminalLevel, lo: True, hi: True}
+	pages := []*page{p0}
+	f.pages.Store(&pages)
+	f.nnodes.Store(2)
+	for i := range f.stripes {
+		tbl := make([]atomic.Int32, initialStripeSlots)
+		f.stripes[i].table.Store(&tbl)
 	}
-	// Terminal slots. Their children are self-loops and never traversed.
-	f.nodes = append(f.nodes,
-		node{level: terminalLevel, lo: False, hi: False},
-		node{level: terminalLevel, lo: True, hi: True},
-	)
+	ops := make([]atomic.Uint64, initialOpSlots)
+	f.ops.Store(&ops)
+	f.opGrowAt.Store(initialOpSlots * 3 / 4)
+	names := []string{}
+	f.names.Store(&names)
 	return f
 }
 
 // SetBudget attaches a resource budget; every subsequently allocated node
-// charges guard.AxisBDDNodes. Pass nil to detach.
+// charges guard.AxisBDDNodes. Pass nil to detach. Not safe to call while
+// other goroutines operate on the factory; attach before fanning out.
 func (f *Factory) SetBudget(b *guard.Budget) { f.budget = b }
 
 // NumVars reports how many distinct variables have been created.
-func (f *Factory) NumVars() int { return len(f.names) }
+func (f *Factory) NumVars() int { return len(*f.names.Load()) }
 
 // NumNodes reports the total number of allocated nodes, including terminals.
-func (f *Factory) NumNodes() int { return len(f.nodes) }
+func (f *Factory) NumNodes() int { return int(f.nnodes.Load()) }
+
+// node dereferences an id. Callers hold an id only after it was published
+// (through a table slot, an op-cache entry, or a synchronized handoff), so
+// the node contents are visible.
+func (f *Factory) node(id Node) node {
+	pgs := *f.pages.Load()
+	return pgs[id>>pageShift][id&pageMask]
+}
+
+// setNode installs the contents of a freshly allocated id, extending the
+// page directory when id crosses into a new page. The caller publishes the
+// id afterwards (table-slot store), which orders the node write before any
+// reader's dereference.
+func (f *Factory) setNode(id Node, nd node) {
+	pi := int(id >> pageShift)
+	pgs := *f.pages.Load()
+	if pi >= len(pgs) {
+		f.pageMu.Lock()
+		pgs = *f.pages.Load()
+		for pi >= len(pgs) {
+			grown := make([]*page, len(pgs)+1)
+			copy(grown, pgs)
+			grown[len(pgs)] = &page{}
+			f.pages.Store(&grown)
+			pgs = grown
+		}
+		f.pageMu.Unlock()
+	}
+	pgs[pi][id&pageMask] = nd
+}
 
 // Var returns the BDD for the variable with the given name, creating the
 // variable (at the next order position) if it does not exist yet.
 func (f *Factory) Var(name string) Node {
+	f.varMu.RLock()
 	lvl, ok := f.varIndex[name]
+	f.varMu.RUnlock()
 	if !ok {
-		lvl = len(f.names)
-		f.names = append(f.names, name)
-		f.varIndex[name] = lvl
+		f.varMu.Lock()
+		lvl, ok = f.varIndex[name]
+		if !ok {
+			names := *f.names.Load()
+			lvl = len(names)
+			grown := make([]string, len(names)+1)
+			copy(grown, names)
+			grown[len(names)] = name
+			f.names.Store(&grown)
+			f.varIndex[name] = lvl
+		}
+		f.varMu.Unlock()
 	}
 	return f.mk(int32(lvl), False, True)
 }
@@ -148,16 +255,18 @@ func (f *Factory) Var(name string) Node {
 // VarName returns the name of the variable at the root of n. It panics if n
 // is a terminal.
 func (f *Factory) VarName(n Node) string {
-	lvl := f.nodes[n].level
+	lvl := f.node(n).level
 	if lvl == terminalLevel {
 		panic("bdd: VarName of terminal")
 	}
-	return f.names[lvl]
+	return (*f.names.Load())[lvl]
 }
 
 // HasVar reports whether a variable with the given name has been created.
 func (f *Factory) HasVar(name string) bool {
+	f.varMu.RLock()
 	_, ok := f.varIndex[name]
+	f.varMu.RUnlock()
 	return ok
 }
 
@@ -166,11 +275,11 @@ func (f *Factory) HasVar(name string) bool {
 // terminals, whose other return values are meaningless. Package cond uses it
 // to export conditions into space-independent formulas.
 func (f *Factory) At(n Node) (name string, lo, hi Node, internal bool) {
-	nd := f.nodes[n]
+	nd := f.node(n)
 	if nd.level == terminalLevel {
 		return "", 0, 0, false
 	}
-	return f.names[nd.level], nd.lo, nd.hi, true
+	return (*f.names.Load())[nd.level], nd.lo, nd.hi, true
 }
 
 // mix32 is a finalizing 32-bit hash (Prospector's low-bias constants).
@@ -188,63 +297,109 @@ func hashTriple(a, b, c uint32) uint32 {
 	return mix32(h)
 }
 
+// probe searches one stripe table for (level, lo, hi). It returns the node
+// id when present, or 0 and the first empty slot index when absent. It is
+// safe to call without the stripe lock: slots are atomics and nodes are
+// immutable; a racing insert can at worst make an absent verdict stale,
+// which the caller resolves by re-probing under the lock.
+func (f *Factory) probe(tbl []atomic.Int32, h uint32, level int32, lo, hi Node) (Node, int) {
+	mask := uint32(len(tbl) - 1)
+	i := (h >> stripeBits) & mask
+	for {
+		id := Node(tbl[i].Load())
+		if id == 0 {
+			return 0, int(i)
+		}
+		nd := f.node(id)
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			return id, -1
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // mk returns the canonical node (level, lo, hi), applying the reduction
 // rules: identical children collapse, duplicates are shared via the
-// open-addressed unique table.
+// sharded open-addressed unique table. The fast path — the node already
+// exists — is lock-free; allocating takes the stripe's lock.
 func (f *Factory) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	h := hashTriple(uint32(level), uint32(lo), uint32(hi)) & f.mask
-	for {
-		id := f.table[h]
-		if id == 0 {
-			break
-		}
-		nd := &f.nodes[id]
-		if nd.level == level && nd.lo == lo && nd.hi == hi {
-			return id
-		}
-		h = (h + 1) & f.mask
+	h := hashTriple(uint32(level), uint32(lo), uint32(hi))
+	st := &f.stripes[h&stripeMask]
+	if id, _ := f.probe(*st.table.Load(), h, level, lo, hi); id != 0 {
+		return id
 	}
-	id := Node(len(f.nodes))
-	f.nodes = append(f.nodes, node{level: level, lo: lo, hi: hi})
-	f.table[h] = id
+	st.mu.Lock()
+	tbl := *st.table.Load()
+	id, slot := f.probe(tbl, h, level, lo, hi)
+	if id != 0 {
+		st.mu.Unlock()
+		return id
+	}
+	id = Node(f.nnodes.Add(1) - 1)
+	f.setNode(id, node{level: level, lo: lo, hi: hi})
+	tbl[slot].Store(int32(id))
+	st.count++
+	// Grow at 75% load so probes stay short.
+	if st.count*4 > len(tbl)*3 {
+		f.growStripe(st, tbl)
+	}
+	st.mu.Unlock()
 	f.budget.Charge("bdd", guard.AxisBDDNodes, 1)
-	// Grow at 75% load. len(nodes) includes the two terminals, which are
-	// not stored; the off-by-two is irrelevant at this granularity.
-	if uint32(len(f.nodes))*4 > (f.mask+1)*3 {
-		f.growTable()
+	if f.nnodes.Load() > f.opGrowAt.Load() {
+		f.growOps()
 	}
 	return id
 }
 
-// growTable doubles the unique table and reinserts every internal node. The
-// op cache grows alongside it (BuDDy sizes its caches relative to the node
-// table) until maxOpSlots.
-func (f *Factory) growTable() {
-	slots := (f.mask + 1) * 2
-	f.table = make([]Node, slots)
-	f.mask = slots - 1
-	for id := 2; id < len(f.nodes); id++ {
-		nd := &f.nodes[id]
-		h := hashTriple(uint32(nd.level), uint32(nd.lo), uint32(nd.hi)) & f.mask
-		for f.table[h] != 0 {
-			h = (h + 1) & f.mask
+// growStripe doubles one stripe's table and reinserts its nodes. Called
+// with the stripe lock held; the old table is left untouched for concurrent
+// lock-free readers, who miss into the lock and re-probe the new table.
+func (f *Factory) growStripe(st *stripe, old []atomic.Int32) {
+	grown := make([]atomic.Int32, len(old)*2)
+	mask := uint32(len(grown) - 1)
+	for i := range old {
+		id := old[i].Load()
+		if id == 0 {
+			continue
 		}
-		f.table[h] = Node(id)
+		nd := f.node(Node(id))
+		h := hashTriple(uint32(nd.level), uint32(nd.lo), uint32(nd.hi))
+		j := (h >> stripeBits) & mask
+		for grown[j].Load() != 0 {
+			j = (j + 1) & mask
+		}
+		grown[j].Store(id)
 	}
-	if opSlots := f.opMask + 1; opSlots < slots && opSlots < maxOpSlots {
-		old := f.ops
-		f.ops = make([]opEntry, opSlots*2)
-		f.opMask = opSlots*2 - 1
-		// Rehash live entries: the cache is lossy, but discarding the warm
-		// set exactly when the workload is growing would hurt most.
+	st.table.Store(&grown)
+}
+
+// growOps doubles the op cache (BuDDy sizes its caches relative to the node
+// table) until maxOpSlots, rehashing live entries: the cache is lossy, but
+// discarding the warm set exactly when the workload is growing would hurt
+// most. Concurrent cachePuts into the retiring table are dropped — a lossy
+// cache may forget, never lie.
+func (f *Factory) growOps() {
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	for f.nnodes.Load() > f.opGrowAt.Load() {
+		old := *f.ops.Load()
+		if len(old) >= maxOpSlots {
+			f.opGrowAt.Store(math.MaxInt64)
+			return
+		}
+		grown := make([]atomic.Uint64, len(old)*2)
+		mask := uint32(len(grown) - 1)
 		for i := range old {
-			if old[i].a != 0 {
-				f.ops[opHash(old[i].op, old[i].a, old[i].b)&f.opMask] = old[i]
+			if e := old[i].Load(); e != 0 {
+				op, a, b := unpackOpKey(e)
+				grown[opHash(op, a, b)&mask].Store(e)
 			}
 		}
+		f.ops.Store(&grown)
+		f.opGrowAt.Store(int64(len(grown)) * 3 / 4)
 	}
 }
 
@@ -252,26 +407,46 @@ func opHash(op opKind, a, b Node) uint32 {
 	return hashTriple(uint32(op), uint32(a), uint32(b))
 }
 
+// packOp encodes one op-cache entry into a single word: 3 op bits and
+// 20 bits per id. All valid entries are non-zero (op >= 1).
+func packOp(op opKind, a, b, r Node) uint64 {
+	return uint64(op)<<60 | uint64(a)<<40 | uint64(b)<<20 | uint64(r)
+}
+
+func unpackOpKey(e uint64) (opKind, Node, Node) {
+	const idMask = uint64(opIDMax) - 1
+	return opKind(e >> 60), Node(e >> 40 & idMask), Node(e >> 20 & idMask)
+}
+
 // cacheGet consults the direct-mapped op cache.
 func (f *Factory) cacheGet(op opKind, a, b Node) (Node, bool) {
-	e := &f.ops[opHash(op, a, b)&f.opMask]
-	if e.a == a && e.b == b && e.op == op {
-		f.opHits++
-		return e.result, true
+	if a >= opIDMax || b >= opIDMax {
+		f.opMisses.Add(1)
+		return 0, false
 	}
-	f.opMisses++
+	ops := *f.ops.Load()
+	e := ops[opHash(op, a, b)&uint32(len(ops)-1)].Load()
+	if e != 0 && e>>20 == uint64(op)<<40|uint64(a)<<20|uint64(b) {
+		f.opHits.Add(1)
+		return Node(e & (uint64(opIDMax) - 1)), true
+	}
+	f.opMisses.Add(1)
 	return 0, false
 }
 
 // cachePut stores a result, overwriting whatever occupied the slot (lossy
-// direct-mapped replacement). The index is recomputed because recursive
+// direct-mapped replacement). The table is re-loaded because recursive
 // calls may have grown the cache since the lookup.
 func (f *Factory) cachePut(op opKind, a, b, r Node) {
-	e := &f.ops[opHash(op, a, b)&f.opMask]
-	if e.a != 0 {
-		f.opEvictions++
+	if a >= opIDMax || b >= opIDMax || r >= opIDMax {
+		return
 	}
-	*e = opEntry{op: op, a: a, b: b, result: r}
+	ops := *f.ops.Load()
+	slot := &ops[opHash(op, a, b)&uint32(len(ops)-1)]
+	if slot.Load() != 0 {
+		f.opEvictions.Add(1)
+	}
+	slot.Store(packOp(op, a, b, r))
 }
 
 // Not returns the negation of a.
@@ -285,7 +460,7 @@ func (f *Factory) Not(a Node) Node {
 	if r, ok := f.cacheGet(opNot, a, 0); ok {
 		return r
 	}
-	n := f.nodes[a]
+	n := f.node(a)
 	r := f.mk(n.level, f.Not(n.lo), f.Not(n.hi))
 	f.cachePut(opNot, a, 0, r)
 	return r
@@ -364,7 +539,7 @@ func (f *Factory) apply(op opKind, a, b Node) Node {
 	if r, ok := f.cacheGet(op, a, b); ok {
 		return r
 	}
-	na, nb := f.nodes[a], f.nodes[b]
+	na, nb := f.node(a), f.node(b)
 	var lvl int32
 	var alo, ahi, blo, bhi Node
 	switch {
@@ -387,8 +562,8 @@ func (f *Factory) Ite(c, t, e Node) Node {
 
 // beginScratch starts a new epoch over the stamped memo buffers, sizing
 // them to the current node count. O(1) except on first use, growth, and
-// epoch wrap-around.
-func (f *Factory) beginScratch() {
+// epoch wrap-around. The caller holds scratchMu.
+func (f *Factory) beginScratch() int {
 	f.epoch++
 	if f.epoch == 0 { // wrapped: stale stamps could alias; reset
 		for i := range f.stamp {
@@ -396,29 +571,36 @@ func (f *Factory) beginScratch() {
 		}
 		f.epoch = 1
 	}
-	if len(f.stamp) < len(f.nodes) {
-		f.stamp = append(f.stamp, make([]uint32, len(f.nodes)-len(f.stamp))...)
-		f.memoN = append(f.memoN, make([]Node, len(f.nodes)-len(f.memoN))...)
-		f.memoF = append(f.memoF, make([]float64, len(f.nodes)-len(f.memoF))...)
+	n := f.NumNodes()
+	if len(f.stamp) < n {
+		f.stamp = append(f.stamp, make([]uint32, n-len(f.stamp))...)
+		f.memoN = append(f.memoN, make([]Node, n-len(f.memoN))...)
+		f.memoF = append(f.memoF, make([]float64, n-len(f.memoF))...)
 	}
+	return n
 }
 
 // Restrict returns a with the named variable fixed to val. If the variable
 // has never been created, a is returned unchanged.
 func (f *Factory) Restrict(a Node, name string, val bool) Node {
+	f.varMu.RLock()
 	lvl, ok := f.varIndex[name]
+	f.varMu.RUnlock()
 	if !ok {
 		return a
 	}
+	f.scratchMu.Lock()
+	defer f.scratchMu.Unlock()
 	f.beginScratch()
 	return f.restrict(a, int32(lvl), val)
 }
 
 // restrict memoizes on the scratch buffers; memo keys are ids of nodes
 // reachable from the original a, all of which predate beginScratch, so the
-// stamp buffer is never indexed out of range even though mk may allocate.
+// stamp buffer is never indexed out of range even though mk (here or in a
+// concurrent goroutine) may allocate past it.
 func (f *Factory) restrict(a Node, lvl int32, val bool) Node {
-	n := f.nodes[a]
+	n := f.node(a)
 	if n.level > lvl {
 		return a // terminal or below the variable in the order
 	}
@@ -456,14 +638,15 @@ func (f *Factory) SatOne(a Node) (assign map[string]bool, ok bool) {
 	if a == False {
 		return nil, false
 	}
+	names := *f.names.Load()
 	assign = make(map[string]bool)
 	for a != True {
-		nd := f.nodes[a]
+		nd := f.node(a)
 		if nd.lo != False {
-			assign[f.names[nd.level]] = false
+			assign[names[nd.level]] = false
 			a = nd.lo
 		} else {
-			assign[f.names[nd.level]] = true
+			assign[names[nd.level]] = true
 			a = nd.hi
 		}
 	}
@@ -479,17 +662,20 @@ func (f *Factory) IsTrue(a Node) bool { return a == True }
 // SatCount returns the number of satisfying assignments of a over all
 // variables created so far, as a float64 (counts overflow int64 quickly).
 func (f *Factory) SatCount(a Node) float64 {
+	nvars := int32(len(*f.names.Load()))
+	f.scratchMu.Lock()
+	defer f.scratchMu.Unlock()
 	f.beginScratch()
-	return f.satCount(a) * exp2(f.levelOf(a))
+	return f.satCount(a, nvars) * exp2(f.levelOf(a, nvars))
 }
 
 // exp2 returns 2^k exactly (float64 arithmetic; k is a small level delta).
 func exp2(k int32) float64 { return math.Ldexp(1, int(k)) }
 
-func (f *Factory) levelOf(a Node) int32 {
-	lvl := f.nodes[a].level
+func (f *Factory) levelOf(a Node, nvars int32) int32 {
+	lvl := f.node(a).level
 	if lvl == terminalLevel {
-		return int32(len(f.names))
+		return nvars
 	}
 	return lvl
 }
@@ -497,7 +683,7 @@ func (f *Factory) levelOf(a Node) int32 {
 // satCount returns satisfying assignments over variables at or below a's
 // level; the caller scales for skipped variables above. Memoized on the
 // epoch-stamped scratch buffers.
-func (f *Factory) satCount(a Node) float64 {
+func (f *Factory) satCount(a Node, nvars int32) float64 {
 	if a == False {
 		return 0
 	}
@@ -507,9 +693,9 @@ func (f *Factory) satCount(a Node) float64 {
 	if f.stamp[a] == f.epoch {
 		return f.memoF[a]
 	}
-	n := f.nodes[a]
-	lo := f.satCount(n.lo) * exp2(f.levelOf(n.lo)-n.level-1)
-	hi := f.satCount(n.hi) * exp2(f.levelOf(n.hi)-n.level-1)
+	n := f.node(a)
+	lo := f.satCount(n.lo, nvars) * exp2(f.levelOf(n.lo, nvars)-n.level-1)
+	hi := f.satCount(n.hi, nvars) * exp2(f.levelOf(n.hi, nvars)-n.level-1)
 	c := lo + hi
 	f.stamp[a] = f.epoch
 	f.memoF[a] = c
@@ -523,10 +709,11 @@ func (f *Factory) AnySat(a Node) (map[string]bool, bool) {
 	if a == False {
 		return nil, false
 	}
+	names := *f.names.Load()
 	assign := make(map[string]bool)
 	for a != True {
-		n := f.nodes[a]
-		name := f.names[n.level]
+		n := f.node(a)
+		name := names[n.level]
 		if n.hi != False {
 			assign[name] = true
 			a = n.hi
@@ -540,6 +727,7 @@ func (f *Factory) AnySat(a Node) (map[string]bool, bool) {
 
 // Support returns the sorted names of variables the function a depends on.
 func (f *Factory) Support(a Node) []string {
+	names := *f.names.Load()
 	seen := make(map[int32]bool)
 	visited := make(map[Node]bool)
 	var walk func(Node)
@@ -548,18 +736,18 @@ func (f *Factory) Support(a Node) []string {
 			return
 		}
 		visited[n] = true
-		nd := f.nodes[n]
+		nd := f.node(n)
 		seen[nd.level] = true
 		walk(nd.lo)
 		walk(nd.hi)
 	}
 	walk(a)
-	names := make([]string, 0, len(seen))
+	out := make([]string, 0, len(seen))
 	for lvl := range seen {
-		names = append(names, f.names[lvl])
+		out = append(out, names[lvl])
 	}
-	sort.Strings(names)
-	return names
+	sort.Strings(out)
+	return out
 }
 
 // String renders a as a sum-of-products formula over variable names, e.g.
@@ -573,6 +761,7 @@ func (f *Factory) String(a Node) string {
 	case True:
 		return "1"
 	}
+	names := *f.names.Load()
 	var cubes []string
 	var lits []string
 	var walk func(Node)
@@ -584,11 +773,11 @@ func (f *Factory) String(a Node) string {
 			cubes = append(cubes, strings.Join(lits, "&"))
 			return
 		}
-		nd := f.nodes[n]
-		lits = append(lits, "!"+f.names[nd.level])
+		nd := f.node(n)
+		lits = append(lits, "!"+names[nd.level])
 		walk(nd.lo)
 		lits = lits[:len(lits)-1]
-		lits = append(lits, f.names[nd.level])
+		lits = append(lits, names[nd.level])
 		walk(nd.hi)
 		lits = lits[:len(lits)-1]
 	}
@@ -602,9 +791,10 @@ func (f *Factory) String(a Node) string {
 // Eval evaluates a under the given assignment; variables absent from the
 // assignment default to false.
 func (f *Factory) Eval(a Node, assign map[string]bool) bool {
+	names := *f.names.Load()
 	for a != False && a != True {
-		n := f.nodes[a]
-		if assign[f.names[n.level]] {
+		n := f.node(a)
+		if assign[names[n.level]] {
 			a = n.hi
 		} else {
 			a = n.lo
@@ -627,7 +817,7 @@ func (f *Factory) Size(a Node) int {
 		if n == False || n == True {
 			return
 		}
-		nd := f.nodes[n]
+		nd := f.node(n)
 		walk(nd.lo)
 		walk(nd.hi)
 	}
@@ -642,7 +832,7 @@ type CacheStats struct {
 	Unique int // internal (hash-consed) nodes
 	Vars   int
 
-	TableSlots int // unique-table capacity; load factor = Unique/TableSlots
+	TableSlots int // unique-table capacity (all stripes); load = Unique/TableSlots
 
 	OpCache     int   // live op-cache entries
 	OpSlots     int   // op-cache capacity
@@ -652,30 +842,37 @@ type CacheStats struct {
 }
 
 // Stats returns current table sizes and cache counters, useful when tuning
-// workloads.
+// workloads. Counters are snapshots; concurrent operations may be mid-bump.
 func (f *Factory) Stats() CacheStats {
+	ops := *f.ops.Load()
 	live := 0
-	for i := range f.ops {
-		if f.ops[i].a != 0 {
+	for i := range ops {
+		if ops[i].Load() != 0 {
 			live++
 		}
 	}
+	slots := 0
+	for i := range f.stripes {
+		slots += len(*f.stripes[i].table.Load())
+	}
+	n := f.NumNodes()
 	return CacheStats{
-		Nodes:       len(f.nodes),
-		Unique:      len(f.nodes) - 2,
-		Vars:        len(f.names),
-		TableSlots:  int(f.mask + 1),
+		Nodes:       n,
+		Unique:      n - 2,
+		Vars:        f.NumVars(),
+		TableSlots:  slots,
 		OpCache:     live,
-		OpSlots:     int(f.opMask + 1),
-		OpHits:      f.opHits,
-		OpMisses:    f.opMisses,
-		OpEvictions: f.opEvictions,
+		OpSlots:     len(ops),
+		OpHits:      f.opHits.Load(),
+		OpMisses:    f.opMisses.Load(),
+		OpEvictions: f.opEvictions.Load(),
 	}
 }
 
 // Dump writes a textual listing of the diagram rooted at a, one node per
 // line, for debugging.
 func (f *Factory) Dump(a Node) string {
+	names := *f.names.Load()
 	var b strings.Builder
 	visited := make(map[Node]bool)
 	var walk func(Node)
@@ -684,8 +881,8 @@ func (f *Factory) Dump(a Node) string {
 			return
 		}
 		visited[n] = true
-		nd := f.nodes[n]
-		fmt.Fprintf(&b, "@%d: %s ? @%d : @%d\n", n, f.names[nd.level], nd.hi, nd.lo)
+		nd := f.node(n)
+		fmt.Fprintf(&b, "@%d: %s ? @%d : @%d\n", n, names[nd.level], nd.hi, nd.lo)
 		walk(nd.lo)
 		walk(nd.hi)
 	}

@@ -321,13 +321,15 @@ func TestDifferentialAgainstReference(t *testing.T) {
 			}
 		}
 		// The two node stores must be structurally identical: same ids,
-		// same (level, lo, hi) triples, in the same allocation order.
-		if len(f.nodes) != len(rf.nodes) {
-			t.Fatalf("trial %d: node store sizes differ: %d vs %d", trial, len(f.nodes), len(rf.nodes))
+		// same (level, lo, hi) triples, in the same allocation order. (The
+		// production factory's id numbering is deterministic whenever it is
+		// driven from one goroutine, as here.)
+		if f.NumNodes() != len(rf.nodes) {
+			t.Fatalf("trial %d: node store sizes differ: %d vs %d", trial, f.NumNodes(), len(rf.nodes))
 		}
-		for id := range f.nodes {
-			if f.nodes[id] != rf.nodes[id] {
-				t.Fatalf("trial %d: node %d differs: %+v vs %+v", trial, id, f.nodes[id], rf.nodes[id])
+		for id := range rf.nodes {
+			if f.node(Node(id)) != rf.nodes[id] {
+				t.Fatalf("trial %d: node %d differs: %+v vs %+v", trial, id, f.node(Node(id)), rf.nodes[id])
 			}
 		}
 	}
@@ -336,8 +338,51 @@ func TestDifferentialAgainstReference(t *testing.T) {
 // refString renders the reference diagram exactly as Factory.String does, so
 // outputs are directly comparable.
 func refString(f *refFactory, a Node) string {
-	tmp := &Factory{nodes: f.nodes, names: f.names}
-	return tmp.String(a)
+	switch a {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	var cubes []string
+	var lits []string
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == False {
+			return
+		}
+		if n == True {
+			cubes = append(cubes, joinLits(lits))
+			return
+		}
+		nd := f.nodes[n]
+		lits = append(lits, "!"+f.names[nd.level])
+		walk(nd.lo)
+		lits = lits[:len(lits)-1]
+		lits = append(lits, f.names[nd.level])
+		walk(nd.hi)
+		lits = lits[:len(lits)-1]
+	}
+	walk(a)
+	if len(cubes) == 0 {
+		return "0"
+	}
+	out := cubes[0]
+	for _, c := range cubes[1:] {
+		out += " | " + c
+	}
+	return out
+}
+
+func joinLits(lits []string) string {
+	if len(lits) == 0 {
+		return ""
+	}
+	out := lits[0]
+	for _, l := range lits[1:] {
+		out += "&" + l
+	}
+	return out
 }
 
 // TestOpCachePressure shrinks effective cache capacity by churning many

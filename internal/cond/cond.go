@@ -11,6 +11,9 @@
 package cond
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/bdd"
 	"repro/internal/guard"
 	"repro/internal/sat"
@@ -46,21 +49,31 @@ type HotStats struct {
 	VarHits   int64 // Var() calls served by the intern table
 }
 
-// Space creates and combines presence conditions. It is not safe for
-// concurrent use.
+// Space creates and combines presence conditions. It is safe for concurrent
+// use: the BDD factory is internally sharded, the intern tables take
+// per-space locks, and the Hot counters are updated atomically — intra-unit
+// parallel subparsers and the daemon's request handlers share one Space.
+// Stats and Hot are coherent only once concurrent operations have quiesced
+// (after a parse, not during one).
 type Space struct {
 	mode Mode
 	bf   *bdd.Factory
 
-	// SAT mode configuration and accounting.
+	// SAT mode configuration and accounting. All SAT-mode mutable state —
+	// Stats, the feasibility/interning memos, and the shadow factory memo —
+	// is guarded by one satMu: the SAT baseline's cost model is inherently
+	// sequential (it is the foil the BDD mode is measured against), so a
+	// single lock is fidelity, not a bottleneck.
 	NaiveLimit int // clause cap before falling back to Tseitin; 0 = unlimited
 	Stats      SatStats
 	Hot        HotStats
+	satMu      sync.Mutex
 
 	// vars interns Var() results in both modes: hot guard variables are
 	// re-looked-up at every use site, and the cond-level table answers
 	// without touching the backend's name index or unique table.
-	vars map[string]Cond
+	varMu sync.RWMutex
+	vars  map[string]Cond
 	// falseMemo caches SAT-mode feasibility verdicts per expression node.
 	// TypeChef memoizes feature-expression queries the same way; without it
 	// the repeated feasibility checks on long-lived conditions (macro-table
@@ -175,11 +188,19 @@ func (s *Space) False() Cond {
 // Results are interned per space, so hot guard variables resolve without
 // touching the backend.
 func (s *Space) Var(name string) Cond {
-	if c, ok := s.vars[name]; ok {
-		s.Hot.VarHits++
+	s.varMu.RLock()
+	c, ok := s.vars[name]
+	s.varMu.RUnlock()
+	if ok {
+		atomic.AddInt64(&s.Hot.VarHits, 1)
 		return c
 	}
-	var c Cond
+	s.varMu.Lock()
+	defer s.varMu.Unlock()
+	if c, ok := s.vars[name]; ok {
+		atomic.AddInt64(&s.Hot.VarHits, 1)
+		return c
+	}
 	if s.mode == ModeBDD {
 		c = Cond{n: s.bf.Var(name)}
 	} else {
@@ -195,22 +216,22 @@ func (s *Space) Var(name string) Cond {
 // operand itself short-circuit in the simplification layer before reaching
 // the BDD engine (or building a SAT expression).
 func (s *Space) And(a, b Cond) Cond {
-	s.Hot.Ops++
+	atomic.AddInt64(&s.Hot.Ops, 1)
 	switch {
 	case s.isTrueC(a):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return b
 	case s.isTrueC(b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	case s.isFalseC(a):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	case s.isFalseC(b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return b
 	case s.same(a, b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	}
 	if s.mode == ModeBDD {
@@ -221,22 +242,22 @@ func (s *Space) And(a, b Cond) Cond {
 
 // Or returns the disjunction a ∨ b.
 func (s *Space) Or(a, b Cond) Cond {
-	s.Hot.Ops++
+	atomic.AddInt64(&s.Hot.Ops, 1)
 	switch {
 	case s.isFalseC(a):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return b
 	case s.isFalseC(b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	case s.isTrueC(a):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	case s.isTrueC(b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return b
 	case s.same(a, b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	}
 	if s.mode == ModeBDD {
@@ -247,18 +268,20 @@ func (s *Space) Or(a, b Cond) Cond {
 
 // Not returns the negation ¬a.
 func (s *Space) Not(a Cond) Cond {
-	s.Hot.Ops++
+	atomic.AddInt64(&s.Hot.Ops, 1)
 	switch {
 	case s.isTrueC(a):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return s.False()
 	case s.isFalseC(a):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return s.True()
 	}
 	if s.mode == ModeBDD {
 		return Cond{n: s.bf.Not(a.n)}
 	}
+	s.satMu.Lock()
+	defer s.satMu.Unlock()
 	if e, ok := s.notIntern[a.e]; ok {
 		return Cond{e: e}
 	}
@@ -271,6 +294,8 @@ func (s *Space) Not(a Cond) Cond {
 // rebuilds return the same node.
 func (s *Space) internBin(op sat.Op, a, b *sat.Expr, mk func(...*sat.Expr) *sat.Expr) *sat.Expr {
 	key := binKey{op: op, a: a, b: b}
+	s.satMu.Lock()
+	defer s.satMu.Unlock()
 	if e, ok := s.binIntern[key]; ok {
 		return e
 	}
@@ -282,16 +307,16 @@ func (s *Space) internBin(op sat.Op, a, b *sat.Expr, mk func(...*sat.Expr) *sat.
 // AndNot returns a ∧ ¬b, the trim operation used when later macro
 // definitions carve conditions out of earlier ones.
 func (s *Space) AndNot(a, b Cond) Cond {
-	s.Hot.Ops++
+	atomic.AddInt64(&s.Hot.Ops, 1)
 	switch {
 	case s.isFalseC(a), s.isTrueC(b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return s.False()
 	case s.isFalseC(b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return a
 	case s.same(a, b):
-		s.Hot.FastPaths++
+		atomic.AddInt64(&s.Hot.FastPaths, 1)
 		return s.False()
 	}
 	return s.And(a, s.Not(b))
@@ -309,6 +334,8 @@ func (s *Space) IsFalse(a Cond) bool {
 	if a.e.Op == sat.OpConst {
 		return !a.e.Value
 	}
+	s.satMu.Lock()
+	defer s.satMu.Unlock()
 	if v, ok := s.falseMemo[a.e]; ok {
 		return v
 	}
@@ -328,7 +355,7 @@ func (s *Space) IsFalse(a Cond) bool {
 }
 
 // shadowNode converts a SAT-mode expression to the shadow BDD (memoized per
-// interned node).
+// interned node). The caller holds satMu.
 func (s *Space) shadowNode(e *sat.Expr) bdd.Node {
 	if n, ok := s.shadowMemo[e]; ok {
 		return n
@@ -446,6 +473,8 @@ func (s *Space) SatOne(a Cond) (assign map[string]bool, ok bool) {
 		}
 		return nil, false
 	}
+	s.satMu.Lock()
+	defer s.satMu.Unlock()
 	model, satisfiable, gaveUp := sat.ExprSolve(a.e, s.NaiveLimit)
 	s.Stats.Checks++
 	if gaveUp {

@@ -67,6 +67,13 @@ type Config struct {
 	// failing outright. Per-unit budgets can also be attached with
 	// Tool.SetBudget.
 	Budget *guard.Budget
+	// ParseWorkers, when greater than 1, enables intra-unit parallel parsing:
+	// the unit is split at balanced top-level declaration boundaries and the
+	// regions are parsed concurrently over the shared condition space, with
+	// results proven equivalent to (and stitched back into) the sequential
+	// parse. Output is byte-identical to sequential at any worker count. It
+	// only applies when Config.Parser leaves fmlr.Options.ParseWorkers unset.
+	ParseWorkers int
 }
 
 // Tool is a configured SuperC instance. A Tool processes one compilation
@@ -141,6 +148,9 @@ func (t *Tool) parserOptions() fmlr.Options {
 	}
 	if opts.Budget == nil {
 		opts.Budget = t.budget
+	}
+	if opts.ParseWorkers == 0 {
+		opts.ParseWorkers = t.cfg.ParseWorkers
 	}
 	return opts
 }

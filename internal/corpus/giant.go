@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GiantUnit generates one deterministic pseudo-random translation unit dense
+// with the constructs that make region-splitting hard: nested conditionals,
+// conditional typedefs, file-scope shadowing, and conditional function
+// bodies. It feeds the region-parallel parser's differential tests and the
+// giant-unit scaling benchmarks (a single unit big enough that intra-unit
+// parallelism, not the per-unit worker pool, determines wall time).
+//
+// Every unit is valid C under every configuration: conditional typedefs
+// always cover all branches of their conditional, and only
+// unconditionally-defined names are used later.
+func GiantUnit(seed int64, items int) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	macros := []string{"FEAT_A", "FEAT_B", "FEAT_C", "FEAT_D", "FEAT_E", "FEAT_F"}
+	var typedefs []string
+	n := 0
+	fresh := func(prefix string) string {
+		n++
+		return fmt.Sprintf("%s%d", prefix, n)
+	}
+
+	var emitItem func(depth int)
+	emitDecl := func(depth int) {
+		switch r.Intn(5) {
+		case 0:
+			fmt.Fprintf(&b, "int %s = %d;\n", fresh("v"), r.Intn(100))
+		case 1:
+			fmt.Fprintf(&b, "static long %s[%d] = { %d, %d };\n",
+				fresh("arr"), 2+r.Intn(3), r.Intn(9), r.Intn(9))
+		case 2:
+			name := fresh("f")
+			fmt.Fprintf(&b, "static int %s(int a, int b)\n{\n", name)
+			fmt.Fprintf(&b, "\tint t = a * %d;\n", 1+r.Intn(9))
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "\tif (t > b) { t = t - b; } else { t = b - t; }\n")
+			}
+			if r.Intn(3) == 0 {
+				m := macros[r.Intn(len(macros))]
+				fmt.Fprintf(&b, "#ifdef %s\n\tt = t + %d;\n#endif\n", m, r.Intn(50))
+			}
+			fmt.Fprintf(&b, "\treturn t + b;\n}\n")
+		case 3:
+			td := fresh("td")
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "typedef unsigned long %s;\n", td)
+			} else {
+				fmt.Fprintf(&b, "typedef int (*%s)(int);\n", td)
+			}
+			// Only unconditionally-defined typedefs may be used later;
+			// registering a branch-local one would make later uses invalid C
+			// in the configurations where the branch is absent.
+			if depth == 0 {
+				typedefs = append(typedefs, td)
+			}
+		case 4:
+			if len(typedefs) == 0 {
+				fmt.Fprintf(&b, "int %s;\n", fresh("v"))
+				return
+			}
+			td := typedefs[r.Intn(len(typedefs))]
+			fmt.Fprintf(&b, "%s %s;\n", td, fresh("u"))
+		}
+	}
+	emitItem = func(depth int) {
+		roll := r.Intn(10)
+		switch {
+		case roll < 6 || depth >= 3:
+			emitDecl(depth)
+		case roll < 8:
+			// Conditional group, possibly nested.
+			m := macros[r.Intn(len(macros))]
+			fmt.Fprintf(&b, "#ifdef %s\n", m)
+			for i := 0; i < 1+r.Intn(3); i++ {
+				emitItem(depth + 1)
+			}
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "#else\n")
+				for i := 0; i < 1+r.Intn(2); i++ {
+					emitItem(depth + 1)
+				}
+			}
+			fmt.Fprintf(&b, "#endif\n")
+		case roll < 9:
+			// Conditional typedef covering every configuration, then a use.
+			m := macros[r.Intn(len(macros))]
+			td := fresh("ct")
+			fmt.Fprintf(&b, "#ifdef %s\ntypedef int %s;\n#else\ntypedef long %s;\n#endif\n", m, td, td)
+			fmt.Fprintf(&b, "%s %s = 0;\n", td, fresh("u"))
+			if depth == 0 {
+				typedefs = append(typedefs, td)
+			}
+		default:
+			// File-scope shadowing: an object definition reusing a typedef
+			// name under one configuration makes the name ambiguous, forcing
+			// typedef forks downstream.
+			td := fresh("sh")
+			fmt.Fprintf(&b, "typedef int %s;\n", td)
+			m := macros[r.Intn(len(macros))]
+			fmt.Fprintf(&b, "#ifdef %s\nint %s;\n#endif\n", m, td)
+		}
+	}
+
+	for i := 0; i < items; i++ {
+		emitItem(0)
+	}
+	return b.String()
+}

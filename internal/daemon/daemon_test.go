@@ -244,6 +244,17 @@ func TestParseDeterminismAndErrors(t *testing.T) {
 	if !reflect.DeepEqual(resp, resp8) {
 		t.Error("parse response differs between default jobs and -j8")
 	}
+	// The intra-unit axis must be equally invisible: region-parallel
+	// parsing is proven equivalent server-side or falls back.
+	req.ParseWorkers = 4
+	respPW, err := c.Parse(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respPW.TableCache = resp.TableCache
+	if !reflect.DeepEqual(resp, respPW) {
+		t.Error("parse response differs between sequential and parseWorkers=4")
+	}
 }
 
 // corpusReq is the canonical differential corpus request.

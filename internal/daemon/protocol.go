@@ -145,7 +145,10 @@ type LintRequest struct {
 	Mode         string            `json:"mode"` // "bdd" or "sat"
 	Passes       []string          `json:"passes,omitempty"`
 	Jobs         int               `json:"jobs,omitempty"`
-	Limits       Limits            `json:"limits,omitempty"`
+	// ParseWorkers enables intra-unit region-parallel parsing per unit
+	// (clamped by the server like Jobs; 0 = sequential).
+	ParseWorkers int    `json:"parseWorkers,omitempty"`
+	Limits       Limits `json:"limits,omitempty"`
 }
 
 // LintUnit is one file's lint outcome. Failed units carry the rendered
@@ -174,7 +177,10 @@ type ParseRequest struct {
 	Opt          string            `json:"opt"`  // fmlr optimization level name
 	Single       bool              `json:"single,omitempty"`
 	Jobs         int               `json:"jobs,omitempty"`
-	Limits       Limits            `json:"limits,omitempty"`
+	// ParseWorkers enables intra-unit region-parallel parsing per unit
+	// (clamped by the server like Jobs; 0 = sequential).
+	ParseWorkers int    `json:"parseWorkers,omitempty"`
+	Limits       Limits `json:"limits,omitempty"`
 }
 
 // ParseStats is the deterministic subset of fmlr.Stats plus AST counts.
@@ -224,7 +230,10 @@ type CorpusRequest struct {
 	Single  bool     `json:"single,omitempty"`
 	Passes  []string `json:"passes,omitempty"` // analysis passes; empty = none
 	Jobs    int      `json:"jobs,omitempty"`
-	Limits  Limits   `json:"limits,omitempty"`
+	// ParseWorkers enables intra-unit region-parallel parsing per unit
+	// (clamped by the server like Jobs; 0 = sequential).
+	ParseWorkers int    `json:"parseWorkers,omitempty"`
+	Limits       Limits `json:"limits,omitempty"`
 	// NoFacts bypasses the per-unit facts cache (for measuring cold runs).
 	NoFacts bool `json:"noFacts,omitempty"`
 }

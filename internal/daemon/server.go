@@ -239,6 +239,19 @@ func (s *Server) jobs(req, n int) int {
 	return j
 }
 
+// parseWorkers clamps a requested intra-unit worker count to the server
+// bound. Unlike jobs, zero means sequential, not "use the maximum":
+// region-parallel parsing is opt-in per request.
+func (s *Server) parseWorkers(req int) int {
+	if req <= 0 {
+		return 0
+	}
+	if req > s.cfg.MaxJobs {
+		return s.cfg.MaxJobs
+	}
+	return req
+}
+
 // forEach runs fn over indices 0..n-1 on a bounded worker pool.
 func forEach(n, workers int, fn func(i int)) {
 	work := make(chan int)
@@ -294,6 +307,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		Defines:      req.Defines,
 		CondMode:     mode,
 		HeaderCache:  s.hc,
+		ParseWorkers: s.parseWorkers(req.ParseWorkers),
 	}
 	resp := LintResponse{Units: make([]LintUnit, len(req.Files))}
 	forEach(len(req.Files), s.jobs(req.Jobs, len(req.Files)), func(i int) {
@@ -374,6 +388,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		CondMode:     mode,
 		Parser:       &opts,
 		SingleConfig: req.Single,
+		ParseWorkers: s.parseWorkers(req.ParseWorkers),
 	}
 	if !req.Single {
 		cfg.HeaderCache = s.hc
@@ -480,13 +495,14 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 			sub.CFiles[j] = c.CFiles[i]
 		}
 		results, m := harness.RunMetered(r.Context(), &sub, harness.RunConfig{
-			Mode:        mode,
-			Parser:      opts,
-			Single:      req.Single,
-			Jobs:        s.jobs(req.Jobs, len(missing)),
-			HeaderCache: s.hc,
-			Budget:      limits,
-			Analyzers:   analyzers,
+			Mode:         mode,
+			Parser:       opts,
+			Single:       req.Single,
+			Jobs:         s.jobs(req.Jobs, len(missing)),
+			ParseWorkers: s.parseWorkers(req.ParseWorkers),
+			HeaderCache:  s.hc,
+			Budget:       limits,
+			Analyzers:    analyzers,
 		})
 		for j, i := range missing {
 			u := toCorpusUnit(&results[j])
@@ -512,7 +528,9 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 
 // factsFingerprint keys the facts cache: every request knob that affects a
 // unit's deterministic result, plus the protocol version (result shapes may
-// change between builds).
+// change between builds). ParseWorkers is deliberately excluded: the
+// region-parallel strategy is proven equivalent to sequential, so the
+// deterministic facts are identical at every worker count.
 func (s *Server) factsFingerprint(req CorpusRequest, limits guard.Limits) string {
 	names := append([]string(nil), req.Passes...)
 	sort.Strings(names)

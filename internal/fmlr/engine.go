@@ -3,6 +3,7 @@ package fmlr
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/ast"
@@ -48,6 +49,30 @@ type Options struct {
 	// error node under the abandoned work's presence condition instead of
 	// a nil AST.
 	Budget *guard.Budget
+	// ParseWorkers, when greater than 1, lets the engine split the unit at
+	// balanced top-level declaration boundaries and run one sequential
+	// subparser family per region concurrently over the shared condition
+	// space, stitching the region ASTs back into the sequential result.
+	// Admission and post-hoc validation are conservative: any region whose
+	// stitched typedef context cannot be proven identical to the sequential
+	// parse triggers a full sequential reparse, so the output is
+	// byte-identical to ParseWorkers: 1 at any worker count. 0 and 1 mean
+	// sequential.
+	ParseWorkers int
+}
+
+// AutoWorkers is the "GOMAXPROCS-aware" intra-unit worker count the CLIs
+// resolve a -parse-workers 0 to: one worker per processor, capped at 8 —
+// past that the region count, not the processor count, bounds speedup.
+func AutoWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Standard optimization levels, named as in Figure 8a.
@@ -194,6 +219,16 @@ type Engine struct {
 	diags      []Diagnostic
 	accepts    []ast.Choice
 	killed     bool
+
+	// Region-parallel hooks (parallel.go). seed pre-populates the root
+	// symbol table's file scope with typedef conditions guessed by the
+	// lexical prescan; track records file-scope observations for the
+	// post-hoc seed validation; acceptDepth is the accepting subparser's
+	// scope depth (the parallel gate requires a balanced 1).
+	seed        map[string]cond.Cond
+	track       bool
+	rootTab     *symtab.Table
+	acceptDepth int
 }
 
 // New returns an engine for the given condition space, language, and
@@ -208,7 +243,21 @@ func New(space *cond.Space, lang *cgrammar.C, opts Options) *Engine {
 }
 
 // Parse runs the FMLR algorithm (Algorithm 2) over a preprocessed unit.
+// With Options.ParseWorkers > 1 it first attempts the region-parallel
+// strategy (parallel.go), falling back to the sequential parse whenever the
+// unit does not split cleanly or the equivalence gate fails.
 func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
+	if e.opts.ParseWorkers > 1 {
+		if res, ok := e.parseParallel(segs, file); ok {
+			return res
+		}
+	}
+	return e.parseSeq(segs, file)
+}
+
+// parseSeq is the sequential FMLR parse: one priority queue of subparsers
+// stepped in document order.
+func (e *Engine) parseSeq(segs []preprocessor.Segment, file string) *Result {
 	budget := e.opts.Budget
 	faultinject.At(faultinject.PointParse, file, budget)
 	e.acquireScratch()
@@ -226,8 +275,9 @@ func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 	p0.c = e.space.True()
 	p0.el = first
 	p0.stack = e.pushNode(0, -1, nil, nil)
-	p0.tab = symtab.New(e.space)
+	p0.tab = e.newRootTab()
 	p0.ownTab = true
+	e.acceptDepth = 0
 	e.insert(p0)
 
 	tripped := false
@@ -776,6 +826,23 @@ func (e *Engine) accept(p *subparser, h head) {
 	// The value under the EOF shift position: top of stack holds the start
 	// symbol's value.
 	e.accepts = append(e.accepts, ast.Choice{Cond: h.cond, Node: p.stack.val})
+	e.acceptDepth = p.tab.Depth()
+}
+
+// newRootTab builds the initial subparser's symbol table, applying the
+// region-parallel seed and tracking hooks when set.
+func (e *Engine) newRootTab() *symtab.Table {
+	var tab *symtab.Table
+	if e.seed != nil {
+		tab = symtab.NewSeeded(e.space, e.seed)
+	} else {
+		tab = symtab.New(e.space)
+	}
+	if e.track {
+		tab.Track()
+	}
+	e.rootTab = tab
+	return tab
 }
 
 func (e *Engine) parseError(h head) {

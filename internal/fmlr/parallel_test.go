@@ -1,0 +1,261 @@
+package fmlr
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/cgrammar"
+	"repro/internal/cond"
+	"repro/internal/corpus"
+	"repro/internal/preprocessor"
+)
+
+// This file is the differential oracle for the region-parallel parser: the
+// sequential engine is ground truth, and the parallel engine must be
+// byte-identical to it — rendered AST with presence conditions, diagnostics,
+// and every interleaving-independent statistic — at every worker count, on a
+// corpus of generated units dense with the constructs that make splitting
+// hard (nested conditionals, conditional typedefs, shadowing, conditional
+// function bodies). Run it under -race and the same tests double as the
+// concurrency soundness check for the shared condition space.
+
+// genUnit generates one deterministic pseudo-random translation unit (see
+// corpus.GiantUnit). Every unit is valid C under every configuration.
+func genUnit(seed int64, items int) string {
+	return corpus.GiantUnit(seed, items)
+}
+
+// normStats strips the interleaving/pool-dependent counters, leaving only
+// the ones the parallel parse must reproduce exactly.
+func normStats(s Stats) Stats {
+	s.SubparserAllocs = 0
+	s.SubparserReuses = 0
+	return s
+}
+
+// parseWith parses src with the given options through the public Parse
+// entry point.
+func parseWith(t *testing.T, src string, opts Options) (*Result, *cond.Space) {
+	t.Helper()
+	return parseSrc(t, map[string]string{"main.c": src}, opts)
+}
+
+// astEq is a DAG-aware structural equality check between ASTs from two
+// independent parses (and hence two condition spaces): node kinds, labels,
+// tokens, child structure, and the *rendered* presence-condition strings must
+// all agree. The pair memo keeps it linear on shared subtrees, where a plain
+// recursive walk (or StringWithConds) goes exponential.
+type astEq struct {
+	sa, sb *cond.Space
+	memo   map[[2]*ast.Node]bool
+}
+
+func (e *astEq) eq(a, b *ast.Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	key := [2]*ast.Node{a, b}
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	// Optimistically assume equal to terminate on cycles (the AST is acyclic,
+	// so this only short-circuits repeated shared pairs).
+	e.memo[key] = true
+	ok := e.eq1(a, b)
+	e.memo[key] = ok
+	return ok
+}
+
+func (e *astEq) eq1(a, b *ast.Node) bool {
+	if a.Kind != b.Kind || a.Label != b.Label ||
+		len(a.Children) != len(b.Children) || len(a.Alts) != len(b.Alts) {
+		return false
+	}
+	if (a.Tok == nil) != (b.Tok == nil) {
+		return false
+	}
+	if a.Tok != nil && *a.Tok != *b.Tok {
+		return false
+	}
+	for i := range a.Children {
+		if !e.eq(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	for i := range a.Alts {
+		if e.sa.String(a.Alts[i].Cond) != e.sb.String(b.Alts[i].Cond) {
+			return false
+		}
+		if !e.eq(a.Alts[i].Node, b.Alts[i].Node) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameAST(sa *cond.Space, a *Result, sb *cond.Space, b *Result) bool {
+	eq := &astEq{sa: sa, sb: sb, memo: map[[2]*ast.Node]bool{}}
+	return eq.eq(a.AST, b.AST)
+}
+
+// sampleAssignments enumerates a deterministic set of macro assignments used
+// to cross-check per-configuration projections.
+func sampleAssignments() []map[string]bool {
+	macros := []string{"FEAT_A", "FEAT_B", "FEAT_C", "FEAT_D", "FEAT_E", "FEAT_F"}
+	var out []map[string]bool
+	for mask := 0; mask < 1<<len(macros); mask += 7 { // 10 spread-out samples
+		m := map[string]bool{}
+		for i, name := range macros {
+			if mask&(1<<i) != 0 {
+				m["(defined "+name+")"] = true
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestParallelDifferential is the oracle: generated units parsed at workers
+// 2, 4, and 8 must match the sequential parse byte for byte.
+func TestParallelDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := genUnit(seed, 120)
+			seq, s := parseWith(t, src, OptAll)
+			if seq.AST == nil {
+				t.Fatalf("sequential parse failed: %+v", seq.Diags)
+			}
+			wantStats := normStats(seq.Stats)
+			assigns := sampleAssignments()
+			for _, w := range []int{2, 4, 8} {
+				opts := OptAll
+				opts.ParseWorkers = w
+				par, s2 := parseWith(t, src, opts)
+				if !sameAST(s, seq, s2, par) {
+					for _, a := range assigns {
+						sp, pp := projectTokens(s, seq.AST, a), projectTokens(s2, par.AST, a)
+						if sp != pp {
+							t.Fatalf("workers=%d projection %v diverges\nseq: %s\npar: %s",
+								w, a, clip(sp), clip(pp))
+						}
+					}
+					t.Fatalf("workers=%d AST structure diverges from sequential (projections agree)", w)
+				}
+				for _, a := range assigns {
+					if sp, pp := projectTokens(s, seq.AST, a), projectTokens(s2, par.AST, a); sp != pp {
+						t.Fatalf("workers=%d projection %v diverges\nseq: %s\npar: %s", w, a, clip(sp), clip(pp))
+					}
+				}
+				if len(par.Diags) != len(seq.Diags) || par.Killed != seq.Killed {
+					t.Fatalf("workers=%d diags/killed diverge: %d/%v vs %d/%v",
+						w, len(par.Diags), par.Killed, len(seq.Diags), seq.Killed)
+				}
+				if gs := normStats(par.Stats); !reflect.DeepEqual(gs, wantStats) {
+					t.Fatalf("workers=%d stats diverge:\nseq: %+v\npar: %+v", w, wantStats, gs)
+				}
+			}
+		})
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "..."
+	}
+	return s
+}
+
+// TestParallelPathEngages pins that the corpus actually exercises the
+// parallel path rather than silently falling back — otherwise the
+// differential test proves nothing.
+func TestParallelPathEngages(t *testing.T) {
+	src := genUnit(1, 120)
+	s := cond.NewSpace(cond.ModeBDD)
+	p := preprocessor.New(preprocessor.Options{Space: s, FS: preprocessor.MapFS(map[string]string{"main.c": src})})
+	u, err := p.Preprocess("main.c")
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	opts := OptAll
+	opts.ParseWorkers = 4
+	eng := New(s, cgrammar.MustLoad(), opts)
+	res, ok := eng.parseParallel(u.Segments, "main.c")
+	if !ok {
+		t.Fatal("parseParallel declined the generated corpus; differential coverage is vacuous")
+	}
+	if res.AST == nil {
+		t.Fatal("parallel parse produced no AST")
+	}
+}
+
+// TestParallelSplitDeclines checks the conservative bail-outs: tiny units,
+// SAT-mode spaces, and units whose typedefs straddle conditionals must fall
+// back (and still produce the sequential answer through Parse).
+func TestParallelSplitDeclines(t *testing.T) {
+	t.Run("tiny", func(t *testing.T) {
+		opts := OptAll
+		opts.ParseWorkers = 8
+		res, _ := parseWith(t, "int x;\n", opts)
+		if res.AST == nil {
+			t.Fatalf("tiny unit failed: %+v", res.Diags)
+		}
+	})
+	t.Run("straddling-typedef", func(t *testing.T) {
+		// The typedef keyword and its declarator live in different branches;
+		// the prescan must poison rather than mis-seed, and Parse must still
+		// agree with sequential.
+		var b strings.Builder
+		b.WriteString("#ifdef FEAT_A\ntypedef int\n#else\ntypedef long\n#endif\nweird_t;\n")
+		b.WriteString("weird_t w = 0;\n")
+		b.WriteString(genUnit(9, 80))
+		src := b.String()
+		seq, s := parseWith(t, src, OptAll)
+		opts := OptAll
+		opts.ParseWorkers = 4
+		par, s2 := parseWith(t, src, opts)
+		if !sameAST(s, seq, s2, par) {
+			t.Fatal("straddling-typedef unit diverges from sequential")
+		}
+		if !reflect.DeepEqual(normStats(par.Stats), normStats(seq.Stats)) {
+			t.Fatalf("stats diverge:\nseq: %+v\npar: %+v", normStats(seq.Stats), normStats(par.Stats))
+		}
+	})
+	t.Run("sat-mode", func(t *testing.T) {
+		src := genUnit(3, 120)
+		s := cond.NewSpace(cond.ModeSAT)
+		p := preprocessor.New(preprocessor.Options{Space: s, FS: preprocessor.MapFS(map[string]string{"main.c": src})})
+		u, err := p.Preprocess("main.c")
+		if err != nil {
+			t.Fatalf("preprocess: %v", err)
+		}
+		opts := OptAll
+		opts.ParseWorkers = 4
+		eng := New(s, cgrammar.MustLoad(), opts)
+		if _, ok := eng.parseParallel(u.Segments, "main.c"); ok {
+			t.Fatal("parseParallel admitted a SAT-mode space")
+		}
+		if res := eng.Parse(u.Segments, "main.c"); res.AST == nil {
+			t.Fatalf("SAT-mode fallback parse failed: %+v", res.Diags)
+		}
+	})
+}
+
+// TestParallelDeterministicAcrossRuns parses the same unit twice at the same
+// worker count; byte-identical output must not depend on scheduling.
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	src := genUnit(7, 120)
+	opts := OptAll
+	opts.ParseWorkers = 8
+	a, s1 := parseWith(t, src, opts)
+	b, s2 := parseWith(t, src, opts)
+	if !sameAST(s1, a, s2, b) {
+		t.Fatal("two parallel runs of the same unit disagree")
+	}
+	if !reflect.DeepEqual(normStats(a.Stats), normStats(b.Stats)) {
+		t.Fatalf("stats differ across runs:\n%+v\n%+v", normStats(a.Stats), normStats(b.Stats))
+	}
+}

@@ -15,6 +15,7 @@ package guard
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -136,11 +137,13 @@ func (d *Diagnostic) Error() string {
 // overshoot to a fraction of a millisecond of work.
 const pollInterval = 256
 
-// Budget is one unit's resource account. Counters are plain int64s —
-// a Budget is owned by the single goroutine running its unit; the only
-// cross-goroutine operation is Cancel via the context, which is polled.
-// The trip record is an atomic pointer so Tripped can be read from test
-// observers without a lock.
+// Budget is one unit's resource account. It is safe for concurrent use:
+// intra-unit parallel subparsers charge one shared budget, so the counters
+// are atomic, Observe is a CAS high-water update, and the trip record is an
+// atomic pointer (first trip wins under any interleaving). Charges are
+// monotone, so a trip can overshoot by at most the in-flight charges of the
+// racing goroutines — the same overshoot the amortized poller already
+// accepts.
 type Budget struct {
 	ctx      context.Context
 	limits   Limits
@@ -149,6 +152,7 @@ type Budget struct {
 	counters [NumAxes]int64
 	polls    int32
 	trip     atomic.Pointer[Diagnostic]
+	annMu    sync.Mutex // serializes Annotate's read-modify-write of the trip
 }
 
 // New builds a Budget from a context and limits. The effective deadline is
@@ -205,7 +209,7 @@ func (b *Budget) Counter(a Axis) int64 {
 	if b == nil || a < 0 || a >= NumAxes {
 		return 0
 	}
-	return b.counters[a]
+	return atomic.LoadInt64(&b.counters[a])
 }
 
 // record installs d as the trip unless one is already set. First trip wins:
@@ -226,8 +230,7 @@ func (b *Budget) Charge(stage string, a Axis, n int64) bool {
 	if b.trip.Load() != nil {
 		return false
 	}
-	v := b.counters[a] + n
-	b.counters[a] = v
+	v := atomic.AddInt64(&b.counters[a], n)
 	if lim := b.limits.axis(a); lim > 0 && v > lim {
 		b.record(&Diagnostic{Stage: stage, Axis: a, Limit: lim, Value: v})
 		return false
@@ -245,8 +248,11 @@ func (b *Budget) Observe(stage string, a Axis, v int64) bool {
 	if b.trip.Load() != nil {
 		return false
 	}
-	if v > b.counters[a] {
-		b.counters[a] = v
+	for {
+		cur := atomic.LoadInt64(&b.counters[a])
+		if v <= cur || atomic.CompareAndSwapInt64(&b.counters[a], cur, v) {
+			break
+		}
 	}
 	if lim := b.limits.axis(a); lim > 0 && v > lim {
 		b.record(&Diagnostic{Stage: stage, Axis: a, Limit: lim, Value: v})
@@ -269,11 +275,9 @@ func (b *Budget) Tick(stage string) bool {
 }
 
 func (b *Budget) poll(stage string) bool {
-	b.polls++
-	if b.polls < pollInterval {
+	if atomic.AddInt32(&b.polls, 1)%pollInterval != 0 {
 		return true
 	}
-	b.polls = 0
 	return b.pollNow(stage)
 }
 
@@ -315,7 +319,7 @@ func (b *Budget) ForceTrip(stage string, a Axis) {
 	if b == nil {
 		return
 	}
-	b.record(&Diagnostic{Stage: stage, Axis: a, Value: b.counters[a], Limit: b.limits.axis(a)})
+	b.record(&Diagnostic{Stage: stage, Axis: a, Value: atomic.LoadInt64(&b.counters[a]), Limit: b.limits.axis(a)})
 }
 
 // Cancel trips the budget as externally cancelled.
@@ -341,6 +345,8 @@ func (b *Budget) Annotate(cond, progress string) {
 	if d == nil {
 		return
 	}
+	b.annMu.Lock()
+	defer b.annMu.Unlock()
 	if d.Cond == "" && cond != "" {
 		if len(cond) > maxCondLen {
 			cond = cond[:maxCondLen] + "..."

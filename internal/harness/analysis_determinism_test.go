@@ -55,6 +55,36 @@ func TestAnalysisOutputStableAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestOutputStableAcrossParseWorkers is the -parse-workers golden test: the
+// rendered Table 3 and analysis output must be byte-identical whether units
+// parse sequentially or region-parallel, at any worker-pool width — the two
+// parallelism axes compose without touching observable output. The corpus
+// uses large units so the region-parallel path actually engages instead of
+// uniformly falling back.
+func TestOutputStableAcrossParseWorkers(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 5, CFiles: 8, GenHeaders: 10, BlocksPerFile: 60})
+	render := func(jobs, pw int) string {
+		cfg := RunConfig{Parser: fmlr.OptAll, Analyzers: passes.All(), Jobs: jobs, ParseWorkers: pw}
+		results := Run(c, cfg)
+		return Table3(results) + "\n" + renderAnalysis(results)
+	}
+	want := render(1, 1)
+	if want == "\n" {
+		t.Fatal("no output at -j 1 -parse-workers 1")
+	}
+	for _, jobs := range []int{1, 8} {
+		for _, pw := range []int{1, 4} {
+			if jobs == 1 && pw == 1 {
+				continue
+			}
+			if got := render(jobs, pw); got != want {
+				t.Errorf("output differs between -j 1 -parse-workers 1 and -j %d -parse-workers %d:\n--- want ---\n%s\n--- got ---\n%s",
+					jobs, pw, want, got)
+			}
+		}
+	}
+}
+
 // TestCoverageReportStableOrdering: the coverage report's sort is a total
 // order, so repeated builds over the same units render identically even
 // when map iteration varies underneath.

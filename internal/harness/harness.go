@@ -78,6 +78,11 @@ var DefaultBudget guard.Limits
 // at startup.
 var DefaultQuarantine bool
 
+// DefaultParseWorkers is the intra-unit parse worker count used when
+// RunConfig.ParseWorkers is zero. 0 and 1 parse sequentially. The cmd tools'
+// -parse-workers flag sets it once at startup.
+var DefaultParseWorkers int
+
 // sharedHeaderCache is the process-wide default header cache, created on
 // first cached run so that repeated runs (benchmark arms, Figure sweeps)
 // keep sharing header work.
@@ -148,6 +153,13 @@ type RunConfig struct {
 	// Jobs bounds the worker pool: 0 defers to DefaultJobs (then
 	// GOMAXPROCS), 1 is fully sequential.
 	Jobs int
+	// ParseWorkers bounds intra-unit parallelism: with more than one worker
+	// the parser splits each unit at top-level declaration boundaries and
+	// parses the regions concurrently, with output proven byte-identical to
+	// the sequential parse. 0 defers to DefaultParseWorkers; 0/1 parse
+	// sequentially. It composes with Jobs: each of the Jobs units in flight
+	// may fan out up to ParseWorkers region parses.
+	ParseWorkers int
 	// IncludePaths overrides the corpus include directories for this run
 	// (empty defers to the package-level IncludePaths). The daemon sets it
 	// per request, since different corpora need different include roots.
@@ -184,6 +196,14 @@ func (cfg RunConfig) limits() guard.Limits {
 // quarantine resolves whether retry-once-then-quarantine is active.
 func (cfg RunConfig) quarantine() bool {
 	return cfg.Quarantine || DefaultQuarantine
+}
+
+// parseWorkers resolves the effective intra-unit parse worker count.
+func (cfg RunConfig) parseWorkers() int {
+	if cfg.ParseWorkers != 0 {
+		return cfg.ParseWorkers
+	}
+	return DefaultParseWorkers
 }
 
 // includePaths resolves the effective include directories.
@@ -490,6 +510,9 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 	parser := cfg.Parser
 	if cfg.KillSwitch != 0 {
 		parser.KillSwitch = cfg.KillSwitch
+	}
+	if parser.ParseWorkers == 0 {
+		parser.ParseWorkers = cfg.parseWorkers()
 	}
 	jobs := cfg.jobs(len(c.CFiles))
 	out := make([]UnitResult, len(c.CFiles))

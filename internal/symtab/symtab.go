@@ -27,11 +27,31 @@ type scope struct {
 	names map[string]entry
 }
 
+// FileDef is one file-scope definition event, recorded in program order when
+// tracking is enabled. The region-parallel parser replays each region's def
+// stream to validate the typedef seeds it guessed for later regions.
+type FileDef struct {
+	Name    string
+	Cond    cond.Cond
+	Typedef bool // true for a typedef definition, false for an object one
+}
+
+// tracker accumulates the file-scope observations of one parse: which names
+// were ever classified (touched) and which file-scope definitions happened,
+// in order. It is shared by pointer across Clone/Merge so the whole subparser
+// family of one engine writes into one stream; engines are single-threaded,
+// so no locking is needed.
+type tracker struct {
+	touched map[string]bool
+	defs    []FileDef
+}
+
 // Table is the conditional symbol table. The zero value is not usable; call
 // New.
 type Table struct {
 	space  *cond.Space
 	scopes []scope
+	trk    *tracker // nil unless Track was called; shared across Clone/Merge
 }
 
 // New returns a table with the file scope open.
@@ -39,9 +59,48 @@ func New(s *cond.Space) *Table {
 	return &Table{space: s, scopes: []scope{{names: map[string]entry{}}}}
 }
 
+// NewSeeded returns a table whose file scope is pre-populated with typedef
+// meanings: each name denotes a type under its seed condition and nothing
+// otherwise. The region-parallel parser seeds a mid-unit region's table from
+// a lexical prescan; only the typedef condition matters because with a single
+// open scope Classify never consults object conditions.
+func NewSeeded(s *cond.Space, seed map[string]cond.Cond) *Table {
+	t := New(s)
+	for name, c := range seed {
+		t.scopes[0].names[name] = entry{typedefCond: c, objectCond: s.False()}
+	}
+	return t
+}
+
+// Track enables observation recording on this table (and, via the shared
+// tracker, on every table later cloned or merged from it).
+func (t *Table) Track() {
+	if t.trk == nil {
+		t.trk = &tracker{touched: map[string]bool{}}
+	}
+}
+
+// Touched returns the set of names Classify was asked about, or nil when
+// tracking is off.
+func (t *Table) Touched() map[string]bool {
+	if t.trk == nil {
+		return nil
+	}
+	return t.trk.touched
+}
+
+// FileDefs returns the ordered file-scope definition events, or nil when
+// tracking is off.
+func (t *Table) FileDefs() []FileDef {
+	if t.trk == nil {
+		return nil
+	}
+	return t.trk.defs
+}
+
 // Clone deep-copies the table (the forkContext callback).
 func (t *Table) Clone() *Table {
-	nt := &Table{space: t.space, scopes: make([]scope, len(t.scopes))}
+	nt := &Table{space: t.space, scopes: make([]scope, len(t.scopes)), trk: t.trk}
 	for i, sc := range t.scopes {
 		names := make(map[string]entry, len(sc.names))
 		for k, v := range sc.names {
@@ -72,6 +131,9 @@ func (t *Table) top() *scope { return &t.scopes[len(t.scopes)-1] }
 // DefineTypedef records that name denotes a type under c in the current
 // scope.
 func (t *Table) DefineTypedef(name string, c cond.Cond) {
+	if t.trk != nil && len(t.scopes) == 1 {
+		t.trk.defs = append(t.trk.defs, FileDef{Name: name, Cond: c, Typedef: true})
+	}
 	sc := t.top()
 	e := sc.names[name]
 	if e.typedefCond == (cond.Cond{}) {
@@ -91,6 +153,9 @@ func (t *Table) DefineTypedef(name string, c cond.Cond) {
 // DefineObject records that name denotes a value under c in the current
 // scope (shadowing any typedef meaning under c).
 func (t *Table) DefineObject(name string, c cond.Cond) {
+	if t.trk != nil && len(t.scopes) == 1 {
+		t.trk.defs = append(t.trk.defs, FileDef{Name: name, Cond: c, Typedef: false})
+	}
 	sc := t.top()
 	e := sc.names[name]
 	if e.objectCond == (cond.Cond{}) {
@@ -116,6 +181,9 @@ type Classification struct {
 
 // Classify resolves name under use condition c.
 func (t *Table) Classify(name string, c cond.Cond) Classification {
+	if t.trk != nil {
+		t.trk.touched[name] = true
+	}
 	s := t.space
 	remaining := c
 	td := s.False()
