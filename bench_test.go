@@ -336,7 +336,7 @@ func BenchmarkParseOnly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, u := range units {
 			engine := fmlr.New(tool.Space(), cgrammar.MustLoad(), fmlr.OptAll)
-			if res := engine.Parse(u.Segments, u.File); res.AST == nil {
+			if res := engine.ParseUnit(u); res.AST == nil {
 				b.Fatal("parse failed")
 			}
 		}

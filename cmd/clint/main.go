@@ -67,6 +67,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print per-unit analysis statistics to stderr")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); falls back in-process if unreachable")
 	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
@@ -135,6 +136,7 @@ func main() {
 		Defines:      defs,
 		CondMode:     condMode,
 		ParseWorkers: *parseWorkers,
+		NoStream:     !*streamTokens,
 	}
 	if !*noHeaderCache {
 		opts := hcache.Options{}

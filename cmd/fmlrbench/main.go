@@ -59,6 +59,7 @@ func main() {
 	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per unit; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	benchJSON := flag.String("bench-json", "", "skip the figures; benchmark the parse stage per optimization level and write the JSON baseline to this file")
@@ -74,6 +75,7 @@ func main() {
 	harness.DefaultJobs = *jobs
 	harness.DefaultParseWorkers = *parseWorkers
 	harness.DisableHeaderCache = *noHeaderCache
+	harness.DisableStreaming = !*streamTokens
 	harness.DefaultBudget = *limits
 	harness.DefaultQuarantine = *quarantine
 
@@ -223,6 +225,23 @@ type benchParallel struct {
 	Points []benchParallelPoint `json:"points"`
 }
 
+// benchStreaming compares the stream-fused pipeline (preprocessor chunks
+// feeding the engine's cursor fast path) against the materialized
+// segment-slab pipeline on the same corpus, parse stage only, at the
+// default optimization level. StreamShare is the fraction of tokens the
+// cursor gear consumed in place; CI's bench-smoke ratchet
+// (TestStreamSpeedRatchet) re-measures the same two arms in-process and
+// fails if streaming regresses more than 10% against materialized.
+type benchStreaming struct {
+	StreamNsPerOp       int64   `json:"stream_ns_per_op"`
+	MaterializedNsPerOp int64   `json:"materialized_ns_per_op"`
+	Speedup             float64 `json:"speedup_vs_materialized"`
+	TokensStreamed      int64   `json:"tokens_streamed"`
+	TokensMaterialized  int64   `json:"tokens_materialized"`
+	StreamFallbacks     int64   `json:"stream_fallbacks"`
+	StreamShare         float64 `json:"stream_share"`
+}
+
 type benchFile struct {
 	Schema     string          `json:"schema"`
 	CorpusSeed int64           `json:"corpus_seed"`
@@ -230,6 +249,7 @@ type benchFile struct {
 	Headers    int             `json:"headers"`
 	KillSwitch int             `json:"kill_switch"`
 	Levels     []benchLevel    `json:"levels"`
+	Streaming  benchStreaming  `json:"streaming"`
 	Parallel   benchParallel   `json:"parallel"`
 	Robustness benchRobustness `json:"robustness"`
 	Analysis   benchAnalysis   `json:"analysis"`
@@ -252,7 +272,7 @@ func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 		units = append(units, u)
 	}
 	out := benchFile{
-		Schema:     "fmlrbench/bench-parse/v1",
+		Schema:     "fmlrbench/bench-parse/v2",
 		CorpusSeed: c.Params.Seed,
 		CFiles:     len(c.CFiles),
 		Headers:    c.Params.GenHeaders,
@@ -266,7 +286,7 @@ func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 		agg := &stats.Sample{}
 		maxSub, killed := 0, 0
 		for _, u := range units {
-			res := fmlr.New(tool.Space(), lang, opts).Parse(u.Segments, u.File)
+			res := fmlr.New(tool.Space(), lang, opts).ParseUnit(u)
 			if res.Killed {
 				killed++
 				continue
@@ -284,7 +304,7 @@ func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, u := range units {
-					fmlr.New(tool.Space(), lang, opts).Parse(u.Segments, u.File)
+					fmlr.New(tool.Space(), lang, opts).ParseUnit(u)
 				}
 			}
 		})
@@ -302,6 +322,57 @@ func runBenchJSON(c *corpus.Corpus, kill int, path, storeDir string) error {
 		fmt.Printf("%-24s %12d ns/op %10d allocs/op %8d peak subparsers (%d killed)\n",
 			lv.Name, entry.NsPerOp, entry.AllocsPerOp, entry.MaxSubparsers, entry.KilledUnits)
 	}
+	// Streaming vs materialized pipeline, parse stage only: the chunked
+	// units prepared above are the streaming arm; a second preprocessing
+	// pass with the kill switch thrown prepares the segment-slab arm. Both
+	// arms exclude preprocessing from the timed region.
+	matTool := core.New(core.Config{FS: c.FS, IncludePaths: harness.IncludePaths, NoStream: true})
+	matUnits := make([]*preprocessor.Unit, 0, len(c.CFiles))
+	for _, cf := range c.CFiles {
+		u, err := matTool.Preprocess(cf)
+		if err != nil {
+			return fmt.Errorf("preprocess (materialized) %s: %w", cf, err)
+		}
+		matUnits = append(matUnits, u)
+	}
+	streamOpts := fmlr.OptAll
+	streamOpts.KillSwitch = kill
+	matOpts := streamOpts
+	matOpts.NoStream = true
+	var flow fmlr.Stats
+	for _, u := range units {
+		res := fmlr.New(tool.Space(), lang, streamOpts).ParseUnit(u)
+		flow.TokensStreamed += res.Stats.TokensStreamed
+		flow.TokensMaterialized += res.Stats.TokensMaterialized
+		flow.StreamFallbacks += res.Stats.StreamFallbacks
+	}
+	timeArm := func(us []*preprocessor.Unit, space *cond.Space, opts fmlr.Options) int64 {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, u := range us {
+					fmlr.New(space, lang, opts).ParseUnit(u)
+				}
+			}
+		}).NsPerOp()
+	}
+	streamNs := timeArm(units, tool.Space(), streamOpts)
+	matNs := timeArm(matUnits, matTool.Space(), matOpts)
+	split := flow.TokensStreamed + flow.TokensMaterialized
+	if split == 0 {
+		split = 1
+	}
+	out.Streaming = benchStreaming{
+		StreamNsPerOp:       streamNs,
+		MaterializedNsPerOp: matNs,
+		Speedup:             float64(matNs) / float64(streamNs),
+		TokensStreamed:      int64(flow.TokensStreamed),
+		TokensMaterialized:  int64(flow.TokensMaterialized),
+		StreamFallbacks:     int64(flow.StreamFallbacks),
+		StreamShare:         float64(flow.TokensStreamed) / float64(split),
+	}
+	fmt.Printf("streaming: %12d ns/op vs materialized %12d ns/op  %.2fx (%.0f%% of tokens streamed, %d fallbacks)\n",
+		streamNs, matNs, out.Streaming.Speedup, out.Streaming.StreamShare*100, flow.StreamFallbacks)
+
 	par, err := runBenchParallel(lang)
 	if err != nil {
 		return err

@@ -96,6 +96,7 @@ func main() {
 	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per file; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
+	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); summary mode only, falls back in-process")
 	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
@@ -142,6 +143,7 @@ func main() {
 		Parser:       &opts,
 		SingleConfig: *single,
 		ParseWorkers: *parseWorkers,
+		NoStream:     !*streamTokens,
 	}
 	if !*noHeaderCache && !*single {
 		// One cache shared by every unit (and every worker: it is
@@ -368,7 +370,7 @@ func processFile(tool *core.Tool, ix *analysis.Index, file string, condMode cond
 		fmt.Fprintln(stdout, res.AST.StringWithConds(tool.Space()))
 	}
 	if ff.printSrc {
-		fmt.Fprint(stdout, printer.Forest(tool.Space(), res.Unit.Segments, printer.Options{}))
+		fmt.Fprint(stdout, printer.Forest(tool.Space(), res.Unit.EnsureSegments(), printer.Options{}))
 	}
 	if res.AST != nil && ff.rename != "" {
 		parts := strings.SplitN(ff.rename, "=", 2)

@@ -41,6 +41,7 @@ func main() {
 	storeDir := flag.String("store", "", "artifact store directory persisting warm state across restarts (empty: in-memory only)")
 	storeMax := flag.Int64("store-max-bytes", 0, "artifact store size bound in bytes (0: default 256 MiB)")
 	maxJobs := flag.Int("max-jobs", 0, "per-request worker-pool clamp (0: GOMAXPROCS)")
+	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
 	caps := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
@@ -48,9 +49,10 @@ func main() {
 	logger := log.New(os.Stderr, "superd: ", log.LstdFlags)
 
 	cfg := daemon.Config{
-		Root:    *root,
-		MaxJobs: *maxJobs,
-		Caps:    *caps,
+		Root:     *root,
+		MaxJobs:  *maxJobs,
+		Caps:     *caps,
+		NoStream: !*streamTokens,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})

@@ -58,7 +58,7 @@ func BenchmarkParseOnlyGoverned(b *testing.B) {
 			opts := fmlr.OptAll
 			opts.Budget = guard.New(context.Background(), generousLimits())
 			engine := fmlr.New(tool.Space(), cgrammar.MustLoad(), opts)
-			if res := engine.Parse(u.Segments, u.File); res.AST == nil {
+			if res := engine.ParseUnit(u); res.AST == nil {
 				b.Fatal("parse failed")
 			}
 		}
@@ -89,7 +89,7 @@ func TestGuardOverhead(t *testing.T) {
 					if governed {
 						opts.Budget = guard.New(context.Background(), generousLimits())
 					}
-					if res := fmlr.New(tool.Space(), lang, opts).Parse(u.Segments, u.File); res.AST == nil {
+					if res := fmlr.New(tool.Space(), lang, opts).ParseUnit(u); res.AST == nil {
 						b.Fatal("parse failed")
 					}
 				}

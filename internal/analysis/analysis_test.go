@@ -209,7 +209,7 @@ int d;
 	}
 	s := tool.Space()
 	// Blocks: A-branch, else-branch, B-branch, C-branch = 4.
-	enabled, total := BlockCoverage(s, res.Unit.Segments, nil)
+	enabled, total := BlockCoverage(s, res.Unit.EnsureSegments(), nil)
 	if total != 4 {
 		t.Fatalf("total blocks = %d, want 4", total)
 	}
@@ -217,7 +217,7 @@ int d;
 		t.Errorf("no-config enabled = %d, want 1", enabled)
 	}
 	allYes := AllYes([]string{"(defined A)", "(defined B)", "(defined C)"})
-	enabled, _ = BlockCoverage(s, res.Unit.Segments, allYes)
+	enabled, _ = BlockCoverage(s, res.Unit.EnsureSegments(), allYes)
 	// allyes enables A-branch, B-branch, C-branch but NOT the else branch:
 	// 3 of 4 — the single-configuration blindness the paper's intro cites.
 	if enabled != 3 {
@@ -245,7 +245,7 @@ func TestAllYesUnderCoversCorpus(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, b := BlockCoverage(tool.Space(), res.Unit.Segments, allYes)
+		e, b := BlockCoverage(tool.Space(), res.Unit.EnsureSegments(), allYes)
 		enabledTotal += e
 		blocksTotal += b
 	}

@@ -74,6 +74,13 @@ type Config struct {
 	// parse. Output is byte-identical to sequential at any worker count. It
 	// only applies when Config.Parser leaves fmlr.Options.ParseWorkers unset.
 	ParseWorkers int
+	// NoStream disables the stream-fused preprocessor→parser pipeline: the
+	// preprocessor materializes the classic segment slab and the parser runs
+	// the queue loop over it unconditionally. Streaming (the default) packs
+	// True-condition tokens into dense chunk runs that feed the parser's
+	// fast path directly; the two modes produce byte-identical output (the
+	// differential suites), so this is purely a kill switch.
+	NoStream bool
 }
 
 // Tool is a configured SuperC instance. A Tool processes one compilation
@@ -104,19 +111,37 @@ func New(cfg Config) *Tool {
 	if cfg.FS == nil {
 		cfg.FS = preprocessor.OSFileSystem{}
 	}
-	space := cond.NewSpace(cfg.CondMode)
-	pp := preprocessor.New(preprocessor.Options{
-		Space:        space,
-		FS:           cfg.FS,
-		IncludePaths: cfg.IncludePaths,
-		Builtins:     cfg.Builtins,
-		SingleConfig: cfg.SingleConfig,
-		HeaderCache:  cfg.HeaderCache,
-		Budget:       cfg.Budget,
-	})
-	t := &Tool{cfg: cfg, space: space, pp: pp, lang: cgrammar.MustLoad()}
+	t := &Tool{cfg: cfg, space: cond.NewSpace(cfg.CondMode), lang: cgrammar.MustLoad()}
+	t.pp = t.newPreprocessor(cfg.FS, cfg.Budget)
 	t.SetBudget(cfg.Budget)
 	return t
+}
+
+// newPreprocessor constructs a preprocessor over fs with the Tool's
+// configured options — the single construction seam shared by the Tool's
+// persistent instance and ParseString's per-call overlay instance.
+func (t *Tool) newPreprocessor(fs preprocessor.FileSystem, budget *guard.Budget) *preprocessor.Preprocessor {
+	return preprocessor.New(preprocessor.Options{
+		Space:        t.space,
+		FS:           fs,
+		IncludePaths: t.cfg.IncludePaths,
+		Builtins:     t.cfg.Builtins,
+		SingleConfig: t.cfg.SingleConfig,
+		HeaderCache:  t.cfg.HeaderCache,
+		Budget:       budget,
+		Stream:       !t.cfg.NoStream,
+	})
+}
+
+// applyDefines seeds a preprocessor's macro table with the configured -D
+// style definitions.
+func (t *Tool) applyDefines(pp *preprocessor.Preprocessor) error {
+	for name, body := range t.cfg.Defines {
+		if err := pp.Define(name, body); err != nil {
+			return fmt.Errorf("core: define %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // SetBudget attaches a per-unit resource budget to every stage the Tool
@@ -152,6 +177,9 @@ func (t *Tool) parserOptions() fmlr.Options {
 	if opts.ParseWorkers == 0 {
 		opts.ParseWorkers = t.cfg.ParseWorkers
 	}
+	if t.cfg.NoStream {
+		opts.NoStream = true
+	}
 	return opts
 }
 
@@ -160,10 +188,8 @@ func (t *Tool) parserOptions() fmlr.Options {
 // table seeded with the built-ins and the configured Defines.
 func (t *Tool) Preprocess(path string) (*preprocessor.Unit, error) {
 	t.pp.ResetTable()
-	for name, body := range t.cfg.Defines {
-		if err := t.pp.Define(name, body); err != nil {
-			return nil, fmt.Errorf("core: define %s: %w", name, err)
-		}
+	if err := t.applyDefines(t.pp); err != nil {
+		return nil, err
 	}
 	return t.pp.PreprocessKeepTable(path)
 }
@@ -175,34 +201,23 @@ func (t *Tool) ParseFile(path string) (*Result, error) {
 		return nil, err
 	}
 	eng := fmlr.New(t.space, t.lang, t.parserOptions())
-	parse := eng.Parse(unit.Segments, path)
+	parse := eng.ParseUnit(unit)
 	return &Result{Unit: unit, AST: parse.AST, Parse: parse}, nil
 }
 
 // ParseString parses C source text directly (convenience for tests, small
 // tools, and examples). Includes resolve against the configured FS.
 func (t *Tool) ParseString(name, src string) (*Result, error) {
-	overlay := overlayFS{base: t.cfg.FS, name: name, src: src}
-	pp := preprocessor.New(preprocessor.Options{
-		Space:        t.space,
-		FS:           overlay,
-		IncludePaths: t.cfg.IncludePaths,
-		Builtins:     t.cfg.Builtins,
-		SingleConfig: t.cfg.SingleConfig,
-		HeaderCache:  t.cfg.HeaderCache,
-		Budget:       t.budget,
-	})
-	for nm, body := range t.cfg.Defines {
-		if err := pp.Define(nm, body); err != nil {
-			return nil, err
-		}
+	pp := t.newPreprocessor(overlayFS{base: t.cfg.FS, name: name, src: src}, t.budget)
+	if err := t.applyDefines(pp); err != nil {
+		return nil, err
 	}
 	unit, err := pp.PreprocessKeepTable(name)
 	if err != nil {
 		return nil, err
 	}
 	eng := fmlr.New(t.space, t.lang, t.parserOptions())
-	parse := eng.Parse(unit.Segments, name)
+	parse := eng.ParseUnit(unit)
 	return &Result{Unit: unit, AST: parse.AST, Parse: parse}, nil
 }
 

@@ -59,6 +59,11 @@ type Options struct {
 	// byte-identical to ParseWorkers: 1 at any worker count. 0 and 1 mean
 	// sequential.
 	ParseWorkers int
+	// NoStream disables the streaming fast path: ParseUnit materializes the
+	// classic segment slab and runs the queue loop unconditionally. The two
+	// paths are proven equivalent by the differential suite (stream_test.go);
+	// this is the kill switch should a difference ever matter in the field.
+	NoStream bool
 }
 
 // AutoWorkers is the "GOMAXPROCS-aware" intra-unit worker count the CLIs
@@ -105,6 +110,17 @@ type Stats struct {
 	FollowMisses    int
 	SubparserAllocs int
 	SubparserReuses int
+	// Streaming-pipeline flow counters (ParseUnit, stream.go): tokens
+	// consumed straight off chunk runs with no forest element, tokens that
+	// went through the materialized element path, and how often the fast
+	// path handed a unit back to the queue loop mid-stream (a conditional
+	// chunk or an ambiguously-defined name). The totals are deterministic
+	// for a given ParseWorkers count, but the streamed/materialized split
+	// shifts with region boundaries, so the differential suite compares
+	// every other field and zeroes these three.
+	TokensStreamed     int
+	TokensMaterialized int
+	StreamFallbacks    int
 }
 
 // Percentile returns the q-quantile (0..1) of the per-iteration subparser
@@ -229,6 +245,14 @@ type Engine struct {
 	track       bool
 	rootTab     *symtab.Table
 	acceptDepth int
+
+	// Streaming hooks (stream.go). stream is non-nil only while parseStream
+	// runs; after() then materializes the next chunk instead of returning
+	// nil at the forest's current top-level tail. fastStall marks an element
+	// the fast path could not advance past (an ambiguously-defined name),
+	// so the queue loop handles it before the fast path re-engages.
+	stream    *streamState
+	fastStall *element
 }
 
 // New returns an engine for the given condition space, language, and
@@ -248,7 +272,7 @@ func New(space *cond.Space, lang *cgrammar.C, opts Options) *Engine {
 // unit does not split cleanly or the equivalence gate fails.
 func (e *Engine) Parse(segs []preprocessor.Segment, file string) *Result {
 	if e.opts.ParseWorkers > 1 {
-		if res, ok := e.parseParallel(segs, file); ok {
+		if res, ok := e.parseParallel(segs, nil, file); ok {
 			return res
 		}
 	}
@@ -263,13 +287,8 @@ func (e *Engine) parseSeq(segs []preprocessor.Segment, file string) *Result {
 	e.acquireScratch()
 	defer e.releaseScratch()
 	first, ntokens := buildForest(segs, file)
-	e.queue = pq{items: e.sc.qbuf[:0], less: e.less}
-	e.byPos = e.sc.byPos
-	e.followMemo = e.sc.followMemo
-	e.stats = Stats{Tokens: ntokens}
-	e.diags = nil
-	e.accepts = nil
-	e.killed = false
+	e.beginParse()
+	e.stats = Stats{Tokens: ntokens, TokensMaterialized: ntokens}
 
 	p0 := e.newSub()
 	p0.c = e.space.True()
@@ -277,14 +296,44 @@ func (e *Engine) parseSeq(segs []preprocessor.Segment, file string) *Result {
 	p0.stack = e.pushNode(0, -1, nil, nil)
 	p0.tab = e.newRootTab()
 	p0.ownTab = true
-	e.acceptDepth = 0
 	e.insert(p0)
 
-	tripped := false
+	tripped := e.runLoop(budget)
+	return e.finishParse(budget, tripped)
+}
+
+// beginParse wires the freshly acquired scratch block into the engine and
+// clears the per-parse result state.
+func (e *Engine) beginParse() {
+	e.queue = pq{items: e.sc.qbuf[:0], less: e.less}
+	e.byPos = e.sc.byPos
+	e.followMemo = e.sc.followMemo
+	e.diags = nil
+	e.accepts = nil
+	e.killed = false
+	e.acceptDepth = 0
+}
+
+// runLoop is the main parse loop: pop the earliest subparser, resolve or
+// step it, until the queue drains, the kill switch fires, or the budget
+// trips. In streaming mode a lone unresolved subparser positioned at an
+// ordinary token is handed to the fast path (stream.go), which steps tokens
+// without queue traffic until variability reappears.
+func (e *Engine) runLoop(budget *guard.Budget) (tripped bool) {
 	for e.queue.Len() > 0 {
+		if e.stream != nil && e.queue.Len() == 1 && e.opts.KillSwitch >= 1 {
+			p := e.queue.items[0]
+			if !p.resolved() && p.el != nil && p.el.tok != nil &&
+				p.el.tok.Kind != token.EOF && p.el != e.fastStall {
+				e.pop()
+				if e.fastDrain(p, budget) {
+					return true
+				}
+				continue
+			}
+		}
 		if !budget.Tick("fmlr") {
-			tripped = true
-			break
+			return true
 		}
 		e.stats.Iterations++
 		n := e.queue.Len()
@@ -301,11 +350,10 @@ func (e *Engine) parseSeq(segs []preprocessor.Segment, file string) *Result {
 		}
 		if n > e.opts.KillSwitch {
 			e.killed = true
-			break
+			return false
 		}
 		if !budget.Observe("fmlr", guard.AxisSubparsers, int64(n)) {
-			tripped = true
-			break
+			return true
 		}
 		p := e.pop()
 		if !p.resolved() {
@@ -314,7 +362,13 @@ func (e *Engine) parseSeq(segs []preprocessor.Segment, file string) *Result {
 		}
 		e.step(p)
 	}
+	return false
+}
 
+// finishParse converts the loop's end state into a Result: budget trips
+// degrade into a partial AST, the flat histogram becomes the map-shaped
+// stat, and the accepted alternatives combine into the unit's value.
+func (e *Engine) finishParse(budget *guard.Budget, tripped bool) *Result {
 	if tripped {
 		e.degrade(budget)
 	}
@@ -547,7 +601,7 @@ func (e *Engine) resolve(p *subparser) {
 			}
 			pos := br.first
 			if pos == nil {
-				pos = after(el0)
+				pos = e.after(el0)
 			}
 			e.stats.Forks++
 			q := take()
@@ -557,7 +611,7 @@ func (e *Engine) resolve(p *subparser) {
 		}
 		rest := e.space.And(c0, e.space.Not(covered))
 		if !e.space.IsFalse(rest) {
-			if nxt := after(el0); nxt != nil {
+			if nxt := e.after(el0); nxt != nil {
 				e.stats.Forks++
 				q := take()
 				q.c = rest
@@ -813,7 +867,7 @@ func (e *Engine) shift(p *subparser, h head, target int) {
 	p.stack = e.pushNode(target, h.sym, val, p.stack)
 	p.c = h.cond
 	p.heads = nil
-	p.el = after(h.el)
+	p.el = e.after(h.el)
 	if p.el == nil {
 		// EOF was shifted; accept happens via the table.
 		e.freeSub(p)

@@ -121,7 +121,7 @@ func (e *Engine) followCompute(c cond.Cond, a *element) []head {
 		for last.next != nil {
 			last = last.next
 		}
-		el = after(last)
+		el = e.after(last)
 	}
 	sortHeadsByOrd(T)
 	return T

@@ -66,62 +66,98 @@ type branchElem struct {
 	first *element // nil for an empty branch
 }
 
+// elemSlabSize is how many elements one forest slab allocation covers.
+// Elements are small, numerous, and all die with the parse.
+const elemSlabSize = 256
+
+// forestBuilder slab-allocates forest elements with a monotonically
+// increasing document order. buildForest uses one for the whole unit; the
+// streaming parse (stream.go) keeps one alive across chunks so lazily
+// materialized elements continue the same ord sequence.
+type forestBuilder struct {
+	slab   []element
+	ord    int
+	tokens int // ordinary tokens materialized so far (EOF excluded)
+}
+
+func (fb *forestBuilder) newElem(up *element) *element {
+	if len(fb.slab) == 0 {
+		fb.slab = make([]element, elemSlabSize)
+	}
+	el := &fb.slab[0]
+	fb.slab = fb.slab[1:]
+	el.up = up
+	el.ord = fb.ord
+	fb.ord++
+	return el
+}
+
+// convert builds the linked forest of one segment slice, returning its
+// first element (nil when the slice holds no feasible content).
+func (fb *forestBuilder) convert(segs []preprocessor.Segment, up *element) *element {
+	var head, tail *element
+	link := func(e *element) {
+		if tail == nil {
+			head = e
+		} else {
+			tail.next = e
+		}
+		tail = e
+	}
+	for _, sg := range segs {
+		e := fb.newElem(up)
+		if sg.IsToken() {
+			e.tok = sg.Tok
+			fb.tokens++
+			link(e)
+			continue
+		}
+		ce := &condElem{}
+		e.cnd = ce
+		link(e)
+		for _, br := range sg.Cond.Branches {
+			ce.branches = append(ce.branches, branchElem{
+				cond:  br.Cond,
+				first: fb.convert(br.Segs, e),
+			})
+		}
+	}
+	return head
+}
+
+// convertRun builds a top-level element chain over a dense token run,
+// pointing each element at the run's storage (no token copies).
+func (fb *forestBuilder) convertRun(run []token.Token) (head, tail *element) {
+	for i := range run {
+		e := fb.newElem(nil)
+		e.tok = &run[i]
+		fb.tokens++
+		if tail == nil {
+			head = e
+		} else {
+			tail.next = e
+		}
+		tail = e
+	}
+	return head, tail
+}
+
+// newEOF builds the synthetic end-of-input element.
+func (fb *forestBuilder) newEOF(file string) *element {
+	eof := fb.newElem(nil)
+	eof.tok = &token.Token{Kind: token.EOF, File: file}
+	return eof
+}
+
 // buildForest converts preprocessor segments into the linked forest,
 // appending a synthetic EOF token. It returns the first element and the
 // total token count.
 func buildForest(segs []preprocessor.Segment, file string) (first *element, tokens int) {
-	ord := 0
-	// Elements are slab-allocated: they are small, numerous, and all die
-	// with the parse, so one allocation covers elemSlabSize of them.
-	const elemSlabSize = 256
-	var slab []element
-	newElem := func(up *element) *element {
-		if len(slab) == 0 {
-			slab = make([]element, elemSlabSize)
-		}
-		el := &slab[0]
-		slab = slab[1:]
-		el.up = up
-		el.ord = ord
-		ord++
-		return el
-	}
-	var convert func(segs []preprocessor.Segment, up *element) *element
-	convert = func(segs []preprocessor.Segment, up *element) *element {
-		var head, tail *element
-		link := func(e *element) {
-			if tail == nil {
-				head = e
-			} else {
-				tail.next = e
-			}
-			tail = e
-		}
-		for _, sg := range segs {
-			e := newElem(up)
-			if sg.IsToken() {
-				e.tok = sg.Tok
-				tokens++
-				link(e)
-				continue
-			}
-			ce := &condElem{}
-			e.cnd = ce
-			link(e)
-			for _, br := range sg.Cond.Branches {
-				ce.branches = append(ce.branches, branchElem{
-					cond:  br.Cond,
-					first: convert(br.Segs, e),
-				})
-			}
-		}
-		return head
-	}
-	first = convert(segs, nil)
-	eof := newElem(nil)
-	eof.tok = &token.Token{Kind: token.EOF, File: file}
+	var fb forestBuilder
+	first = fb.convert(segs, nil)
+	eof := fb.newEOF(file)
 	if first == nil {
-		return eof, tokens
+		return eof, fb.tokens
 	}
 	// Append EOF at top level.
 	last := first
@@ -129,18 +165,26 @@ func buildForest(segs []preprocessor.Segment, file string) (first *element, toke
 		last = last.next
 	}
 	last.next = eof
-	return first, tokens
+	return first, fb.tokens
 }
 
-// after returns the next token or conditional after e, stepping out of
-// enclosing conditionals when e ends its branch (Algorithm 3 line 28 /
-// line 21's "next token or conditional").
-func after(e *element) *element {
-	for e != nil {
-		if e.next != nil {
-			return e.next
+// after returns the next token or conditional after el, stepping out of
+// enclosing conditionals when el ends its branch (Algorithm 3 line 28 /
+// line 21's "next token or conditional"). In streaming mode the forest is
+// materialized lazily, so reaching the top level's current tail pulls the
+// next chunk from the stream (stream.go) instead of reporting end of input.
+func (e *Engine) after(el *element) *element {
+	for el != nil {
+		if el.next != nil {
+			return el.next
 		}
-		e = e.up
+		if el.up == nil {
+			if st := e.stream; st != nil && el == st.tail {
+				return st.materializeNext()
+			}
+			return nil
+		}
+		el = el.up
 	}
 	return nil
 }

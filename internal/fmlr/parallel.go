@@ -40,8 +40,10 @@ import (
 
 // parseParallel attempts the region-parallel strategy. ok is false when the
 // unit is inadmissible, does not split, or fails the equivalence gate; the
-// caller then runs the sequential parse.
-func (e *Engine) parseParallel(segs []preprocessor.Segment, file string) (*Result, bool) {
+// caller then runs the sequential parse. A non-nil chunks (the unit's
+// streaming form, covering exactly segs) makes each region parse through
+// the streaming fast path; the split itself always works on segments.
+func (e *Engine) parseParallel(segs []preprocessor.Segment, chunks []preprocessor.Chunk, file string) (*Result, bool) {
 	if e.space.Mode() != cond.ModeBDD {
 		return nil, false
 	}
@@ -56,6 +58,9 @@ func (e *Engine) parseParallel(segs []preprocessor.Segment, file string) (*Resul
 	regions, ok := splitRegions(e.space, segs, e.opts.ParseWorkers)
 	if !ok {
 		return nil, false
+	}
+	if chunks != nil {
+		splitChunksAt(regions, chunks)
 	}
 
 	ropts := e.opts
@@ -137,7 +142,11 @@ func runRegion(space *cond.Space, lang *cgrammar.C, opts Options, rg region, fil
 	s.seed = rg.seed
 	s.track = true
 	*sub = s
-	*res = s.parseSeq(rg.segs, file)
+	if rg.chunks != nil {
+		*res = s.parseStream(preprocessor.NewChunkSource(rg.chunks), file)
+	} else {
+		*res = s.parseSeq(rg.segs, file)
+	}
 }
 
 // applyFileDefs replays recorded file-scope definitions onto the typedef
@@ -296,6 +305,9 @@ func mergeRegionStats(rs []*Result) Stats {
 		m.FollowMisses += s.FollowMisses
 		m.SubparserAllocs += s.SubparserAllocs
 		m.SubparserReuses += s.SubparserReuses
+		m.TokensStreamed += s.TokensStreamed
+		m.TokensMaterialized += s.TokensMaterialized
+		m.StreamFallbacks += s.StreamFallbacks
 	}
 	seams := len(rs) - 1
 	m.Iterations -= 3 * seams

@@ -24,9 +24,13 @@ import (
 
 // region is one slice of the unit's top-level segments plus the typedef
 // conditions lexically in scope at its start (nil for the first region).
+// When the unit arrived as a chunk stream, chunks holds the same slice of
+// the input in chunk form (splitChunksAt) and the region parses through the
+// streaming fast path instead of the segment slab.
 type region struct {
-	segs []preprocessor.Segment
-	seed map[string]cond.Cond
+	segs   []preprocessor.Segment
+	chunks []preprocessor.Chunk
+	seed   map[string]cond.Cond
 }
 
 // minRegionTokens is the smallest region worth a goroutine; below it the
@@ -347,6 +351,42 @@ func splitRegions(space *cond.Space, segs []preprocessor.Segment, want int) ([]r
 	}
 	regions = append(regions, region{segs: segs[start:], seed: snapshotSeeds(seeds, start)})
 	return regions, true
+}
+
+// splitChunksAt re-slices the unit's chunk list along the segment
+// boundaries splitRegions chose, attaching to each region the chunk form of
+// exactly its segment slice. A conditional chunk covers one top-level
+// segment and a run of n tokens covers n, so boundaries map exactly; a
+// boundary inside a run sub-slices it (chunks are immutable, and the
+// sub-slices share the run's token storage, so element and segment token
+// pointers stay identical across modes).
+func splitChunksAt(regions []region, chunks []preprocessor.Chunk) {
+	ci, off := 0, 0
+	for k := range regions {
+		want := len(regions[k].segs)
+		out := make([]preprocessor.Chunk, 0, 4)
+		for want > 0 {
+			c := chunks[ci]
+			if c.Cond != nil {
+				out = append(out, c)
+				ci++
+				want--
+				continue
+			}
+			avail := len(c.Run) - off
+			if avail <= want {
+				out = append(out, preprocessor.Chunk{Run: c.Run[off:]})
+				want -= avail
+				ci++
+				off = 0
+				continue
+			}
+			out = append(out, preprocessor.Chunk{Run: c.Run[off : off+want]})
+			off += want
+			want = 0
+		}
+		regions[k].chunks = out
+	}
 }
 
 // snapshotSeeds copies the cumulative seed map for one region. The first

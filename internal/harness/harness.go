@@ -83,6 +83,13 @@ var DefaultQuarantine bool
 // -parse-workers flag sets it once at startup.
 var DefaultParseWorkers int
 
+// DisableStreaming turns off the stream-fused preprocessor→parser pipeline
+// for runs that do not override RunConfig.NoStream: the preprocessor
+// materializes the classic segment slab and the parser runs its queue loop
+// over it unconditionally. The cmd tools' -stream-tokens=false kill switch
+// sets it once at startup.
+var DisableStreaming bool
+
 // sharedHeaderCache is the process-wide default header cache, created on
 // first cached run so that repeated runs (benchmark arms, Figure sweeps)
 // keep sharing header work.
@@ -170,6 +177,9 @@ type RunConfig struct {
 	HeaderCache *hcache.Cache
 	// NoHeaderCache disables header caching for this run.
 	NoHeaderCache bool
+	// NoStream disables the stream-fused token pipeline for this run (see
+	// core.Config.NoStream). False defers to the global DisableStreaming.
+	NoStream bool
 	// Budget sets per-unit resource ceilings (internal/guard). The zero
 	// value defers to DefaultBudget; all-zero limits still attach a budget
 	// so that context cancellation reaches in-flight units.
@@ -196,6 +206,11 @@ func (cfg RunConfig) limits() guard.Limits {
 // quarantine resolves whether retry-once-then-quarantine is active.
 func (cfg RunConfig) quarantine() bool {
 	return cfg.Quarantine || DefaultQuarantine
+}
+
+// noStream resolves whether the stream-fused pipeline is disabled.
+func (cfg RunConfig) noStream() bool {
+	return cfg.NoStream || DisableStreaming
 }
 
 // parseWorkers resolves the effective intra-unit parse worker count.
@@ -308,6 +323,17 @@ type Metrics struct {
 	CondOps         int64 // presence-condition ops issued by the parser stack
 	CondFastPaths   int64 // resolved by cond's simplification layer pre-BDD
 
+	// Stream-fused token pipeline flow, summed over units. Streamed tokens
+	// went through the parser's chunk-cursor fast path without ever being
+	// materialized as forest elements; materialized tokens took the classic
+	// element path (conditional regions, fallbacks, or streaming disabled).
+	TokensStreamed     int64
+	TokensMaterialized int64
+	StreamFallbacks    int64 // fast-path bail-outs to the materialized path
+	// StreamBytesAvoided estimates the forest bytes never allocated thanks to
+	// streaming: streamed tokens × per-token element+segment footprint.
+	StreamBytesAvoided int64
+
 	// Parse-table cache outcome (process-wide, from package cgrammar).
 	TableCacheHits   int64
 	TableCacheMisses int64
@@ -380,6 +406,9 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "  BDD op cache: %d hits, %d misses (%s), %d evictions; cond fast-paths: %d of %d ops (%s)\n",
 		m.BDDOpHits, m.BDDOpMisses, rate(m.BDDOpHits, m.BDDOpMisses), m.BDDOpEvictions,
 		m.CondFastPaths, m.CondOps, rate(m.CondFastPaths, m.CondOps-m.CondFastPaths))
+	fmt.Fprintf(&b, "  token stream: %d streamed, %d materialized (%s), %d fallbacks; ~%d KiB forest avoided\n",
+		m.TokensStreamed, m.TokensMaterialized, rate(m.TokensStreamed, m.TokensMaterialized),
+		m.StreamFallbacks, m.StreamBytesAvoided/1024)
 	fmt.Fprintf(&b, "  table cache: %s (%d hits, %d misses this process)\n",
 		m.TableCacheState, m.TableCacheHits, m.TableCacheMisses)
 	fmt.Fprintf(&b, "  header cache: %s (%d hits, %d misses; lex %d hits, %d misses; %d bytes saved, %d evictions)\n",
@@ -418,6 +447,8 @@ type collector struct {
 
 	followHits, followMisses stats.Counter
 	spReuses, spAllocs       stats.Counter
+	tokStreamed, tokMat      stats.Counter
+	streamFallbacks          stats.Counter
 	opHits, opMisses         stats.Counter
 	opEvictions              stats.Counter
 	condOps, condFastPaths   stats.Counter
@@ -476,6 +507,9 @@ func (col *collector) add(r *UnitResult) {
 	col.followMisses.Add(int64(r.Parse.FollowMisses))
 	col.spReuses.Add(int64(r.Parse.SubparserReuses))
 	col.spAllocs.Add(int64(r.Parse.SubparserAllocs))
+	col.tokStreamed.Add(int64(r.Parse.TokensStreamed))
+	col.tokMat.Add(int64(r.Parse.TokensMaterialized))
+	col.streamFallbacks.Add(int64(r.Parse.StreamFallbacks))
 	col.opHits.Add(r.BDDOpHits)
 	col.opMisses.Add(r.BDDOpMisses)
 	col.opEvictions.Add(r.BDDOpEvictions)
@@ -565,37 +599,41 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 
 	hits, misses := cgrammar.TableCacheStats()
 	m := Metrics{
-		Jobs:             jobs,
-		Units:            len(out),
-		FailedUnits:      int(col.failed.Load()),
-		KilledUnits:      int(col.killed.Load()),
-		MaxInFlight:      int(col.inFlight.Max()),
-		LexTime:          col.lex.Total(),
-		PreprocessTime:   col.pre.Total(),
-		ParseTime:        col.parse.Total(),
-		WallTime:         time.Since(start),
-		Forks:            col.forks.Load(),
-		Merges:           col.merges.Load(),
-		TypedefForks:     col.typedefForks.Load(),
-		BDDNodes:         col.bddNodes.Load(),
-		FollowHits:       col.followHits.Load(),
-		FollowMisses:     col.followMisses.Load(),
-		SubparserReuses:  col.spReuses.Load(),
-		SubparserAllocs:  col.spAllocs.Load(),
-		BDDOpHits:        col.opHits.Load(),
-		BDDOpMisses:      col.opMisses.Load(),
-		BDDOpEvictions:   col.opEvictions.Load(),
-		CondOps:          col.condOps.Load(),
-		CondFastPaths:    col.condFastPaths.Load(),
-		BudgetTrips:      int(col.budgetTrips.Load()),
-		TripsByAxis:      col.axisTrips.Snapshot(),
-		RetriedUnits:     int(col.retried.Load()),
-		QuarantinedUnits: int(col.quarantined.Load()),
-		TableCacheHits:   hits,
-		TableCacheMisses: misses,
-		TableCacheState:  cgrammar.TableCacheState(),
-		HeaderCacheState: "off",
-		StoreState:       "off",
+		Jobs:               jobs,
+		Units:              len(out),
+		FailedUnits:        int(col.failed.Load()),
+		KilledUnits:        int(col.killed.Load()),
+		MaxInFlight:        int(col.inFlight.Max()),
+		LexTime:            col.lex.Total(),
+		PreprocessTime:     col.pre.Total(),
+		ParseTime:          col.parse.Total(),
+		WallTime:           time.Since(start),
+		Forks:              col.forks.Load(),
+		Merges:             col.merges.Load(),
+		TypedefForks:       col.typedefForks.Load(),
+		BDDNodes:           col.bddNodes.Load(),
+		FollowHits:         col.followHits.Load(),
+		FollowMisses:       col.followMisses.Load(),
+		SubparserReuses:    col.spReuses.Load(),
+		SubparserAllocs:    col.spAllocs.Load(),
+		TokensStreamed:     col.tokStreamed.Load(),
+		TokensMaterialized: col.tokMat.Load(),
+		StreamFallbacks:    col.streamFallbacks.Load(),
+		StreamBytesAvoided: col.tokStreamed.Load() * fmlr.BytesPerStreamedToken,
+		BDDOpHits:          col.opHits.Load(),
+		BDDOpMisses:        col.opMisses.Load(),
+		BDDOpEvictions:     col.opEvictions.Load(),
+		CondOps:            col.condOps.Load(),
+		CondFastPaths:      col.condFastPaths.Load(),
+		BudgetTrips:        int(col.budgetTrips.Load()),
+		TripsByAxis:        col.axisTrips.Snapshot(),
+		RetriedUnits:       int(col.retried.Load()),
+		QuarantinedUnits:   int(col.quarantined.Load()),
+		TableCacheHits:     hits,
+		TableCacheMisses:   misses,
+		TableCacheState:    cgrammar.TableCacheState(),
+		HeaderCacheState:   "off",
+		StoreState:         "off",
 	}
 	sort.Strings(col.quarantinedFiles)
 	m.Quarantined = col.quarantinedFiles
@@ -683,6 +721,7 @@ func runUnit(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.O
 		Defines:      cfg.Defines,
 		HeaderCache:  hc,
 		Budget:       budget,
+		NoStream:     cfg.noStream(),
 	})
 	start := time.Now()
 	unit, err := tool.Preprocess(cf)
@@ -696,7 +735,7 @@ func runUnit(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.O
 	}
 	parseStart := time.Now()
 	eng := fmlr.New(tool.Space(), cgrammar.MustLoad(), parser)
-	parse := eng.Parse(unit.Segments, cf)
+	parse := eng.ParseUnit(unit)
 	res.ParseTime = time.Since(parseStart)
 	res.Bytes = unit.Stats.Bytes
 	res.Tokens = unit.Stats.Tokens

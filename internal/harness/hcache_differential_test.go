@@ -65,7 +65,7 @@ func sameForest(t *testing.T, file string, a, b diffUnit) {
 			}
 		}
 	}
-	walk(a.unit.Segments, b.unit.Segments, "")
+	walk(a.unit.EnsureSegments(), b.unit.EnsureSegments(), "")
 }
 
 // TestHeaderCacheDifferentialOracle is the corpus-level oracle for the

@@ -38,6 +38,13 @@ type Options struct {
 	// internal/guard). On trip the preprocessor stops early and returns the
 	// partial forest with a budget diagnostic; it never errors or hangs.
 	Budget *guard.Budget
+	// Stream selects streaming output: the unit's top level is packed into
+	// Unit.Chunks (dense token runs plus materialized conditionals) instead
+	// of the classic Unit.Segments slab. The two forms carry identical
+	// content — EnsureSegments converts back on demand — but the chunk form
+	// lets the FMLR engine consume True-condition tokens without ever
+	// materializing per-token segments or forest elements.
+	Stream bool
 }
 
 // Diagnostic is a preprocessing error or warning.
@@ -71,8 +78,14 @@ type CondRecord struct {
 type Unit struct {
 	File     string
 	Segments []Segment
-	Stats    UnitStats
-	Diags    []Diagnostic
+	// Chunks is the streaming form of the unit's top level (Options.Stream):
+	// dense True-condition token runs interleaved with materialized
+	// conditionals. Non-nil exactly when the unit was preprocessed in
+	// streaming mode; Segments is then nil until EnsureSegments materializes
+	// it on demand.
+	Chunks []Chunk
+	Stats  UnitStats
+	Diags  []Diagnostic
 
 	// Analysis records, consumed by internal/analysis passes.
 	Errors       []CondRecord // #error directives with their reachability conditions
@@ -93,6 +106,7 @@ type Preprocessor struct {
 	builtinNames map[string]bool
 	singleConfig bool
 	maxInclude   int
+	stream       bool
 
 	macros       *MacroTable
 	stats        *UnitStats
@@ -104,6 +118,12 @@ type Preprocessor struct {
 	counter      int               // __COUNTER__ state
 	errRecs      []CondRecord      // #error observations for the analysis passes
 	deadRecs     []CondRecord      // context-infeasible branch observations
+
+	// cw, when non-nil, is the active unit's chunk writer: the root-level
+	// output frame routes its segments here instead of accumulating a
+	// segment slab (streaming mode). Nil outside PreprocessKeepTable and in
+	// classic mode.
+	cw *chunkWriter
 
 	// budget is the unit's resource governor (nil: ungoverned).
 	budget *guard.Budget
@@ -152,6 +172,7 @@ func New(opts Options) *Preprocessor {
 		maxInclude:   maxInc,
 		guardOf:      make(map[string]string),
 		timesInc:     make(map[string]int),
+		stream:       opts.Stream,
 	}
 	for name := range builtins {
 		p.builtinNames[name] = true
@@ -232,20 +253,38 @@ func (p *Preprocessor) PreprocessKeepTable(path string) (*Unit, error) {
 
 	faultinject.At(faultinject.PointPreprocess, path, p.budget)
 	p.budget.Tick("preprocessor")
+	if p.stream {
+		p.cw = &chunkWriter{}
+	}
 	segs, err := p.processFile(path, p.space.True())
+	cw := p.cw
+	p.cw = nil
 	if err != nil {
 		return nil, err
+	}
+	var chunks []Chunk
+	ntokens := 0
+	if cw != nil {
+		// Streaming mode: the root frame routed everything into the chunk
+		// writer, so segs is empty (add is a no-op safety net).
+		cw.add(segs...)
+		chunks = cw.finish()
+		segs = nil
+		ntokens = cw.ntokens
+	} else {
+		ntokens = CountTokens(segs)
 	}
 	if d := p.budget.Trip(); d != nil {
 		// Degradation, not failure: the forest built so far is the unit's
 		// partial output, annotated with the structured trip diagnostic.
-		p.budget.Annotate("", fmt.Sprintf("%d tokens preprocessed before trip", CountTokens(segs)))
+		p.budget.Annotate("", fmt.Sprintf("%d tokens preprocessed before trip", ntokens))
 		p.diags = append(p.diags, Diagnostic{Tok: token.Token{File: path}, Msg: d.Error(), Warning: true})
 	}
-	p.stats.Tokens = CountTokens(segs)
+	p.stats.Tokens = ntokens
 	u := &Unit{
 		File:         path,
 		Segments:     segs,
+		Chunks:       chunks,
 		Stats:        *p.stats,
 		Diags:        p.diags,
 		Errors:       p.errRecs,
@@ -456,6 +495,10 @@ type outFrame struct {
 	cond    cond.Cond
 	out     []Segment
 	pending []Segment
+	// sink, when non-nil, receives this frame's expanded output instead of
+	// out. Only the unit's root frame in streaming mode has a sink; branch
+	// frames always materialize (hoisting needs the buffered segments).
+	sink *chunkWriter
 }
 
 func (f *outFrame) appendPending(segs ...Segment) {
@@ -467,7 +510,12 @@ func (p *Preprocessor) flush(f *outFrame) {
 	if len(f.pending) == 0 {
 		return
 	}
-	f.out = append(f.out, p.expandSegments(f.pending, f.cond, 0)...)
+	segs := p.expandSegments(f.pending, f.cond, 0)
+	if f.sink != nil {
+		f.sink.add(segs...)
+	} else {
+		f.out = append(f.out, segs...)
+	}
 	f.pending = nil
 }
 
@@ -556,6 +604,12 @@ func litConstArg(args []token.Token) bool {
 // processLines runs the directive machine over one file's lines.
 func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, file string) ([]Segment, error) {
 	unit := &outFrame{cond: fileCond}
+	if p.cw != nil && p.includeDepth == 0 {
+		// Streaming mode, unit root: expanded output goes straight to the
+		// chunk writer. Included files and conditional branches still
+		// materialize segment slices below this frame.
+		unit.sink = p.cw
+	}
 	var stack []*condFrame
 
 	curFrame := func() *outFrame {
@@ -651,7 +705,11 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 			flushAll()
 			segs := p.handleInclude(args, curCond(), file, line[0], name == "include_next")
 			cf := curFrame()
-			cf.out = append(cf.out, segs...)
+			if cf.sink != nil {
+				cf.sink.add(segs...)
+			} else {
+				cf.out = append(cf.out, segs...)
+			}
 		case "if", "ifdef", "ifndef":
 			p.condDepth++
 			if p.condDepth > p.stats.MaxCondDepth {
@@ -798,7 +856,11 @@ func (p *Preprocessor) processLines(lines [][]token.Token, fileCond cond.Cond, f
 			if top.inert || len(top.branches) == 0 {
 				continue
 			}
-			unit.out = append(unit.out, CondSeg(&Conditional{Branches: top.branches}))
+			if unit.sink != nil {
+				unit.sink.add(CondSeg(&Conditional{Branches: top.branches}))
+			} else {
+				unit.out = append(unit.out, CondSeg(&Conditional{Branches: top.branches}))
+			}
 		}
 	} else {
 		for range stack {

@@ -1,0 +1,194 @@
+package preprocessor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+)
+
+// These tests pin the invariants of the streaming chunk layer: what the
+// chunk writer is allowed to emit, that chunk form and classic segment form
+// are lossless conversions of each other, and that a streaming preprocessor
+// run is observationally identical to a classic run of the same source.
+
+// ppStream preprocesses main.c in streaming mode.
+func ppStream(t *testing.T, files map[string]string) (*Unit, *cond.Space) {
+	t.Helper()
+	s := cond.NewSpace(cond.ModeBDD)
+	p := New(Options{Space: s, FS: MapFS(files), IncludePaths: []string{"include"}, Stream: true})
+	u, err := p.Preprocess("main.c")
+	if err != nil {
+		t.Fatalf("Preprocess(stream): %v", err)
+	}
+	return u, s
+}
+
+// checkChunkInvariants asserts the structural rules every chunk list must
+// obey: exactly one of Run/Cond per chunk, no empty runs, runs capped at
+// maxRunChunk, and adjacent runs only where the first was a full (capped)
+// chunk — otherwise the writer should have packed them together.
+func checkChunkInvariants(t *testing.T, chunks []Chunk) {
+	t.Helper()
+	for i, c := range chunks {
+		isRun, isCond := c.Run != nil, c.Cond != nil
+		if isRun == isCond {
+			t.Fatalf("chunk %d: exactly one of Run/Cond must be set (run=%v cond=%v)", i, isRun, isCond)
+		}
+		if isRun && len(c.Run) == 0 {
+			t.Fatalf("chunk %d: empty run", i)
+		}
+		if len(c.Run) > maxRunChunk {
+			t.Fatalf("chunk %d: run of %d tokens exceeds cap %d", i, len(c.Run), maxRunChunk)
+		}
+		if i > 0 && isRun && chunks[i-1].Run != nil && len(chunks[i-1].Run) < maxRunChunk {
+			t.Fatalf("chunk %d: adjacent runs with a non-full predecessor (%d tokens)", i, len(chunks[i-1].Run))
+		}
+	}
+}
+
+// streamSources is the shared source set: hand-written shapes covering the
+// chunk writer's edge cases plus random preprocessor-heavy programs.
+func streamSources() map[string]string {
+	pad := strings.Repeat("int pad(int a) { return a; }\n", 60) // > maxRunChunk tokens
+	srcs := map[string]string{
+		"empty":            "",
+		"run-only":         pad,
+		"cond-only":        "#ifdef A\nint a;\n#else\nlong a;\n#endif\n",
+		"run-cond-run":     pad + "#ifdef A\nint m;\n#endif\n" + pad,
+		"adjacent-conds":   "#ifdef A\nint a;\n#endif\n#ifdef B\nint b;\n#endif\n",
+		"macro-expansion":  "#define TWICE(x) ((x) + (x))\nint v = TWICE(21);\n" + pad,
+		"hoisted-cond":     "#define V 1\n#ifdef A\n#define W 2\n#endif\nint x = V\n#ifdef A\n+ W\n#endif\n;\n",
+		"include":          "#include \"inc.h\"\nint after;\n",
+		"cond-at-very-end": pad + "#ifdef A\nint z;\n#endif\n",
+	}
+	r := rand.New(rand.NewSource(20260807))
+	for i := 0; i < 12; i++ {
+		srcs["random-"+string(rune('a'+i))] = randomProgram(r, 3)
+	}
+	return srcs
+}
+
+func streamFiles(src string) map[string]string {
+	return map[string]string{
+		"main.c":        src,
+		"include/inc.h": "int from_header;\n",
+	}
+}
+
+// TestStreamChunkInvariants checks the writer's structural rules and that
+// the chunk token count agrees with the classic segment count.
+func TestStreamChunkInvariants(t *testing.T) {
+	for name, src := range streamSources() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			files := streamFiles(src)
+			u, _ := ppStream(t, files)
+			if u.Chunks == nil {
+				t.Fatal("streaming run produced nil Chunks")
+			}
+			if u.Segments != nil {
+				t.Fatal("streaming run materialized Segments eagerly")
+			}
+			checkChunkInvariants(t, u.Chunks)
+			classic, _, _ := pp(t, files)
+			if got, want := CountChunkTokens(u.Chunks), CountTokens(classic.Segments); got != want {
+				t.Fatalf("chunk token count %d != classic segment count %d", got, want)
+			}
+		})
+	}
+}
+
+// TestStreamEquivalentToClassic renders both pipelines' output —
+// conditions, branch structure, token text — and requires byte equality.
+func TestStreamEquivalentToClassic(t *testing.T) {
+	for name, src := range streamSources() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			files := streamFiles(src)
+			su, ss := ppStream(t, files)
+			cu, cs, _ := pp(t, files)
+			got := FlattenText(ss, su.EnsureSegments())
+			want := FlattenText(cs, cu.Segments)
+			if got != want {
+				t.Fatalf("streamed output diverges from classic:\nclassic: %s\nstream:  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestChunkSegmentRoundTrip converts a classic unit to chunks and back:
+// the round trip must preserve every token value and every conditional
+// pointer, and ChunksOf must obey the writer invariants.
+func TestChunkSegmentRoundTrip(t *testing.T) {
+	for name, src := range streamSources() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			u, _, _ := pp(t, streamFiles(src))
+			chunks := ChunksOf(u.Segments)
+			checkChunkInvariants(t, chunks)
+			back := SegmentsOf(chunks)
+			if len(back) != len(u.Segments) {
+				t.Fatalf("round trip changed segment count: %d != %d", len(back), len(u.Segments))
+			}
+			for i := range back {
+				a, b := u.Segments[i], back[i]
+				if a.IsToken() != b.IsToken() {
+					t.Fatalf("segment %d: kind changed in round trip", i)
+				}
+				if a.IsToken() {
+					if *a.Tok != *b.Tok {
+						t.Fatalf("segment %d: token changed: %+v != %+v", i, *a.Tok, *b.Tok)
+					}
+					continue
+				}
+				if a.Cond != b.Cond {
+					t.Fatalf("segment %d: conditional pointer changed in round trip", i)
+				}
+			}
+		})
+	}
+}
+
+// TestChunkSourceReplay checks that Unit.Source replays the chunk list
+// exactly, in both streaming and classic modes, and that EnsureSegments
+// caches its materialization.
+func TestChunkSourceReplay(t *testing.T) {
+	files := streamFiles(streamSources()["run-cond-run"])
+	su, _ := ppStream(t, files)
+	drained := Drain(su.Source())
+	if len(drained) != len(su.Chunks) {
+		t.Fatalf("Source drained %d chunks, unit has %d", len(drained), len(su.Chunks))
+	}
+	for i := range drained {
+		if drained[i].Cond != su.Chunks[i].Cond || len(drained[i].Run) != len(su.Chunks[i].Run) {
+			t.Fatalf("chunk %d differs after replay", i)
+		}
+	}
+	segs := su.EnsureSegments()
+	if len(segs) == 0 {
+		t.Fatal("EnsureSegments returned nothing")
+	}
+	if again := su.EnsureSegments(); &again[0] != &segs[0] {
+		t.Fatal("EnsureSegments did not cache its materialization")
+	}
+
+	// Classic units stream through Source too (packed on the fly).
+	cu, _, _ := pp(t, files)
+	if got, want := CountChunkTokens(Drain(cu.Source())), CountTokens(cu.Segments); got != want {
+		t.Fatalf("classic Source token count %d != %d", got, want)
+	}
+}
+
+// TestEmptyUnitChunks pins the "streamed but empty" representation: a
+// non-nil, zero-length chunk list, distinguishable from a classic run.
+func TestEmptyUnitChunks(t *testing.T) {
+	u, _ := ppStream(t, map[string]string{"main.c": ""})
+	if u.Chunks == nil || len(u.Chunks) != 0 {
+		t.Fatalf("empty unit: want non-nil empty Chunks, got %#v", u.Chunks)
+	}
+	if got := u.EnsureSegments(); len(got) != 0 {
+		t.Fatalf("empty unit materialized %d segments", len(got))
+	}
+}

@@ -122,7 +122,7 @@ int a;
 int b;
 #endif
 `)
-	out := Forest(tool.Space(), res.Unit.Segments, Options{})
+	out := Forest(tool.Space(), res.Unit.EnsureSegments(), Options{})
 	for _, want := range []string{"int before;", "#if", "(defined A)", "#endif", "int a;", "int b;"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("forest output missing %q:\n%s", want, out)
@@ -141,7 +141,7 @@ int a;
 int always;
 `
 	res, tool := parseUnit(t, src)
-	out := Forest(tool.Space(), res.Unit.Segments, Options{})
+	out := Forest(tool.Space(), res.Unit.EnsureSegments(), Options{})
 	// Re-preprocess the printed text; "(defined A)" renders inside the
 	// #if expression as defined-application on A.
 	// Our renderer emits conditions like "(defined A)"; rewrite to
@@ -226,7 +226,7 @@ func TestForestRoundTripOnCorpusUnit(t *testing.T) {
 		t.Fatalf("%s: %v", cf, err)
 	}
 	s := tool.Space()
-	out := Forest(s, res.Unit.Segments, Options{})
+	out := Forest(s, res.Unit.EnsureSegments(), Options{})
 	// Rewrite rendered conditions into cpp syntax: "(defined X)" ->
 	// "defined(X)"; opaque arithmetic atoms and free macros render as bare
 	// names that cpp evaluates as macros, so restrict the check to units
