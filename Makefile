@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench chaos guard-overhead lint analyze-smoke daemon-smoke docs-lint
+.PHONY: ci build test race vet fmt bench chaos chaos-daemon guard-overhead lint analyze-smoke daemon-smoke docs-lint
 
-ci: lint build race analyze-smoke daemon-smoke
+ci: lint build race analyze-smoke daemon-smoke chaos-daemon
 
 lint: fmt vet docs-lint
 
@@ -36,6 +36,13 @@ bench:
 # Replay a failure with CHAOS_SEED=<seed from the log>.
 chaos:
 	$(GO) test -race -v -run 'Chaos|Deadline|CancelAbandons|BudgetLimitsFlow' ./internal/harness/
+
+# Service-layer fault injection under the race detector (CI's chaos-daemon):
+# HTTP faults against the thin client's retry/breaker stack, store crash
+# consistency, overload shedding, graceful drain — over a fixed seed matrix.
+# Replay one schedule with CHAOS_SEED=<seed>.
+chaos-daemon:
+	@sh scripts/chaos_daemon.sh
 
 # Assert the resource governor costs < 3% on the parse stage.
 guard-overhead:

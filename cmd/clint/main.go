@@ -69,6 +69,7 @@ func main() {
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); falls back in-process if unreachable")
+	daemonOpts := daemon.FlagClientOptions(flag.CommandLine)
 	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
@@ -157,7 +158,7 @@ func main() {
 
 	served := false
 	if *daemonAddr != "" {
-		err := lintViaDaemon(*daemonAddr, daemon.LintRequest{
+		err := lintViaDaemon(*daemonAddr, *daemonOpts, daemon.LintRequest{
 			Files:        files,
 			IncludePaths: includes,
 			Defines:      defs,
@@ -275,8 +276,8 @@ func splitPasses(s string) []string {
 // lintViaDaemon serves the batch from a superd daemon. The daemon returns
 // structured diagnostics and the same error text lintFile would produce, so
 // the reassembled results render byte-identically to an in-process run.
-func lintViaDaemon(addr string, req daemon.LintRequest, results []*analysis.Result, errOuts []bytes.Buffer) error {
-	client, err := daemon.Dial(addr)
+func lintViaDaemon(addr string, opts daemon.ClientOptions, req daemon.LintRequest, results []*analysis.Result, errOuts []bytes.Buffer) error {
+	client, err := daemon.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}

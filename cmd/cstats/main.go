@@ -48,6 +48,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
 	daemonAddr := flag.String("daemon", "", "serve the Table 3 sweep from a superd daemon at this address; falls back in-process")
+	daemonOpts := daemon.FlagClientOptions(flag.CommandLine)
 	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
@@ -108,7 +109,7 @@ func main() {
 	}
 	if *table == "all" || *table == "3" {
 		if *daemonAddr != "" {
-			if err := table3ViaDaemon(*daemonAddr, *seed, *cfiles, *headers, *analyze, *jobs, *parseWorkers, *limits, *metrics); err == nil {
+			if err := table3ViaDaemon(*daemonAddr, *daemonOpts, *seed, *cfiles, *headers, *analyze, *jobs, *parseWorkers, *limits, *metrics); err == nil {
 				return
 			} else {
 				fmt.Fprintf(os.Stderr, "cstats: %v; running in-process\n", err)
@@ -146,8 +147,8 @@ func main() {
 // table3ViaDaemon runs the Table 3 sweep on a superd daemon and renders it
 // from the returned deterministic per-unit statistics — the same fields the
 // in-process path feeds harness.Table3, so the table is byte-identical.
-func table3ViaDaemon(addr string, seed int64, cfiles, headers int, analyze bool, jobs, parseWorkers int, limits guard.Limits, metrics bool) error {
-	client, err := daemon.Dial(addr)
+func table3ViaDaemon(addr string, opts daemon.ClientOptions, seed int64, cfiles, headers int, analyze bool, jobs, parseWorkers int, limits guard.Limits, metrics bool) error {
+	client, err := daemon.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -204,6 +205,9 @@ func table3ViaDaemon(addr string, seed int64, cfiles, headers int, analyze bool,
 	if metrics {
 		fmt.Printf("daemon corpus metrics: %d units, %d served from facts, %d computed\n",
 			len(resp.Units), resp.FactsHits, resp.FactsMisses)
+		cm := client.Metrics()
+		fmt.Printf("daemon client: %d attempts, %d retries, %d sheds, %d breaker opens, %d fast fails, breaker %s\n",
+			cm.Attempts, cm.Retries, cm.Sheds, cm.BreakerOpens, cm.FastFails, cm.BreakerState)
 	}
 	return nil
 }

@@ -98,6 +98,7 @@ func main() {
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
 	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	daemonAddr := flag.String("daemon", "", "serve the batch from a superd daemon at this address (unix:PATH or HOST:PORT); summary mode only, falls back in-process")
+	daemonOpts := daemon.FlagClientOptions(flag.CommandLine)
 	storeDir := flag.String("store", "", "artifact store directory backing the header cache across runs")
 	limits := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
@@ -169,7 +170,7 @@ func main() {
 	if *daemonAddr != "" {
 		if *printAST || *project != "" || *check || *printSrc || *rename != "" {
 			fmt.Fprintln(os.Stderr, "superc: -daemon serves summaries only; -ast/-project/-check/-print/-rename run in-process")
-		} else if exit, err := parseViaDaemon(*daemonAddr, daemon.ParseRequest{
+		} else if exit, err := parseViaDaemon(*daemonAddr, *daemonOpts, daemon.ParseRequest{
 			Files:        files,
 			IncludePaths: includes,
 			Defines:      defs,
@@ -265,8 +266,8 @@ func main() {
 // deterministic statistics and pre-rendered space-tied diagnostics. The
 // "tables:" line reflects the daemon's parse-table cache (the client loads
 // no tables in daemon mode).
-func parseViaDaemon(addr string, req daemon.ParseRequest, showStats bool) (int, error) {
-	client, err := daemon.Dial(addr)
+func parseViaDaemon(addr string, opts daemon.ClientOptions, req daemon.ParseRequest, showStats bool) (int, error) {
+	client, err := daemon.DialOptions(addr, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -43,16 +43,26 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "per-request worker-pool clamp (0: GOMAXPROCS)")
 	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent batch-request admission bound; excess queues then sheds with 429 (0: 2x max-jobs)")
+	queueDepth := flag.Int("queue-depth", 0, "admission waiting-room size (0: 16, negative: shed immediately at saturation)")
+	queueWait := flag.Duration("queue-wait", 0, "longest a queued request waits for an execution slot before shedding (0: 1s)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-connection request read timeout (0: 60s)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-connection response write timeout; must cover the slowest batch (0: 10m)")
 	caps := guard.FlagLimits(flag.CommandLine)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "superd: ", log.LstdFlags)
 
 	cfg := daemon.Config{
-		Root:     *root,
-		MaxJobs:  *maxJobs,
-		Caps:     *caps,
-		NoStream: !*streamTokens,
+		Root:         *root,
+		MaxJobs:      *maxJobs,
+		Caps:         *caps,
+		NoStream:     !*streamTokens,
+		MaxInFlight:  *maxInFlight,
+		QueueDepth:   *queueDepth,
+		QueueWait:    *queueWait,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})

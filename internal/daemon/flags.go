@@ -1,0 +1,17 @@
+package daemon
+
+import "flag"
+
+// FlagClientOptions registers the thin-client resilience flags on fs and
+// returns the options they fill, for the -daemon CLIs (superc, clint,
+// cstats). Zero values keep the client defaults.
+func FlagClientOptions(fs *flag.FlagSet) *ClientOptions {
+	o := &ClientOptions{}
+	fs.DurationVar(&o.RequestTimeout, "daemon-timeout", 0,
+		"overall per-operation deadline for -daemon requests, retries included (0: 2m, negative: none)")
+	fs.IntVar(&o.Retries, "daemon-retries", 0,
+		"retries per failed -daemon request; safe, requests are pure (0: 3, negative: none)")
+	fs.IntVar(&o.BreakerThreshold, "daemon-breaker", 0,
+		"consecutive -daemon failures that open the client circuit breaker (0: 5, negative: disabled)")
+	return o
+}

@@ -36,6 +36,12 @@ import (
 // any wire-visible change.
 const Version = "superd/v1"
 
+// DeadlineHeader carries the client's remaining per-request deadline in
+// milliseconds. The server folds it into the request context, so the guard
+// budgets of every unit in the batch observe the client's deadline and the
+// admission queue never holds work the client has already abandoned.
+const DeadlineHeader = "X-Superd-Deadline-Ms"
+
 // Limits is the wire form of guard.Limits.
 type Limits struct {
 	WallMS     int64 `json:"wallMs,omitempty"`
@@ -271,8 +277,13 @@ type StatsResponse struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. OK is liveness (the process serves
+// HTTP); Ready is readiness (new work would be admitted rather than shed) —
+// it flips false during drain and overload. GET /healthz?probe=readiness
+// additionally reports not-ready as 503, for load balancers that read only
+// the status code.
 type HealthResponse struct {
 	OK      bool   `json:"ok"`
+	Ready   bool   `json:"ready"`
 	Version string `json:"version"`
 }

@@ -1,0 +1,214 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) when the client's circuit breaker is
+// open: the daemon has failed enough consecutive requests that further
+// attempts are pointless until the cooldown expires. Callers treat it like
+// any transport error — fall back to the in-process path — but it returns
+// without touching the network.
+var ErrBreakerOpen = errors.New("daemon: circuit breaker open")
+
+// httpStatusError carries a non-200 response through the retry classifier:
+// the status decides retryability and Retry-After bounds the backoff below.
+type httpStatusError struct {
+	status     int
+	retryAfter time.Duration // 0: no header
+	msg        string
+}
+
+func (e *httpStatusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("daemon: %s", e.msg)
+	}
+	return fmt.Sprintf("daemon: HTTP %d", e.status)
+}
+
+// retryable reports whether the failure is worth retrying. Requests are pure
+// (the daemon computes deterministic results and its caches are idempotent),
+// so every transport-level failure — connection reset, truncated body,
+// timeout — is safe to retry. Among HTTP statuses, overload signals (429,
+// 503) and transient 5xx retry; other 4xx are the client's own fault and
+// repeat identically.
+func retryable(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status == http.StatusTooManyRequests || se.status >= 500
+	}
+	return true
+}
+
+// shedStatus reports whether the failure is the server shedding load (it
+// asked us to back off rather than failing to answer).
+func shedStatus(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status == http.StatusTooManyRequests || se.status == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// parseRetryAfter reads a Retry-After header (delay-seconds form only; the
+// HTTP-date form is overkill for a local daemon).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff computes the attempt'th retry delay: exponential from base, capped
+// at max, with deterministic jitter in [50%,100%] derived from (seed, key,
+// attempt) — the same FNV+finalizer construction as the fault injector, so a
+// chaos run's timing is a pure function of its seeds. The murmur3 fmix64
+// finalizer matters: FNV-1a alone barely moves the high bits between
+// consecutive attempts, which would collapse the jitter spread.
+func backoff(base, max time.Duration, seed int64, key string, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%d", seed, key, attempt)
+	sum := h.Sum64()
+	sum ^= sum >> 33
+	sum *= 0xff51afd7ed558ccd
+	sum ^= sum >> 33
+	sum *= 0xc4ceb9fe1a85ec53
+	sum ^= sum >> 33
+	frac := float64(sum>>11) / float64(1<<53) // [0,1)
+	return time.Duration(float64(d) * (0.5 + 0.5*frac))
+}
+
+// breakerState is the circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal: requests flow
+	breakerOpen                         // failing: requests fast-fail
+	breakerHalfOpen                     // cooling down: one probe in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breakerState(%d)", int(s))
+}
+
+// breaker is a consecutive-failure circuit breaker. threshold failures in a
+// row open it; after cooldown a single probe is admitted (half-open); the
+// probe's outcome closes it again or re-opens for another cooldown. A nil
+// breaker is always closed (disabled).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	opens    int64     // cumulative closed/half-open → open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. When the cooldown has expired
+// it admits exactly one probe, moving to half-open; concurrent requests keep
+// fast-failing until the probe resolves.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true // this caller is the probe
+		}
+		return false
+	case breakerHalfOpen:
+		return false // a probe is already in flight
+	}
+	return true
+}
+
+// success records a request that completed; it closes the breaker from any
+// state and clears the failure streak.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records a failed request; reaching the threshold — or failing the
+// half-open probe — opens the breaker for another cooldown.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to open (caller holds the lock).
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.opens++
+}
+
+// snapshot returns the state name and cumulative open count.
+func (b *breaker) snapshot() (string, int64) {
+	if b == nil {
+		return "disabled", 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.opens
+}

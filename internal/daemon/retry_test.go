@@ -1,0 +1,279 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// rtFunc adapts a function to http.RoundTripper.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func jsonResponse(status int, body string, hdr map[string]string) *http.Response {
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		h.Set(k, v)
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+}
+
+// stubClient builds a client whose transport is rt and whose retry sleeps
+// are recorded instead of slept.
+func stubClient(rt http.RoundTripper, opts ClientOptions) (*Client, *[]time.Duration) {
+	opts.Warn = io.Discard
+	opts.WrapTransport = func(http.RoundTripper) http.RoundTripper { return rt }
+	c := newClient("127.0.0.1:1", opts)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	for attempt := 0; attempt < 8; attempt++ {
+		d1 := backoff(base, max, 7, "/v1/lint", attempt)
+		d2 := backoff(base, max, 7, "/v1/lint", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		ceil := base << uint(attempt)
+		if ceil <= 0 || ceil > max {
+			ceil = max
+		}
+		if d1 < ceil/2 || d1 > ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d1, ceil/2, ceil)
+		}
+	}
+	if backoff(base, max, 7, "k", 2) == backoff(base, max, 8, "k", 2) {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ECONNRESET, true},
+		{io.ErrUnexpectedEOF, true},
+		{&httpStatusError{status: 429}, true},
+		{&httpStatusError{status: 503}, true},
+		{&httpStatusError{status: 500}, true},
+		{&httpStatusError{status: 400}, false},
+		{&httpStatusError{status: 404}, false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%v) = %v; want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	var calls atomic.Int64
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		if calls.Add(1) <= 2 {
+			return nil, fmt.Errorf("dial: %w", syscall.ECONNRESET)
+		}
+		return jsonResponse(200, `{"version":"`+Version+`","counters":{}}`, nil), nil
+	})
+	c, slept := stubClient(rt, ClientOptions{})
+	resp, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats after 2 transient failures: %v", err)
+	}
+	if resp.Version != Version {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("transport called %d times; want 3", calls.Load())
+	}
+	m := c.Metrics()
+	if m.Attempts != 3 || m.Retries != 2 {
+		t.Fatalf("metrics = %+v; want 3 attempts, 2 retries", m)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("%d backoff sleeps; want 2", len(*slept))
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		if calls.Add(1) <= 2 {
+			return jsonResponse(429, `{"error":"server overloaded"}`, map[string]string{"Retry-After": "2"}), nil
+		}
+		return jsonResponse(200, `{"version":"`+Version+`","counters":{}}`, nil), nil
+	})
+	c, slept := stubClient(rt, ClientOptions{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("Stats after sheds: %v", err)
+	}
+	for i, d := range *slept {
+		if d < 2*time.Second {
+			t.Errorf("sleep %d = %v; Retry-After demanded >= 2s", i, d)
+		}
+	}
+	if m := c.Metrics(); m.Sheds != 2 {
+		t.Fatalf("sheds = %d; want 2", m.Sheds)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		return jsonResponse(400, `{"error":"unknown mode"}`, nil), nil
+	})
+	c, _ := stubClient(rt, ClientOptions{})
+	_, err := c.Stats()
+	if err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d calls", calls.Load())
+	}
+}
+
+func TestClientSendsDeadlineHeader(t *testing.T) {
+	var header atomic.Value
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		header.Store(r.Header.Get(DeadlineHeader))
+		return jsonResponse(200, `{"version":"`+Version+`","counters":{}}`, nil), nil
+	})
+	c, _ := stubClient(rt, ClientOptions{RequestTimeout: 10 * time.Second})
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	hv, _ := header.Load().(string)
+	if hv == "" {
+		t.Fatal("request carried no deadline header")
+	}
+}
+
+func TestHealthSingleAttempt(t *testing.T) {
+	var calls atomic.Int64
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("dial: %w", syscall.ECONNREFUSED)
+	})
+	c, _ := stubClient(rt, ClientOptions{})
+	if _, err := c.Health(); err == nil {
+		t.Fatal("Health succeeded against a dead transport")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("liveness probe made %d attempts; want exactly 1", calls.Load())
+	}
+}
+
+// TestBreakerLifecycle drives the full closed → open → half-open → closed
+// transition and checks fast-fails never touch the transport.
+func TestBreakerLifecycle(t *testing.T) {
+	var calls atomic.Int64
+	var failing atomic.Bool
+	failing.Store(true)
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		if failing.Load() {
+			return nil, fmt.Errorf("dial: %w", syscall.ECONNRESET)
+		}
+		return jsonResponse(200, `{"version":"`+Version+`","counters":{}}`, nil), nil
+	})
+	c, _ := stubClient(rt, ClientOptions{
+		Retries:          -1, // isolate the breaker from the retry loop
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+	})
+	now := time.Unix(1000, 0)
+	c.brk.now = func() time.Time { return now }
+
+	// Two consecutive failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Stats(); err == nil {
+			t.Fatal("Stats succeeded against a failing transport")
+		}
+	}
+	if state, opens := c.brk.snapshot(); state != "open" || opens != 1 {
+		t.Fatalf("breaker = %s/%d opens; want open/1", state, opens)
+	}
+
+	// While open: fast-fail with ErrBreakerOpen, no network traffic.
+	before := calls.Load()
+	_, err := c.Stats()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v; want ErrBreakerOpen", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker let a request reach the transport")
+	}
+	if m := c.Metrics(); m.FastFails != 1 || m.BreakerState != "open" {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// Cooldown expires; a failing probe re-opens.
+	now = now.Add(11 * time.Second)
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("failing probe succeeded")
+	}
+	if state, opens := c.brk.snapshot(); state != "open" || opens != 2 {
+		t.Fatalf("after failed probe: %s/%d; want open/2", state, opens)
+	}
+
+	// Next cooldown: the daemon has recovered, the probe closes the breaker.
+	now = now.Add(11 * time.Second)
+	failing.Store(false)
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("recovered probe failed: %v", err)
+	}
+	if state, _ := c.brk.snapshot(); state != "closed" {
+		t.Fatalf("after recovered probe: %s; want closed", state)
+	}
+	// And traffic flows normally again.
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("post-recovery request failed: %v", err)
+	}
+	if m := c.Metrics(); m.BreakerOpens != 2 {
+		t.Fatalf("cumulative opens = %d; want 2", m.BreakerOpens)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe pins the half-open contract: exactly one
+// probe is admitted; concurrent calls keep fast-failing until it resolves.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(1, time.Second)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	b.failure() // threshold 1: open immediately
+	if b.allow() {
+		t.Fatal("open breaker allowed a request inside cooldown")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown expired but no probe admitted")
+	}
+	if b.allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.success()
+	if !b.allow() {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+}

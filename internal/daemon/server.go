@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +48,21 @@ type Config struct {
 	// the two modes are proven byte-identical, so clients cannot observe the
 	// difference and the facts fingerprint deliberately excludes it.
 	NoStream bool
+	// MaxInFlight bounds concurrently executing batch requests; beyond it
+	// requests queue briefly, then are shed with 429 + Retry-After. 0 means
+	// 2×MaxJobs (two batches can interleave on the worker pool).
+	MaxInFlight int
+	// QueueDepth is the size of the admission waiting room; 0 means a small
+	// default, negative disables queueing (immediate shed at saturation).
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for an execution slot
+	// before being shed; 0 means 1s.
+	QueueWait time.Duration
+	// ReadTimeout/WriteTimeout bound each connection's request read and
+	// response write (http.Server); zero values get generous defaults sized
+	// for batch bodies rather than being unlimited.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
 }
 
 // Server is the superd request handler: one warm header cache and an
@@ -56,7 +72,12 @@ type Server struct {
 	hc    *hcache.Cache
 	mux   *http.ServeMux
 	http  *http.Server
+	adm   *admission
 	start time.Time
+
+	// afterAdmit, when set, runs after a request is admitted and before its
+	// handler (drain tests hold requests in flight with it).
+	afterAdmit func()
 
 	reqLint, reqParse, reqCorpus stats.Counter
 	units                        stats.Counter
@@ -75,6 +96,24 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * cfg.MaxJobs
+	}
+	queueDepth := cfg.QueueDepth
+	switch {
+	case queueDepth == 0:
+		queueDepth = 16
+	case queueDepth < 0:
+		queueDepth = 0
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 60 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		// Batch responses are written only after the whole batch computes;
+		// the write timeout must cover the slowest admissible batch.
+		cfg.WriteTimeout = 10 * time.Minute
+	}
 	var backing hcache.Backing
 	if cfg.Store != nil {
 		backing = store.NewHeaderBacking(cfg.Store, preprocessor.PayloadCodec())
@@ -83,16 +122,57 @@ func NewServer(cfg Config) *Server {
 		cfg:   cfg,
 		hc:    hcache.New(hcache.Options{Backing: backing}),
 		mux:   http.NewServeMux(),
+		adm:   newAdmission(cfg.MaxInFlight, queueDepth, cfg.QueueWait),
 		start: time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
-	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
-	s.mux.HandleFunc("POST /v1/corpus", s.handleCorpus)
+	s.mux.HandleFunc("POST /v1/lint", s.admit(s.handleLint))
+	s.mux.HandleFunc("POST /v1/parse", s.admit(s.handleParse))
+	s.mux.HandleFunc("POST /v1/corpus", s.admit(s.handleCorpus))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.http = &http.Server{Handler: s.mux}
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	return s
+}
+
+// admit gates a batch handler behind the admission valve. The client's
+// remaining deadline (DeadlineHeader, milliseconds) becomes the request
+// context's deadline, bounding both queue wait and the guard budgets inside
+// the handler. Shed requests get 429 (503 while draining) with Retry-After,
+// so well-behaved clients back off instead of hammering.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ms := r.Header.Get(DeadlineHeader); ms != "" {
+			if n, err := strconv.ParseInt(ms, 10, 64); err == nil && n > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(n)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		release, ok := s.adm.acquire(r.Context())
+		if !ok {
+			status := http.StatusTooManyRequests
+			msg := "server overloaded"
+			if s.adm.draining.Load() {
+				status = http.StatusServiceUnavailable
+				msg = "server draining"
+			}
+			w.Header().Set("Retry-After", "1")
+			httpError(w, status, "%s; retry after backoff", msg)
+			return
+		}
+		defer release()
+		if s.afterAdmit != nil {
+			s.afterAdmit()
+		}
+		h(w, r)
+	}
 }
 
 // Handler exposes the route table (for tests via httptest).
@@ -101,9 +181,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Serve accepts connections on l until Shutdown.
 func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 
-// Shutdown drains in-flight requests (http.Server.Shutdown): the listener
-// closes immediately, running batches finish, then Serve returns.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// Drain flips the server to not-ready: new batch requests are shed with 503
+// and the /healthz readiness probe fails, while in-flight batches keep
+// running. Shutdown calls it implicitly; calling it earlier lets a load
+// balancer move traffic before the listener closes.
+func (s *Server) Drain() { s.adm.drain() }
+
+// Shutdown drains in-flight requests (http.Server.Shutdown): readiness goes
+// false, the listener closes immediately, running batches finish, then Serve
+// returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	return s.http.Shutdown(ctx)
+}
 
 // Listen opens the listener for a -listen style address: "unix:PATH" or a
 // path containing a slash listens on a unix socket (removing a stale socket
@@ -594,6 +684,13 @@ func (s *Server) counters() map[string]int64 {
 		"harness_forks":        s.forks.Load(),
 		"harness_merges":       s.merges.Load(),
 	}
+	m["admission_admitted"] = s.adm.admitted.Load()
+	m["admission_queued_total"] = s.adm.queuedTotal.Load()
+	m["admission_shed"] = s.adm.shed.Load()
+	m["admission_in_flight"] = s.adm.inFlight.Load()
+	m["admission_queued"] = s.adm.queued.Load()
+	m["draining"] = b2i(s.adm.draining.Load())
+	m["ready"] = b2i(s.adm.ready())
 	hc := s.hc.Stats()
 	m["hcache_header_hits"] = hc.HeaderHits
 	m["hcache_header_misses"] = hc.HeaderMisses
@@ -610,8 +707,20 @@ func (s *Server) counters() map[string]int64 {
 		m["store_corrupt"] = st.Corrupt
 		m["store_entries"] = st.Entries
 		m["store_bytes"] = st.Bytes
+		m["store_scrubbed"] = st.Scrubbed
+		m["store_tmp_swept"] = st.TmpSwept
+		m["store_write_errors"] = st.WriteErrors
+		m["store_read_errors"] = st.ReadErrors
+		m["store_degraded"] = st.Degraded
 	}
 	return m
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -636,6 +745,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz serves both probes. Liveness (the default) is always 200
+// while the process serves HTTP — existing clients Dial against it.
+// Readiness (?probe=readiness) turns 503 during drain or full saturation so
+// load balancers stop routing new work; the body carries both bits either
+// way.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, &HealthResponse{OK: true, Version: Version})
+	ready := s.adm.ready()
+	if r.URL.Query().Get("probe") == "readiness" && !ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(&HealthResponse{OK: true, Ready: false, Version: Version})
+		return
+	}
+	writeJSON(w, &HealthResponse{OK: true, Ready: ready, Version: Version})
 }

@@ -1,0 +1,241 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// HTTPKind is a fault injected at the HTTP boundary between a thin client
+// and the daemon. Each reproduces a distinct production failure the client's
+// retry/backoff/breaker layer must absorb.
+type HTTPKind int
+
+const (
+	// HTTPConnReset fails the round trip with ECONNRESET before any
+	// response bytes, as a dying daemon or dropped connection would.
+	HTTPConnReset HTTPKind = iota
+	// HTTPTruncate performs the real request but cuts the response body in
+	// half while keeping Content-Length, so the client sees an unexpected
+	// EOF mid-decode.
+	HTTPTruncate
+	// HTTPStall delays the round trip (respecting the request context), so
+	// a per-attempt timeout trips.
+	HTTPStall
+	// HTTP5xx synthesizes a 503 with a Retry-After header without touching
+	// the server, as an overloaded or restarting daemon would.
+	HTTP5xx
+
+	numHTTPKinds
+)
+
+func (k HTTPKind) String() string {
+	switch k {
+	case HTTPConnReset:
+		return "conn-reset"
+	case HTTPTruncate:
+		return "truncate"
+	case HTTPStall:
+		return "stall"
+	case HTTP5xx:
+		return "5xx"
+	}
+	return fmt.Sprintf("httpkind(%d)", int(k))
+}
+
+// AllHTTPKinds lists every HTTP-boundary fault, for seed-matrix suites.
+var AllHTTPKinds = []HTTPKind{HTTPConnReset, HTTPTruncate, HTTPStall, HTTP5xx}
+
+// HTTPConfig arms a Transport. Whether attempt n of a request fires — and
+// which fault — is a pure function of (Seed, method+path, n): no RNG state,
+// so a fault schedule is replayable from its seed alone.
+type HTTPConfig struct {
+	Seed int64
+	// Rate is the per-attempt fire probability in [0,1].
+	Rate float64
+	// Kinds restricts the injected faults (nil: all).
+	Kinds []HTTPKind
+	// Burst bounds consecutive faults per request key: after Burst faulted
+	// attempts the key passes through until it succeeds once (then the
+	// budget re-arms). 0 means no bound — a persistent fault that outlasts
+	// any retry budget.
+	Burst int
+	// Stall is the HTTPStall delay (default 50ms).
+	Stall time.Duration
+	// RetryAfter is the value of the synthesized 503's Retry-After header
+	// in seconds; negative omits the header.
+	RetryAfter int
+}
+
+// Transport is a deterministic fault-injecting http.RoundTripper. It wraps a
+// base transport and decides per (key, attempt) whether to disturb the round
+// trip; attempts are counted per method+path so sequential retries walk a
+// reproducible schedule.
+type Transport struct {
+	base  http.RoundTripper
+	cfg   HTTPConfig
+	kinds []HTTPKind
+
+	mu       sync.Mutex
+	attempts map[string]int // per-key attempt index
+	faulted  map[string]int // consecutive faults charged against Burst
+
+	injected [numHTTPKinds]atomic.Int64
+	passed   atomic.Int64
+}
+
+// NewTransport wraps base (nil: http.DefaultTransport) with the fault plan.
+func NewTransport(base http.RoundTripper, cfg HTTPConfig) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = AllHTTPKinds
+	}
+	if cfg.Stall <= 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	return &Transport{
+		base:     base,
+		cfg:      cfg,
+		kinds:    kinds,
+		attempts: make(map[string]int),
+		faulted:  make(map[string]int),
+	}
+}
+
+// Injected returns how many faults of kind k were injected.
+func (t *Transport) Injected(k HTTPKind) int64 {
+	if k < 0 || k >= numHTTPKinds {
+		return 0
+	}
+	return t.injected[k].Load()
+}
+
+// InjectedTotal returns the total faults injected across kinds.
+func (t *Transport) InjectedTotal() int64 {
+	var n int64
+	for i := range t.injected {
+		n += t.injected[i].Load()
+	}
+	return n
+}
+
+// Passed returns how many round trips went through undisturbed.
+func (t *Transport) Passed() int64 { return t.passed.Load() }
+
+// decide is the pure (seed, key, attempt) → (fires, kind) function. The FNV
+// sum is passed through a 64-bit finalizer (murmur3 fmix64) because FNV-1a
+// alone barely moves the high bits when only the trailing byte of the input
+// changes — without it, consecutive attempt numbers produce near-identical
+// fractions and a seed's schedule freezes per key.
+func (t *Transport) decide(key string, attempt int) (bool, HTTPKind) {
+	if t.cfg.Rate <= 0 {
+		return false, 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%d", t.cfg.Seed, key, attempt)
+	sum := mix64(h.Sum64())
+	frac := float64(sum>>11) / float64(1<<53)
+	if frac >= t.cfg.Rate {
+		return false, 0
+	}
+	return true, t.kinds[sum%uint64(len(t.kinds))]
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := req.Method + " " + req.URL.Path
+	t.mu.Lock()
+	attempt := t.attempts[key]
+	t.attempts[key]++
+	fire, kind := t.decide(key, attempt)
+	if fire && t.cfg.Burst > 0 && t.faulted[key] >= t.cfg.Burst {
+		fire = false // burst budget spent: let the retry through
+	}
+	if fire {
+		t.faulted[key]++
+	} else {
+		t.faulted[key] = 0
+	}
+	t.mu.Unlock()
+
+	if !fire {
+		t.passed.Add(1)
+		return t.base.RoundTrip(req)
+	}
+	t.injected[kind].Add(1)
+	switch kind {
+	case HTTPConnReset:
+		return nil, fmt.Errorf("faultinject: %s %s: %w", kind, key, syscall.ECONNRESET)
+	case HTTPStall:
+		select {
+		case <-time.After(t.cfg.Stall):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return nil, fmt.Errorf("faultinject: %s %s: %w", kind, key, syscall.ECONNRESET)
+	case HTTP5xx:
+		hdr := make(http.Header)
+		hdr.Set("Content-Type", "application/json")
+		if t.cfg.RetryAfter >= 0 {
+			hdr.Set("Retry-After", fmt.Sprintf("%d", t.cfg.RetryAfter))
+		}
+		body := `{"error":"faultinject: injected overload"}`
+		return &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        "503 Service Unavailable",
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        hdr,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case HTTPTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		// Keep Content-Length but serve half the bytes: the client's
+		// decoder hits an unexpected EOF, the signature of a torn
+		// response or a connection dropped mid-body.
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(data[:len(data)/2]),
+			errReader{io.ErrUnexpectedEOF},
+		))
+		return resp, nil
+	}
+	t.passed.Add(1)
+	return t.base.RoundTrip(req)
+}
+
+// mix64 is murmur3's fmix64 finalizer: full avalanche, so any input-bit
+// change flips each output bit with ~1/2 probability.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// errReader yields err on first read, modelling a connection torn mid-body.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }

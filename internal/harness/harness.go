@@ -350,13 +350,26 @@ type Metrics struct {
 	HeaderEvictions   int64
 
 	// Artifact-store outcome for this run (delta of the process-wide
-	// store's counters; "off" unless UseStore configured one).
+	// store's counters; "off" unless UseStore configured one). Degraded is
+	// current state, not a delta: 1 when persistent write failures flipped
+	// the store read-only.
 	StoreState     string
 	StoreHits      int64
 	StoreMisses    int64
 	StoreWrites    int64
 	StoreEvictions int64
 	StoreCorrupt   int64
+	StoreWriteErrs int64
+	StoreReadErrs  int64
+	StoreDegraded  int64
+
+	// Daemon thin-client resilience outcome ("" unless the run went through
+	// a superd client; then DaemonState is the circuit breaker's position).
+	DaemonState        string
+	DaemonAttempts     int64
+	DaemonRetries      int64
+	DaemonSheds        int64
+	DaemonBreakerOpens int64
 
 	// Variability-aware analysis counters (zero unless RunConfig.Analyzers).
 	AnalysisPasses      int64            // passes run, summed over units
@@ -418,8 +431,18 @@ func (m Metrics) String() string {
 	if m.StoreState != "off" {
 		fmt.Fprintf(&b, " (%d hits, %d misses, %d writes, %d evictions, %d corrupt)",
 			m.StoreHits, m.StoreMisses, m.StoreWrites, m.StoreEvictions, m.StoreCorrupt)
+		if m.StoreWriteErrs > 0 || m.StoreReadErrs > 0 {
+			fmt.Fprintf(&b, " (%d write errors, %d read errors)", m.StoreWriteErrs, m.StoreReadErrs)
+		}
+		if m.StoreDegraded > 0 {
+			b.WriteString(" DEGRADED read-only")
+		}
 	}
 	b.WriteByte('\n')
+	if m.DaemonState != "" {
+		fmt.Fprintf(&b, "  daemon client: %d attempts, %d retries, %d sheds, %d breaker opens; breaker %s\n",
+			m.DaemonAttempts, m.DaemonRetries, m.DaemonSheds, m.DaemonBreakerOpens, m.DaemonState)
+	}
 	if m.AnalysisPasses > 0 || m.AnalysisDiags > 0 {
 		fmt.Fprintf(&b, "  analysis: %d passes run, %d diagnostics; %d witness checks (%d failed), %d infeasible dropped, %d error regions skipped\n",
 			m.AnalysisPasses, m.AnalysisDiags, m.WitnessChecks, m.WitnessFailures,
@@ -664,6 +687,9 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		m.StoreWrites = d.Writes
 		m.StoreEvictions = d.Evictions
 		m.StoreCorrupt = d.Corrupt
+		m.StoreWriteErrs = d.WriteErrors
+		m.StoreReadErrs = d.ReadErrors
+		m.StoreDegraded = d.Degraded
 	}
 	return out, m
 }

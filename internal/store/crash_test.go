@@ -1,0 +1,219 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestChaosCrashStages drives a simulated crash through each stage of the
+// artifact write path and proves the reopen scrub restores a consistent
+// store: torn payloads are quarantined (never served), interrupted temp
+// files are swept, and post-rename crashes leave a fully valid artifact.
+// Zero corrupt reads in every case.
+func TestChaosCrashStages(t *testing.T) {
+	cases := []struct {
+		name  string
+		crash CrashPoint
+		// after reopen:
+		wantPayload  bool  // the crashed artifact must read back intact
+		wantScrubbed int64 // torn files quarantined
+		wantTmpSwept int64 // temp debris removed
+	}{
+		{"torn-before-data-sync", CrashTorn, false, 1, 0},
+		{"before-rename", CrashBeforeRename, false, 0, 1},
+		{"after-rename", CrashAfterRename, true, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{})
+			s.Put("ns", "survivor", []byte("written long before the crash"))
+
+			s.SetCrashHook(func(id string) CrashPoint {
+				if id == "ns\x00victim" {
+					return tc.crash
+				}
+				return CrashNone
+			})
+			s.Put("ns", "victim", []byte("the write the crash interrupts"))
+			s.SetCrashHook(nil)
+
+			// The crashed Put must never have indexed the entry in the
+			// dying process (a real crash loses the in-memory index anyway).
+			if _, ok := s.Get("ns", "victim"); ok && tc.crash != CrashAfterRename {
+				t.Fatal("crashed write served from the dying process")
+			}
+
+			s2 := open(t, dir, Options{})
+			st := s2.Stats()
+			if st.Scrubbed != tc.wantScrubbed || st.TmpSwept != tc.wantTmpSwept {
+				t.Fatalf("reopen stats = %+v; want %d scrubbed, %d tmp swept",
+					st, tc.wantScrubbed, tc.wantTmpSwept)
+			}
+			got, ok := s2.Get("ns", "victim")
+			if ok != tc.wantPayload {
+				t.Fatalf("Get(victim) after reopen = %v; want %v", ok, tc.wantPayload)
+			}
+			if ok && string(got) != "the write the crash interrupts" {
+				t.Fatalf("Get(victim) = %q; torn payload served", got)
+			}
+			// The pre-crash artifact always survives, and nothing in the
+			// recovery counted as a corrupt *read* — the scrub caught the
+			// tear before any Get could.
+			if got, ok := s2.Get("ns", "survivor"); !ok || string(got) != "written long before the crash" {
+				t.Fatalf("Get(survivor) = %q, %v", got, ok)
+			}
+			if st := s2.Stats(); st.Corrupt != 0 {
+				t.Fatalf("recovery produced %d corrupt reads; want 0", st.Corrupt)
+			}
+			// A re-Put of the victim heals the store in every scenario.
+			s2.Put("ns", "victim", []byte("healed"))
+			if got, ok := s2.Get("ns", "victim"); !ok || string(got) != "healed" {
+				t.Fatalf("Get(victim) after heal = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestDegradedMode proves persistent transient-I/O write failure flips the
+// store to read-only instead of failing requests: existing artifacts keep
+// serving, new writes become no-ops, nothing is deleted.
+func TestDegradedMode(t *testing.T) {
+	s := open(t, t.TempDir(), Options{FailureThreshold: 3})
+	s.Put("ns", "kept", []byte("pre-failure"))
+
+	s.InjectWriteError(func(id string) error {
+		return fmt.Errorf("write %s: %w", id, syscall.ENOSPC)
+	})
+	for i := 0; i < 3; i++ {
+		if s.Degraded() {
+			t.Fatalf("degraded after %d failures; threshold is 3", i)
+		}
+		s.Put("ns", fmt.Sprintf("lost%d", i), []byte("never lands"))
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded after 3 consecutive ENOSPC writes")
+	}
+	s.InjectWriteError(nil)
+
+	// Degraded: writes are no-ops even though the disk "recovered"...
+	s.Put("ns", "late", []byte("dropped"))
+	if _, ok := s.Get("ns", "late"); ok {
+		t.Fatal("degraded store accepted a write")
+	}
+	// ...but reads keep serving.
+	if got, ok := s.Get("ns", "kept"); !ok || string(got) != "pre-failure" {
+		t.Fatalf("degraded Get(kept) = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Degraded != 1 || st.WriteErrors != 3 {
+		t.Fatalf("stats = %+v; want degraded=1, writeErrors=3", st)
+	}
+}
+
+// TestWriteErrorRecovery proves a transient blip below the threshold does
+// not degrade: a successful write resets the consecutive-failure count.
+func TestWriteErrorRecovery(t *testing.T) {
+	s := open(t, t.TempDir(), Options{FailureThreshold: 3})
+	fail := true
+	s.InjectWriteError(func(id string) error {
+		if fail {
+			return syscall.EIO
+		}
+		return nil
+	})
+	// Two failures, then success, then two more failures: never 3 in a row.
+	s.Put("ns", "a", []byte("x"))
+	s.Put("ns", "b", []byte("x"))
+	fail = false
+	s.Put("ns", "c", []byte("x"))
+	fail = true
+	s.Put("ns", "d", []byte("x"))
+	s.Put("ns", "e", []byte("x"))
+	if s.Degraded() {
+		t.Fatal("store degraded without reaching the consecutive threshold")
+	}
+	if got, ok := s.Get("ns", "c"); !ok || string(got) != "x" {
+		t.Fatalf("Get(c) = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.WriteErrors != 4 {
+		t.Fatalf("writeErrors = %d; want 4", st.WriteErrors)
+	}
+}
+
+// TestReadIOErrorKeepsEntry proves a transient read failure (EIO) is not
+// treated as corruption: the artifact file and its index entry survive and
+// the payload is served once the disk recovers.
+func TestReadIOErrorKeepsEntry(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("ns", "flaky", []byte("still here"))
+
+	s.InjectReadError(func(id string) error { return syscall.EIO })
+	if _, ok := s.Get("ns", "flaky"); ok {
+		t.Fatal("Get served through an injected EIO")
+	}
+	s.InjectReadError(nil)
+
+	st := s.Stats()
+	if st.ReadErrors != 1 || st.Corrupt != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 readError, 0 corrupt, entry kept", st)
+	}
+	if got, ok := s.Get("ns", "flaky"); !ok || string(got) != "still here" {
+		t.Fatalf("Get after disk recovery = %q, %v; entry was dropped", got, ok)
+	}
+}
+
+// TestCorruptionStillDeletes pins the other half of the error split: a file
+// that reads fine but fails validation is corruption — deleted and counted,
+// exactly as before.
+func TestCorruptionStillDeletes(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("ns", "bad", []byte("about to rot"))
+	path := s.pathFor("ns", "bad")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a payload bit: checksum mismatch
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("ns", "bad"); ok {
+		t.Fatal("corrupt artifact served")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.ReadErrors != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v; want 1 corrupt, 0 readErrors, 0 entries", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact not deleted: %v", err)
+	}
+}
+
+// TestTmpSweepScopedToStore proves the open sweep only touches the store's
+// own put-*.tmp debris pattern, not arbitrary files.
+func TestTmpSweepScopedToStore(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	s.Put("ns", "k", []byte("v"))
+	shard := filepath.Dir(s.pathFor("ns", "k"))
+	if err := os.WriteFile(filepath.Join(shard, "put-dead.tmp"), []byte("debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shard, "unrelated.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	if st := s2.Stats(); st.TmpSwept != 1 {
+		t.Fatalf("tmpSwept = %d; want 1", st.TmpSwept)
+	}
+	if _, err := os.Stat(filepath.Join(shard, "put-dead.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp debris survived the sweep")
+	}
+	if _, err := os.Stat(filepath.Join(shard, "unrelated.txt")); err != nil {
+		t.Fatalf("sweep removed an unrelated file: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -161,11 +162,16 @@ func TestReopenDropsMalformed(t *testing.T) {
 	}
 	s2 := open(t, dir, Options{})
 	st := s2.Stats()
-	if st.Entries != 1 || st.Corrupt != 1 {
-		t.Fatalf("reopen stats = %+v; want 1 entry, 1 corrupt", st)
+	if st.Entries != 1 || st.Scrubbed != 1 {
+		t.Fatalf("reopen stats = %+v; want 1 entry, 1 scrubbed", st)
 	}
 	if _, err := os.Stat(badPath); !os.IsNotExist(err) {
-		t.Fatalf("malformed artifact not deleted during scan: %v", err)
+		t.Fatalf("malformed artifact not quarantined during scan: %v", err)
+	}
+	// The scrub preserves the torn file for inspection instead of deleting it.
+	q, err := filepath.Glob(filepath.Join(dir, quarantineDir, "*.art"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine holds %v (err %v); want the torn artifact", q, err)
 	}
 	if got, ok := s2.Get("ns", "good"); !ok || string(got) != "kept" {
 		t.Fatalf("Get(good) = %q, %v", got, ok)

@@ -1,0 +1,30 @@
+#!/bin/sh
+# chaos_daemon.sh — service-layer fault-injection suite (CI's chaos-daemon).
+#
+# Runs the HTTP-boundary chaos tests (connection resets, truncated bodies,
+# stalls, 5xx bursts against the thin client's retry/breaker stack) and the
+# store crash-consistency tests (mid-write crash before/after fsync/rename,
+# ENOSPC/EIO degraded mode) under the race detector.
+#
+# The default in-test seed matrix runs first; then each seed in CHAOS_SEEDS
+# replays its exact fault schedule via CHAOS_SEED (every injection decision
+# is a pure function of seed, request key, and attempt). To reproduce a CI
+# failure locally:
+#
+#   CHAOS_SEED=<seed from the log> go test -race -run Chaos ./internal/daemon/
+set -eu
+
+GO="${GO:-go}"
+SEEDS="${CHAOS_SEEDS:-11 29 47}"
+
+echo "chaos-daemon: default seed matrix"
+$GO test -race -count=1 \
+    -run 'Chaos|Breaker|Retry|Client|Admission|Drain|Shed|Degraded|WriteError|ReadIOError|TmpSweep' \
+    ./internal/daemon/ ./internal/store/
+
+for seed in $SEEDS; do
+    echo "chaos-daemon: replaying CHAOS_SEED=$seed"
+    CHAOS_SEED="$seed" $GO test -race -count=1 -run 'Chaos' ./internal/daemon/
+done
+
+echo "chaos-daemon: all schedules survived"
