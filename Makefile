@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench chaos chaos-daemon guard-overhead lint analyze-smoke daemon-smoke docs-lint
+.PHONY: ci build test race vet fmt bench chaos chaos-daemon guard-overhead lint analyze-smoke daemon-smoke link-smoke docs-lint
 
-ci: lint build race analyze-smoke daemon-smoke chaos-daemon
+ci: lint build race analyze-smoke daemon-smoke link-smoke chaos-daemon
 
 lint: fmt vet docs-lint
 
@@ -65,3 +65,18 @@ analyze-smoke:
 # (CI's daemon-smoke). Requires curl.
 daemon-smoke:
 	@sh scripts/daemon_smoke.sh
+
+# clint -link over the seeded two-unit link corpus must reproduce the golden
+# text exactly, at -j1 and -j8 (CI's link-smoke). clint exits 1 when findings
+# are reported, so the expected-failure status is checked explicitly.
+link-smoke:
+	@$(GO) build -o clint.smoke ./cmd/clint
+	@cd examples/link && ../../clint.smoke -link -I . a.c b.c > ../../link.got.txt; \
+		status=$$?; \
+		if [ "$$status" -ne 1 ]; then echo "clint -link exit $$status, want 1"; rm -f clint.smoke link.got.txt; exit 1; fi
+	@diff link.got.txt examples/link/golden.txt || { rm -f clint.smoke link.got.txt; exit 1; }
+	@cd examples/link && ../../clint.smoke -link -j 8 -parse-workers 4 -I . a.c b.c > ../../link.got8.txt; \
+		status=$$?; \
+		if [ "$$status" -ne 1 ]; then echo "clint -link -j8 exit $$status, want 1"; rm -f clint.smoke link.got.txt link.got8.txt; exit 1; fi
+	@diff link.got.txt link.got8.txt && echo "link-smoke: golden match at -j1 and -j8"
+	@rm -f clint.smoke link.got.txt link.got8.txt

@@ -19,6 +19,14 @@
 //	clint -format json file.c               # machine-readable output
 //	clint -format sarif file.c              # SARIF 2.1.0 for code-scanning UIs
 //	clint -passes deadbranch,errreach f.c   # run a subset of passes
+//	clint -link a.c b.c                     # whole-corpus link analysis
+//
+// With -link, every unit's conditional link facts (definitions, tentative
+// definitions, extern declarations, references) are joined corpus-wide and
+// the cross-unit diagnostic families — undef-ref, multidef, type-mismatch —
+// are reported alongside the per-unit passes, each SAT-gated with a
+// verified witness configuration. Output stays byte-identical at any -j,
+// any -parse-workers, and via -daemon.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"repro/internal/fmlr"
 	"repro/internal/guard"
 	"repro/internal/hcache"
+	"repro/internal/link"
 	"repro/internal/preprocessor"
 	"repro/internal/store"
 )
@@ -64,6 +73,7 @@ func main() {
 	listPasses := flag.Bool("list", false, "list the available passes and exit")
 	jobs := flag.Int("j", 0, "worker-pool width when given multiple files (0: GOMAXPROCS)")
 	parseWorkers := flag.Int("parse-workers", 0, "intra-unit parse workers per file; output is identical at any value (0: min(GOMAXPROCS, 8), 1: sequential)")
+	doLink := flag.Bool("link", false, "join every unit's conditional link facts corpus-wide and report cross-unit undef-ref/multidef/type-mismatch findings")
 	showStats := flag.Bool("stats", false, "print per-unit analysis statistics to stderr")
 	noCache := flag.Bool("no-table-cache", false, "rebuild the C parse tables instead of using the on-disk cache")
 	noHeaderCache := flag.Bool("no-header-cache", false, "disable the shared cross-unit header cache")
@@ -154,7 +164,9 @@ func main() {
 
 	files := flag.Args()
 	results := make([]*analysis.Result, len(files))
+	facts := make([]*link.Facts, len(files))
 	errOuts := make([]bytes.Buffer, len(files))
+	var linkStats string
 
 	served := false
 	if *daemonAddr != "" {
@@ -168,6 +180,23 @@ func main() {
 			ParseWorkers: *parseWorkers,
 			Limits:       daemon.FromGuard(*limits),
 		}, results, errOuts)
+		if err == nil && *doLink {
+			linkStats, err = linkViaDaemon(*daemonAddr, *daemonOpts, daemon.LinkRequest{
+				Files:        files,
+				IncludePaths: includes,
+				Defines:      defs,
+				Mode:         *mode,
+				Jobs:         *jobs,
+				ParseWorkers: *parseWorkers,
+				Limits:       daemon.FromGuard(*limits),
+			}, results)
+			if err != nil {
+				// Start over in-process: partial daemon output would
+				// double-report the per-unit diagnostics.
+				results = make([]*analysis.Result, len(files))
+				errOuts = make([]bytes.Buffer, len(files))
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clint: %v; running in-process\n", err)
 		} else {
@@ -197,7 +226,7 @@ func main() {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					results[i] = lintFile(cfg, files[i], selected, *limits, &errOuts[i])
+					results[i], facts[i] = lintFile(cfg, files[i], selected, *limits, *doLink, &errOuts[i])
 				}
 			}()
 		}
@@ -206,6 +235,26 @@ func main() {
 		}
 		close(work)
 		wg.Wait()
+
+		if *doLink {
+			// The corpus-wide join runs after the pool drains, over facts in
+			// argument order: the findings are a pure function of the inputs
+			// at any -j / -parse-workers.
+			var canon *hcache.Canon
+			if cfg.HeaderCache != nil {
+				canon = cfg.HeaderCache.Canon()
+			}
+			joined := make([]*link.Facts, 0, len(facts))
+			for _, f := range facts {
+				if f != nil {
+					joined = append(joined, f)
+				}
+			}
+			lr := link.Link(joined, canon)
+			mergeLinkDiags(results, files, lr.Findings)
+			linkStats = fmt.Sprintf("%d units, %d symbols, %d facts, %d findings",
+				lr.Stats.Units, lr.Stats.Symbols, lr.Stats.Facts, lr.Stats.Findings)
+		}
 	}
 
 	exit := 0
@@ -253,6 +302,9 @@ func main() {
 				r.File, s.PassesRun, s.Diagnostics, byPassSummary(s.ByPass),
 				s.WitnessChecks, s.WitnessFailures, s.InfeasibleDropped, s.ErrorRegions)
 		}
+		if linkStats != "" {
+			fmt.Fprintf(os.Stderr, "clint: link: %s\n", linkStats)
+		}
 	}
 	if total > 0 {
 		exit = 1
@@ -299,9 +351,34 @@ func lintViaDaemon(addr string, opts daemon.ClientOptions, req daemon.LintReques
 	return nil
 }
 
-// lintFile parses and analyzes one unit; nil is returned only when the unit
-// could not be processed at all (the error is on w).
-func lintFile(cfg core.Config, file string, analyzers []*analysis.Analyzer, limits guard.Limits, w io.Writer) *analysis.Result {
+// linkViaDaemon serves the corpus-wide link join from a superd daemon. The
+// daemon extracts (or replays store-cached) per-unit facts, joins them in
+// one space, and returns the findings as framework diagnostics in total
+// order — built through the same link.Finding renderer as the in-process
+// path, so the merged output is byte-identical.
+func linkViaDaemon(addr string, opts daemon.ClientOptions, req daemon.LinkRequest, results []*analysis.Result) (string, error) {
+	client, err := daemon.DialOptions(addr, opts)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Link(&req)
+	if err != nil {
+		return "", err
+	}
+	findings := make([]link.Finding, len(resp.Findings))
+	for i, f := range resp.Findings {
+		findings[i] = f.ToLink()
+	}
+	mergeLinkDiags(results, req.Files, findings)
+	stats := fmt.Sprintf("%d units, %d symbols, %d facts, %d findings",
+		resp.Units, resp.Symbols, resp.Facts, len(resp.Findings))
+	return stats, nil
+}
+
+// lintFile parses and analyzes one unit; a nil result is returned only when
+// the unit could not be processed at all (the error is on w). With doLink
+// the same parse also yields the unit's conditional link facts.
+func lintFile(cfg core.Config, file string, analyzers []*analysis.Analyzer, limits guard.Limits, doLink bool, w io.Writer) (*analysis.Result, *link.Facts) {
 	tool := core.New(cfg)
 	if !limits.Zero() {
 		tool.SetBudget(guard.New(context.Background(), limits))
@@ -309,32 +386,71 @@ func lintFile(cfg core.Config, file string, analyzers []*analysis.Analyzer, limi
 	res, err := tool.ParseFile(file)
 	if err != nil {
 		fmt.Fprintf(w, "clint: %s: %v\n", file, err)
-		return nil
+		return nil, nil
 	}
 	for _, d := range res.Unit.Diags {
 		if !d.Warning {
 			fmt.Fprintf(w, "clint: %s\n", d)
 		}
 	}
-	return analysis.Run(&analysis.Unit{
+	unit := &analysis.Unit{
 		File:   file,
 		Space:  tool.Space(),
 		AST:    res.AST,
 		PP:     res.Unit,
 		Budget: tool.Budget(),
-	}, analyzers)
+	}
+	var facts *link.Facts
+	if doLink {
+		facts = analysis.ExtractLinkFacts(unit)
+	}
+	return analysis.Run(unit, analyzers), facts
 }
 
+// mergeLinkDiags folds corpus-level findings into the per-file results:
+// each finding anchors at a fact site of one input unit, so it lands in
+// that file's result (created if the per-unit passes had nothing) and the
+// file's diagnostics are re-sorted into the framework's total order.
+func mergeLinkDiags(results []*analysis.Result, files []string, findings []link.Finding) {
+	idx := make(map[string]int, len(files))
+	for i, f := range files {
+		idx[f] = i
+	}
+	touched := make(map[int]bool)
+	for _, f := range findings {
+		i, ok := idx[f.Unit]
+		if !ok {
+			continue // defensive: facts only come from argument units
+		}
+		if results[i] == nil {
+			results[i] = &analysis.Result{File: f.Unit, Stats: analysis.Stats{ByPass: map[string]int{}}}
+		}
+		results[i].Diags = append(results[i].Diags, analysis.LinkDiagnostic(f))
+		results[i].Stats.Diagnostics++
+		if results[i].Stats.ByPass == nil {
+			results[i].Stats.ByPass = map[string]int{}
+		}
+		results[i].Stats.ByPass[f.Pass()]++
+		touched[i] = true
+	}
+	for i := range touched {
+		results[i].Diags = analysis.SortDiags(results[i].Diags)
+	}
+}
+
+// renderText renders one diagnostic for humans: the anchor and message on
+// the first line, then the presence condition and the concrete witness
+// configuration indented beneath it.
 func renderText(d analysis.Diagnostic) string {
 	pos := d.File
 	if d.Line > 0 {
 		pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
 	}
-	verified := ""
+	verified := "verified"
 	if !d.WitnessVerified {
-		verified = " UNVERIFIED"
+		verified = "UNVERIFIED"
 	}
-	return fmt.Sprintf("%s: %s: %s [when %s; witness %s%s]",
+	return fmt.Sprintf("%s: [%s] %s\n    when: %s\n    witness: %s (%s)",
 		pos, d.Pass, d.Msg, d.CondStr, witnessText(d.Witness), verified)
 }
 

@@ -44,6 +44,7 @@ func main() {
 	streamTokens := flag.Bool("stream-tokens", true, "stream preprocessor tokens straight into the parser; false falls back to the materialized segment slab (output is identical)")
 	metrics := flag.Bool("metrics", false, "print the harness metrics snapshot after the Table 3 sweep")
 	analyze := flag.Bool("analyze", false, "run the variability analysis passes during the Table 3 sweep and print diagnostics")
+	doLink := flag.Bool("link", false, "extract conditional link facts during the Table 3 sweep and print cross-unit findings (runs in-process: the synthetic corpus is in-memory)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quarantine := flag.Bool("quarantine", false, "retry failed or budget-tripped units once, then quarantine")
@@ -108,14 +109,18 @@ func main() {
 		fmt.Println(harness.Table2b(c))
 	}
 	if *table == "all" || *table == "3" {
-		if *daemonAddr != "" {
+		if *daemonAddr != "" && *doLink {
+			// The corpus link join happens over the in-memory synthetic
+			// corpus, which the daemon cannot see; the sweep stays local.
+			fmt.Fprintln(os.Stderr, "cstats: -link runs in-process; ignoring -daemon for this sweep")
+		} else if *daemonAddr != "" {
 			if err := table3ViaDaemon(*daemonAddr, *daemonOpts, *seed, *cfiles, *headers, *analyze, *jobs, *parseWorkers, *limits, *metrics); err == nil {
 				return
 			} else {
 				fmt.Fprintf(os.Stderr, "cstats: %v; running in-process\n", err)
 			}
 		}
-		cfg := harness.RunConfig{Parser: fmlr.OptAll}
+		cfg := harness.RunConfig{Parser: fmlr.OptAll, Link: *doLink}
 		if *analyze {
 			cfg.Analyzers = passes.All()
 		}
@@ -136,6 +141,18 @@ func main() {
 					}
 					fmt.Printf("%s: %s: %s [when %s]\n", pos, d.Pass, d.Msg, d.CondStr)
 				}
+			}
+		}
+		if *doLink && m.LinkResult != nil {
+			// Findings arrive in the linker's total deterministic order, so
+			// this listing is byte-stable at any -j / -parse-workers.
+			for _, f := range m.LinkResult.Findings {
+				d := analysis.LinkDiagnostic(f)
+				pos := d.File
+				if d.Line > 0 {
+					pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+				}
+				fmt.Printf("%s: %s: %s [when %s]\n", pos, d.Pass, d.Msg, d.CondStr)
 			}
 		}
 		if *metrics {

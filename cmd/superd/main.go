@@ -1,7 +1,12 @@
 // Command superd is the SuperC parse daemon: it keeps a corpus warm — one
 // shared header cache, optionally persisted to an on-disk artifact store —
-// and serves parse, lint, and corpus-sweep batches to the superc, clint,
-// and cstats clients over HTTP+JSON on a unix socket or TCP address.
+// and serves parse, lint, link, and corpus-sweep batches to the superc,
+// clint, and cstats clients over HTTP+JSON on a unix socket or TCP address.
+//
+// The /v1/link endpoint joins per-unit conditional link facts corpus-wide
+// (clint -link is its thin client); extracted facts persist in the store's
+// "link" namespace keyed by request fingerprint and root-file content hash,
+// so warm batches skip re-parsing unchanged units even across restarts.
 //
 // Per-request guard budgets are clamped against the daemon's -timeout and
 // -budget-* caps, so a single client cannot monopolize the pool with an

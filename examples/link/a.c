@@ -1,0 +1,18 @@
+/* Unit A: consumes symbols the other unit provides only conditionally.
+ *
+ * Seeded defects (found by `clint -link a.c b.c`):
+ *   undef-ref      log_event() is called in every configuration, but b.c
+ *                  defines it only under CONFIG_LOGGING.
+ *   multidef       init_table() is defined here unconditionally and again
+ *                  in b.c under CONFIG_FASTBOOT.
+ *   type-mismatch  buffer_size is declared int here (via proto.h) but b.c
+ *                  defines it long under CONFIG_LARGE_BUFFERS.
+ */
+#include "proto.h"
+
+int init_table(void) { return 0; }
+
+int process(int v) {
+  log_event();
+  return checksum(v) + buffer_size;
+}

@@ -1,0 +1,18 @@
+/* Unit B: provides the corpus's definitions, each under its own
+ * configuration knob. See a.c for the seeded defect inventory. */
+
+#ifdef CONFIG_LARGE_BUFFERS
+long buffer_size = 4096;
+#else
+int buffer_size = 512;
+#endif
+
+#ifdef CONFIG_LOGGING
+void log_event(void) {}
+#endif
+
+#ifdef CONFIG_FASTBOOT
+int init_table(void) { return 1; }
+#endif
+
+int checksum(int v) { return v ^ buffer_size; }

@@ -1,0 +1,11 @@
+/* Shared declarations for the link-analysis example corpus. The extern
+ * declarations here are what each unit believes about the others; the
+ * seeded bugs live in how a.c and b.c actually define (or fail to define)
+ * these symbols under different configurations. */
+#ifndef PROTO_H
+#define PROTO_H
+
+extern int buffer_size;
+int checksum(int v);
+
+#endif

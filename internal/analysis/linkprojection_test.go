@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/link"
+)
+
+// projUnit is one parsed unit kept around for single-configuration
+// projection.
+type projUnit struct {
+	file string
+	tool *core.Tool
+	res  *core.Result
+}
+
+func parseUnit(t *testing.T, file, src string) projUnit {
+	t.Helper()
+	tool := core.New(core.Config{})
+	res, err := tool.ParseString(file, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return projUnit{file: file, tool: tool, res: res}
+}
+
+// singleConfigDefects projects every unit to one concrete configuration
+// (variables absent from assign are false), re-extracts link facts from the
+// choice-free trees, and applies the classic one-configuration linker rules.
+// The result maps "family/symbol" to presence — the oracle a traditional
+// build-one-config toolchain would report.
+func singleConfigDefects(units []projUnit, assign map[string]bool) map[string]bool {
+	type info struct {
+		defs     int
+		provided bool
+		refs     bool
+		sigs     map[string]bool
+	}
+	syms := map[string]*info{}
+	for _, u := range units {
+		proj := u.tool.Project(u.res, assign)
+		f := analysis.ExtractLinkFacts(&analysis.Unit{
+			File:  u.file,
+			Space: u.tool.Space(),
+			AST:   proj,
+		})
+		for _, s := range f.Symbols {
+			in := syms[s.Name]
+			if in == nil {
+				in = &info{sigs: map[string]bool{}}
+				syms[s.Name] = in
+			}
+			for _, fa := range s.Facts {
+				switch fa.Kind {
+				case link.KindDef:
+					in.defs++
+					in.provided = true
+				case link.KindTentative:
+					in.provided = true
+				case link.KindRef:
+					in.refs = true
+				}
+				if fa.Sig != "" && fa.Kind != link.KindRef {
+					in.sigs[fa.Sig] = true
+				}
+			}
+		}
+	}
+	out := map[string]bool{}
+	for name, in := range syms {
+		if in.refs && !in.provided {
+			out["undef-ref/"+name] = true
+		}
+		if in.defs > 1 {
+			out["multidef/"+name] = true
+		}
+		if len(in.sigs) > 1 {
+			out["type-mismatch/"+name] = true
+		}
+	}
+	return out
+}
+
+// TestLinkFindingsProjectToSingleConfig is the differential acceptance test
+// for the variability-aware linker: every finding's witness configuration,
+// projected down to a single-configuration corpus, must reproduce the defect
+// under the classic one-config rules — and a sampled configuration outside
+// the finding's condition must not reproduce it.
+func TestLinkFindingsProjectToSingleConfig(t *testing.T) {
+	units := []projUnit{
+		parseUnit(t, "a.c", `
+extern int size;
+int use(void) { return helper() + size; }
+int init(void) { return 0; }
+`),
+		parseUnit(t, "b.c", `
+#ifdef BIG
+long size = 1;
+#else
+int size = 1;
+#endif
+#ifdef DUP
+int init(void) { return 1; }
+#endif
+#ifdef HAVE_HELPER
+int helper(void) { return 2; }
+#endif
+`),
+	}
+	facts := make([]*link.Facts, len(units))
+	for i, u := range units {
+		facts[i] = analysis.ExtractLinkFacts(&analysis.Unit{
+			File:  u.file,
+			Space: u.tool.Space(),
+			AST:   u.res.AST,
+			PP:    u.res.Unit,
+		})
+	}
+	r := link.Link(facts, nil)
+	if len(r.Findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for _, f := range r.Findings {
+		key := f.Family + "/" + f.Symbol
+		if !f.WitnessVerified {
+			t.Errorf("%s: witness failed independent verification", key)
+		}
+		if got := singleConfigDefects(units, f.Witness); !got[key] {
+			t.Errorf("%s: witness %v does not reproduce the defect under projection (saw %v)",
+				key, f.Witness, got)
+		}
+		// Sample a configuration outside the finding's condition; the defect
+		// must vanish there. A finding true in every configuration has no
+		// clean side to sample.
+		clean, ok := r.Space.SatOne(r.Space.Not(f.Cond))
+		if !ok {
+			continue
+		}
+		if got := singleConfigDefects(units, clean); got[key] {
+			t.Errorf("%s: clean configuration %v still reproduces the defect", key, clean)
+		}
+	}
+}

@@ -105,6 +105,25 @@ var keywordList = []string{
 	"inline", "typeof", "asm", "__attribute__", "restrict",
 }
 
+// IsKeyword reports whether an identifier-shaped word is a C keyword (or a
+// gcc spelling variant of one) rather than a programmer-chosen name. The
+// lexer emits keywords as plain identifiers, so AST consumers that care
+// about the ordinary identifier namespace filter through this.
+func IsKeyword(name string) bool {
+	if _, ok := keywordAliases[name]; ok {
+		return true
+	}
+	return keywordSet[name]
+}
+
+var keywordSet = func() map[string]bool {
+	m := make(map[string]bool, len(keywordList))
+	for _, kw := range keywordList {
+		m[kw] = true
+	}
+	return m
+}()
+
 // keywordAliases maps gcc spelling variants onto the canonical keyword.
 var keywordAliases = map[string]string{
 	"__inline":      "inline",

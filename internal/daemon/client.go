@@ -336,6 +336,15 @@ func (c *Client) Parse(req *ParseRequest) (*ParseResponse, error) {
 	return &resp, nil
 }
 
+// Link runs a whole-corpus link batch on the daemon.
+func (c *Client) Link(req *LinkRequest) (*LinkResponse, error) {
+	var resp LinkResponse
+	if err := c.post("/v1/link", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Corpus runs a harness sweep on the daemon.
 func (c *Client) Corpus(req *CorpusRequest) (*CorpusResponse, error) {
 	var resp CorpusResponse

@@ -14,6 +14,7 @@
 //
 //	POST /v1/lint    clint batches: analysis diagnostics per unit
 //	POST /v1/parse   superc batches: parse summaries per unit
+//	POST /v1/link    whole-corpus link analysis: cross-unit findings
 //	POST /v1/corpus  harness runs over the synthetic corpus (cstats, bench)
 //	GET  /v1/stats   JSON snapshot of cache/store/server counters
 //	GET  /metrics    the same counters in Prometheus text format
@@ -29,6 +30,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/guard"
+	"repro/internal/link"
 	"repro/internal/preprocessor"
 )
 
@@ -170,6 +172,113 @@ type LintUnit struct {
 // LintResponse carries one unit per requested file, in request order.
 type LintResponse struct {
 	Units []LintUnit `json:"units"`
+}
+
+// LinkRequest is one whole-corpus link batch: parse every file, extract
+// conditional link facts, and join them into cross-unit findings. Per-unit
+// facts persist in the artifact store (namespace "link") keyed by the
+// request fingerprint plus each root file's content hash, so warm batches
+// skip re-parsing unchanged units.
+type LinkRequest struct {
+	Files        []string          `json:"files"`
+	IncludePaths []string          `json:"includePaths,omitempty"`
+	Defines      map[string]string `json:"defines,omitempty"`
+	Mode         string            `json:"mode"` // "bdd" or "sat"
+	Jobs         int               `json:"jobs,omitempty"`
+	// ParseWorkers enables intra-unit region-parallel parsing per unit
+	// (clamped by the server like Jobs; 0 = sequential).
+	ParseWorkers int    `json:"parseWorkers,omitempty"`
+	Limits       Limits `json:"limits,omitempty"`
+	// NoFacts bypasses the persisted link-fact cache (for measuring cold
+	// runs and for determinism tests that compare cached vs. fresh).
+	NoFacts bool `json:"noFacts,omitempty"`
+}
+
+// LinkFinding is the wire form of link.Finding. The space-tied Cond never
+// crosses the wire; CondStr and the witness assignment carry everything
+// clients render, and ToLink rebuilds a link.Finding the client feeds
+// through the same merge path as an in-process run, so daemon-served link
+// output is byte-identical to local output.
+type LinkFinding struct {
+	Family          string          `json:"family"`
+	Symbol          string          `json:"symbol"`
+	Unit            string          `json:"unit"`
+	File            string          `json:"file"`
+	Line            int             `json:"line"`
+	Col             int             `json:"col"`
+	OtherUnit       string          `json:"otherUnit,omitempty"`
+	OtherFile       string          `json:"otherFile,omitempty"`
+	OtherLine       int             `json:"otherLine,omitempty"`
+	OtherCol        int             `json:"otherCol,omitempty"`
+	SigA            string          `json:"sigA,omitempty"`
+	SigB            string          `json:"sigB,omitempty"`
+	CondStr         string          `json:"cond"`
+	Witness         map[string]bool `json:"witness,omitempty"`
+	WitnessVerified bool            `json:"witnessVerified"`
+}
+
+// FromLink converts a server-side finding to the wire form.
+func FromLink(f link.Finding) LinkFinding {
+	return LinkFinding{
+		Family:          f.Family,
+		Symbol:          f.Symbol,
+		Unit:            f.Unit,
+		File:            f.File,
+		Line:            f.Line,
+		Col:             f.Col,
+		OtherUnit:       f.OtherUnit,
+		OtherFile:       f.OtherFile,
+		OtherLine:       f.OtherLine,
+		OtherCol:        f.OtherCol,
+		SigA:            f.SigA,
+		SigB:            f.SigB,
+		CondStr:         f.CondStr,
+		Witness:         f.Witness,
+		WitnessVerified: f.WitnessVerified,
+	}
+}
+
+// ToLink rebuilds the client-side link.Finding (Cond stays nil: renderers
+// read CondStr, exactly like Diag.ToAnalysis).
+func (f LinkFinding) ToLink() link.Finding {
+	return link.Finding{
+		Family:          f.Family,
+		Symbol:          f.Symbol,
+		Unit:            f.Unit,
+		File:            f.File,
+		Line:            f.Line,
+		Col:             f.Col,
+		OtherUnit:       f.OtherUnit,
+		OtherFile:       f.OtherFile,
+		OtherLine:       f.OtherLine,
+		OtherCol:        f.OtherCol,
+		SigA:            f.SigA,
+		SigB:            f.SigB,
+		CondStr:         f.CondStr,
+		Witness:         f.Witness,
+		WitnessVerified: f.WitnessVerified,
+	}
+}
+
+// LinkUnit reports one file that failed to parse or extract; units that
+// succeed contribute facts to the joined findings and are not listed.
+type LinkUnit struct {
+	File   string `json:"file"`
+	Errors string `json:"errors,omitempty"` // rendered error text, newline-terminated lines
+}
+
+// LinkResponse carries the joined corpus-wide findings in the linker's
+// total deterministic order, plus fact-volume stats and per-unit failures.
+type LinkResponse struct {
+	Units    int           `json:"units"`   // units contributing facts
+	Symbols  int           `json:"symbols"` // distinct external symbols joined
+	Facts    int           `json:"facts"`   // total conditional facts joined
+	Findings []LinkFinding `json:"findings"`
+	Failed   []LinkUnit    `json:"failed,omitempty"`
+	// FactsHits counts units whose facts were served from the persisted
+	// link-fact store; FactsMisses counts units extracted this request.
+	FactsHits   int64 `json:"factsHits"`
+	FactsMisses int64 `json:"factsMisses"`
 }
 
 // ParseRequest is one superc batch (summary mode: the daemon serves parse

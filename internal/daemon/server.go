@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/harness"
 	"repro/internal/hcache"
+	"repro/internal/link"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -80,8 +82,11 @@ type Server struct {
 	afterAdmit func()
 
 	reqLint, reqParse, reqCorpus stats.Counter
+	reqLink                      stats.Counter
 	units                        stats.Counter
 	factsHits, factsMisses       stats.Counter
+	linkUnits, linkFindings      stats.Counter
+	linkFactsHits, linkFactsMiss stats.Counter
 	failedUnits, killedUnits     stats.Counter
 	budgetTrips                  stats.Counter
 	forks, merges                stats.Counter
@@ -127,6 +132,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/lint", s.admit(s.handleLint))
 	s.mux.HandleFunc("POST /v1/parse", s.admit(s.handleParse))
+	s.mux.HandleFunc("POST /v1/link", s.admit(s.handleLink))
 	s.mux.HandleFunc("POST /v1/corpus", s.admit(s.handleCorpus))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -548,6 +554,140 @@ func (s *Server) parseUnit(ctx context.Context, cfg core.Config, file string, li
 	return u
 }
 
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
+	s.reqLink.Inc()
+	var req LinkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	mode, err := condMode(req.Mode)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkLocal(req.Files); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkLocal(req.IncludePaths); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limits := Clamp(req.Limits.ToGuard(), s.cfg.Caps)
+	fs := rootFS{s.cfg.Root}
+	cfg := core.Config{
+		FS:           fs,
+		IncludePaths: req.IncludePaths,
+		Defines:      req.Defines,
+		CondMode:     mode,
+		HeaderCache:  s.hc,
+		ParseWorkers: s.parseWorkers(req.ParseWorkers),
+		NoStream:     s.cfg.NoStream,
+	}
+	fp := s.linkFingerprint(req, limits)
+	useFacts := s.cfg.Store != nil && !req.NoFacts
+	facts := make([]*link.Facts, len(req.Files))
+	unitErrs := make([]string, len(req.Files))
+	var hits, misses stats.Counter
+	forEach(len(req.Files), s.jobs(req.Jobs, len(req.Files)), func(i int) {
+		file := req.Files[i]
+		// The cache key folds in the root file's content hash, so editing a
+		// .c file invalidates its facts across restarts. Header edits are not
+		// tracked here; flush with -no-facts (or a fresh store) after
+		// changing shared headers.
+		var key string
+		if useFacts {
+			if data, err := fs.ReadFile(file); err == nil {
+				key = fmt.Sprintf("%s\x00%s\x00%x", fp, file, sha256.Sum256(data))
+				if raw, ok := s.cfg.Store.Get(store.NSLink, key); ok {
+					if f, err := link.DecodeFacts(raw); err == nil {
+						facts[i] = f
+						hits.Inc()
+						return
+					}
+					s.cfg.Store.Delete(store.NSLink, key)
+				}
+			}
+		}
+		misses.Inc()
+		tool := core.New(cfg)
+		budget := guard.New(r.Context(), limits)
+		tool.SetBudget(budget)
+		res, err := tool.ParseFile(file)
+		if err != nil {
+			unitErrs[i] = fmt.Sprintf("%s: %v\n", file, err)
+			return
+		}
+		if res.AST == nil {
+			unitErrs[i] = fmt.Sprintf("%s: no AST (parse failed)\n", file)
+			return
+		}
+		f := analysis.ExtractLinkFacts(&analysis.Unit{
+			File:   file,
+			Space:  tool.Space(),
+			AST:    res.AST,
+			PP:     res.Unit,
+			Budget: tool.Budget(),
+		})
+		facts[i] = f
+		tripped := budget.Trip() != nil
+		if tripped {
+			s.budgetTrips.Inc()
+		}
+		// Budget-tripped extractions may be truncated; only complete fact
+		// sets persist.
+		if key != "" && !tripped {
+			if data, err := f.Encode(); err == nil {
+				s.cfg.Store.Put(store.NSLink, key, data)
+			}
+		}
+	})
+	joined := make([]*link.Facts, 0, len(facts))
+	for _, f := range facts {
+		if f != nil {
+			joined = append(joined, f)
+		}
+	}
+	lr := link.Link(joined, s.hc.Canon())
+	resp := LinkResponse{
+		Units:       lr.Stats.Units,
+		Symbols:     lr.Stats.Symbols,
+		Facts:       lr.Stats.Facts,
+		Findings:    make([]LinkFinding, len(lr.Findings)),
+		FactsHits:   hits.Load(),
+		FactsMisses: misses.Load(),
+	}
+	for i, f := range lr.Findings {
+		resp.Findings[i] = FromLink(f)
+	}
+	for i, e := range unitErrs {
+		if e != "" {
+			resp.Failed = append(resp.Failed, LinkUnit{File: req.Files[i], Errors: e})
+		}
+	}
+	s.units.Add(int64(len(req.Files)))
+	s.linkUnits.Add(int64(lr.Stats.Units))
+	s.linkFindings.Add(int64(len(lr.Findings)))
+	s.linkFactsHits.Add(hits.Load())
+	s.linkFactsMiss.Add(misses.Load())
+	writeJSON(w, &resp)
+}
+
+// linkFingerprint keys the persisted link-fact cache: every request knob
+// that affects one unit's extracted facts, plus the protocol version (fact
+// shapes may change between builds). Jobs and ParseWorkers are deliberately
+// excluded — extraction is deterministic at any worker count.
+func (s *Server) linkFingerprint(req LinkRequest, limits guard.Limits) string {
+	defs := make([]string, 0, len(req.Defines))
+	for k, v := range req.Defines {
+		defs = append(defs, k+"="+v)
+	}
+	sort.Strings(defs)
+	return fmt.Sprintf("%s;mode=%s;inc=%s;defs=%s;limits=%+v",
+		Version, req.Mode, strings.Join(req.IncludePaths, ","), strings.Join(defs, ","), limits)
+}
+
 func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	s.reqCorpus.Inc()
 	var req CorpusRequest
@@ -674,10 +814,15 @@ func (s *Server) counters() map[string]int64 {
 	m := map[string]int64{
 		"requests_lint":        s.reqLint.Load(),
 		"requests_parse":       s.reqParse.Load(),
+		"requests_link":        s.reqLink.Load(),
 		"requests_corpus":      s.reqCorpus.Load(),
 		"units_total":          s.units.Load(),
 		"facts_hits":           s.factsHits.Load(),
 		"facts_misses":         s.factsMisses.Load(),
+		"link_units":           s.linkUnits.Load(),
+		"link_findings":        s.linkFindings.Load(),
+		"link_facts_hits":      s.linkFactsHits.Load(),
+		"link_facts_misses":    s.linkFactsMiss.Load(),
 		"harness_failed_units": s.failedUnits.Load(),
 		"harness_killed_units": s.killedUnits.Load(),
 		"harness_budget_trips": s.budgetTrips.Load(),

@@ -94,6 +94,12 @@ func (st *streamState) link(h, t *element) {
 // materializeNext converts the next chunk into forest elements appended at
 // the top level, returning the first new element. At stream end it
 // materializes the synthetic EOF exactly once, then reports nil.
+//
+// Run chunks convert one token at a time: the remainder is pushed back as
+// the pending chunk, so a multi-subparser episode that happens to span the
+// chunk boundary materializes only the tokens it actually steps over, and
+// the lone survivor of a conditional episode re-enters the cursor gear at
+// the next tail check instead of walking a fully materialized run.
 func (st *streamState) materializeNext() *element {
 	for {
 		c, ok := st.take()
@@ -119,7 +125,13 @@ func (st *streamState) materializeNext() *element {
 			st.link(el, el)
 			return el
 		}
-		if h, t := st.fb.convertRun(c.Run); h != nil {
+		if len(c.Run) > 0 {
+			// take() just cleared any pending chunk, so the slot is free for
+			// the unconverted remainder.
+			h, t := st.fb.convertRun(c.Run[:1])
+			if len(c.Run) > 1 {
+				st.pend, st.hasPend = preprocessor.Chunk{Run: c.Run[1:]}, true
+			}
 			st.link(h, t)
 			return h
 		}
@@ -127,17 +139,26 @@ func (st *streamState) materializeNext() *element {
 	}
 }
 
-// materializeRunSuffix converts the cursor's unconsumed tokens into a fresh
-// top-level chain and deactivates the cursor, returning the chain's first
-// element. The consumed prefix gets no elements; the old chain (if any) is
-// fully consumed and never linked to, so its dangling tail is unreachable.
+// materializeRunSuffix converts the cursor's next unconsumed token into a
+// fresh top-level chain and deactivates the cursor, returning the chain's
+// first element; the rest of the run is pushed back as the pending chunk
+// and converts lazily through materializeNext. The consumed prefix gets no
+// elements; the old chain (if any) is fully consumed and never linked to,
+// so its dangling tail is unreachable.
 func (st *streamState) materializeRunSuffix() *element {
 	st.tail = nil
-	h, t := st.fb.convertRun(st.run[st.runIdx:])
+	rest := st.run[st.runIdx:]
 	st.run = nil
 	st.runIdx = 0
-	if h == nil {
+	if len(rest) == 0 {
 		return st.materializeNext()
+	}
+	// The cursor gear is only entered by take()-ing a run chunk, which
+	// clears the pending slot, and nothing refills it while the cursor is
+	// active — so the remainder can be pushed back without clobbering.
+	h, t := st.fb.convertRun(rest[:1])
+	if len(rest) > 1 {
+		st.pend, st.hasPend = preprocessor.Chunk{Run: rest[1:]}, true
 	}
 	st.link(h, t)
 	return h

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -114,6 +115,48 @@ func TestCoverageReportStableOrdering(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		if again := render(); again != first {
 			t.Fatalf("coverage report ordering unstable:\n%s\nvs\n%s", first, again)
+		}
+	}
+}
+
+// renderLink flattens a corpus link run into one string covering every
+// field the linker surfaces to the user.
+func renderLink(m Metrics) string {
+	if m.LinkResult == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, f := range m.LinkResult.Findings {
+		fmt.Fprintf(&b, "%s %s %s:%d:%d other=%s:%d:%d sigs=%q/%q [%s] %v verified=%v\n",
+			f.Pass(), f.Symbol, f.File, f.Line, f.Col,
+			f.OtherFile, f.OtherLine, f.OtherCol,
+			f.SigA, f.SigB, f.CondStr, f.Witness, f.WitnessVerified)
+	}
+	s := m.LinkResult.Stats
+	fmt.Fprintf(&b, "stats %d %d %d %d %d %d\n",
+		s.Units, s.Symbols, s.Facts, s.Findings, s.WitnessChecks, s.WitnessFailures)
+	return b.String()
+}
+
+// TestLinkOutputStableAcrossWorkers is the linker's scheduling golden: the
+// corpus-wide findings must be byte-identical at any -j and -parse-workers
+// combination — the join is a pure function of the fact set, and fact
+// extraction is per-unit.
+func TestLinkOutputStableAcrossWorkers(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 7, CFiles: 8, GenHeaders: 8})
+	base := RunConfig{Parser: fmlr.OptAll, Link: true, Jobs: 1}
+	_, m := RunMetered(context.Background(), c, base)
+	sequential := renderLink(m)
+	if m.LinkResult == nil || m.LinkResult.Stats.Units == 0 {
+		t.Fatal("link run joined no units")
+	}
+	for _, w := range []struct{ jobs, pw int }{{2, 0}, {8, 0}, {1, 4}, {8, 4}} {
+		cfg := base
+		cfg.Jobs, cfg.ParseWorkers = w.jobs, w.pw
+		_, mw := RunMetered(context.Background(), c, cfg)
+		if got := renderLink(mw); got != sequential {
+			t.Errorf("link output differs at jobs=%d parse-workers=%d:\n--- base ---\n%s\n--- got ---\n%s",
+				w.jobs, w.pw, sequential, got)
 		}
 	}
 }

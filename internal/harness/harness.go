@@ -50,6 +50,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/guard/faultinject"
 	"repro/internal/hcache"
+	"repro/internal/link"
 	"repro/internal/preprocessor"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -193,6 +194,11 @@ type RunConfig struct {
 	// diagnostics land in its UnitResult.Analysis and the run's counters in
 	// Metrics.
 	Analyzers []*analysis.Analyzer
+	// Link extracts per-unit conditional link facts after parsing (each
+	// unit's facts land in UnitResult.LinkFacts) and joins them corpus-wide
+	// once every unit finishes; the findings land in Metrics.LinkResult and
+	// the run's link counters in Metrics.
+	Link bool
 }
 
 // limits resolves the effective per-unit resource limits.
@@ -282,6 +288,10 @@ type UnitResult struct {
 	// Analysis is the unit's variability-aware analysis result (nil when
 	// RunConfig.Analyzers is empty or the unit failed before analysis).
 	Analysis *analysis.Result
+
+	// LinkFacts is the unit's conditional link facts (nil unless
+	// RunConfig.Link is set and the unit parsed).
+	LinkFacts *link.Facts
 }
 
 // Metrics is a snapshot of one run's per-stage observability counters.
@@ -379,6 +389,19 @@ type Metrics struct {
 	WitnessFailures     int64            // witnesses the independent SAT check rejected
 	InfeasibleDropped   int64            // diagnostics dropped for unsatisfiable conditions
 	SkippedErrorRegions int64            // opaque _Error regions analysis refused to enter
+
+	// Whole-corpus link outcome (nil/zero unless RunConfig.Link). LinkResult
+	// holds the findings in total deterministic order with their conditions
+	// in its own space; the counters mirror its Stats for rendering.
+	LinkResult          *link.Result
+	LinkUnits           int64
+	LinkSymbols         int64
+	LinkFacts           int64
+	LinkFindings        int64
+	LinkByFamily        map[string]int64
+	LinkSATChecks       int64
+	LinkWitnessChecks   int64
+	LinkWitnessFailures int64
 }
 
 // String renders the snapshot as the block cmd/fmlrbench prints.
@@ -454,6 +477,19 @@ func (m Metrics) String() string {
 		sort.Strings(names)
 		for _, n := range names {
 			fmt.Fprintf(&b, "    %s: %d\n", n, m.AnalysisByPass[n])
+		}
+	}
+	if m.LinkResult != nil {
+		fmt.Fprintf(&b, "  link: %d units, %d symbols, %d facts; %d findings; %d SAT checks, %d witness checks (%d failed)\n",
+			m.LinkUnits, m.LinkSymbols, m.LinkFacts, m.LinkFindings,
+			m.LinkSATChecks, m.LinkWitnessChecks, m.LinkWitnessFailures)
+		fams := make([]string, 0, len(m.LinkByFamily))
+		for f := range m.LinkByFamily {
+			fams = append(fams, f)
+		}
+		sort.Strings(fams)
+		for _, f := range fams {
+			fmt.Fprintf(&b, "    link/%s: %d\n", f, m.LinkByFamily[f])
 		}
 	}
 	return b.String()
@@ -669,6 +705,34 @@ func RunMetered(ctx context.Context, c *corpus.Corpus, cfg RunConfig) ([]UnitRes
 		m.SkippedErrorRegions = col.anErrRegions.Load()
 		m.AnalysisByPass = col.anByPass
 	}
+	if cfg.Link {
+		// The join runs after the pool drains, over facts in corpus order —
+		// worker scheduling cannot reach it, so the findings are a pure
+		// function of the inputs at any Jobs/ParseWorkers combination.
+		var facts []*link.Facts
+		for i := range out {
+			if out[i].LinkFacts != nil {
+				facts = append(facts, out[i].LinkFacts)
+			}
+		}
+		var canon *hcache.Canon
+		if hc != nil {
+			canon = hc.Canon()
+		}
+		lr := link.Link(facts, canon)
+		m.LinkResult = lr
+		m.LinkUnits = int64(lr.Stats.Units)
+		m.LinkSymbols = int64(lr.Stats.Symbols)
+		m.LinkFacts = int64(lr.Stats.Facts)
+		m.LinkFindings = int64(lr.Stats.Findings)
+		m.LinkSATChecks = int64(lr.Stats.SATChecks)
+		m.LinkWitnessChecks = int64(lr.Stats.WitnessChecks)
+		m.LinkWitnessFailures = int64(lr.Stats.WitnessFailures)
+		m.LinkByFamily = make(map[string]int64, len(lr.Stats.ByFamily))
+		for f, n := range lr.Stats.ByFamily {
+			m.LinkByFamily[f] = int64(n)
+		}
+	}
 	if hc != nil {
 		d := hc.Stats().Sub(hcBefore)
 		m.HeaderCacheState = "on"
@@ -796,6 +860,15 @@ func runUnit(ctx context.Context, c *corpus.Corpus, cfg RunConfig, parser fmlr.O
 			PP:     unit,
 			Budget: budget,
 		}, cfg.Analyzers)
+	}
+	if cfg.Link && parse.AST != nil {
+		res.LinkFacts = analysis.ExtractLinkFacts(&analysis.Unit{
+			File:   cf,
+			Space:  tool.Space(),
+			AST:    parse.AST,
+			PP:     unit,
+			Budget: budget,
+		})
 	}
 	res.Budget = budget.Trip()
 	return res

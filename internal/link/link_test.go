@@ -1,0 +1,230 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/hcache"
+)
+
+// fvar/fnot/fand build small formulas directly — unit extraction is tested
+// in internal/analysis; here the linker is fed hand-built facts.
+func fvar(n string) *cond.Formula { return &cond.Formula{Op: cond.FVar, Name: n} }
+func fnot(f *cond.Formula) *cond.Formula {
+	return &cond.Formula{Op: cond.FNot, Args: []*cond.Formula{f}}
+}
+func fand(a, b *cond.Formula) *cond.Formula {
+	return &cond.Formula{Op: cond.FAnd, Args: []*cond.Formula{a, b}}
+}
+func ftrue() *cond.Formula { return &cond.Formula{Op: cond.FTrue} }
+
+func findings(r *Result, family string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Family == family {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestLinkUndefRef(t *testing.T) {
+	// a.c references work() always; b.c defines it only under CONFIG_WORK.
+	a := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "work", Facts: []Fact{
+		{Kind: KindRef, File: "a.c", Line: 3, Col: 5, Cond: ftrue()},
+	}}}}
+	b := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "work", Facts: []Fact{
+		{Kind: KindDef, File: "b.c", Line: 10, Col: 6, Sig: "void @ ( )", Cond: fvar("CONFIG_WORK")},
+	}}}}
+	r := Link([]*Facts{a, b}, nil)
+	ur := findings(r, "undef-ref")
+	if len(ur) != 1 {
+		t.Fatalf("undef-ref findings = %d, want 1\n%+v", len(ur), r.Findings)
+	}
+	f := ur[0]
+	if f.Symbol != "work" || f.File != "a.c" || f.Line != 3 {
+		t.Errorf("bad anchor: %+v", f)
+	}
+	if !f.WitnessVerified {
+		t.Errorf("witness not verified: %+v", f)
+	}
+	if f.Witness["CONFIG_WORK"] {
+		t.Errorf("witness should falsify CONFIG_WORK: %v", f.Witness)
+	}
+	// The miss condition must exclude the defining config.
+	if r.Space.Eval(f.Cond, map[string]bool{"CONFIG_WORK": true}) {
+		t.Errorf("miss condition true under CONFIG_WORK: %s", f.CondStr)
+	}
+}
+
+func TestLinkUndefRefCovered(t *testing.T) {
+	// Reference and definition guarded by the same macro: no finding.
+	a := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "work", Facts: []Fact{
+		{Kind: KindRef, File: "a.c", Line: 3, Col: 5, Cond: fvar("W")},
+	}}}}
+	b := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "work", Facts: []Fact{
+		{Kind: KindDef, File: "b.c", Line: 10, Col: 6, Cond: fvar("W")},
+	}}}}
+	r := Link([]*Facts{a, b}, nil)
+	if len(r.Findings) != 0 {
+		t.Fatalf("findings = %+v, want none", r.Findings)
+	}
+	if r.Stats.SATChecks == 0 {
+		t.Error("expected SAT gates to have run")
+	}
+}
+
+func TestLinkTentativeResolvesRef(t *testing.T) {
+	a := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "counter", Facts: []Fact{
+		{Kind: KindRef, File: "a.c", Line: 4, Col: 1, Cond: ftrue()},
+	}}}}
+	b := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "counter", Facts: []Fact{
+		{Kind: KindTentative, File: "b.c", Line: 1, Col: 5, Sig: "int @", Cond: ftrue()},
+	}}}}
+	r := Link([]*Facts{a, b}, nil)
+	if n := len(findings(r, "undef-ref")); n != 0 {
+		t.Fatalf("tentative definition should satisfy references; findings=%+v", r.Findings)
+	}
+}
+
+func TestLinkMultidef(t *testing.T) {
+	// Two real definitions overlapping on DUP; tentatives never conflict.
+	a := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "init", Facts: []Fact{
+		{Kind: KindDef, File: "a.c", Line: 1, Col: 5, Sig: "int @ ( )", Cond: ftrue()},
+	}}}}
+	b := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "init", Facts: []Fact{
+		{Kind: KindDef, File: "b.c", Line: 2, Col: 5, Sig: "int @ ( )", Cond: fvar("DUP")},
+		{Kind: KindTentative, File: "b.c", Line: 9, Col: 1, Cond: ftrue()},
+	}}}}
+	r := Link([]*Facts{a, b}, nil)
+	md := findings(r, "multidef")
+	if len(md) != 1 {
+		t.Fatalf("multidef findings = %d, want 1\n%+v", len(md), r.Findings)
+	}
+	f := md[0]
+	if f.File != "b.c" || f.OtherFile != "a.c" {
+		t.Errorf("anchor should be the later site: %+v", f)
+	}
+	if !f.WitnessVerified || !f.Witness["DUP"] {
+		t.Errorf("witness must enable DUP and verify: %+v", f)
+	}
+}
+
+func TestLinkMultidefDisjoint(t *testing.T) {
+	a := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "init", Facts: []Fact{
+		{Kind: KindDef, File: "a.c", Line: 1, Col: 5, Cond: fvar("A")},
+	}}}}
+	b := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "init", Facts: []Fact{
+		{Kind: KindDef, File: "b.c", Line: 2, Col: 5, Cond: fnot(fvar("A"))},
+	}}}}
+	r := Link([]*Facts{a, b}, nil)
+	if len(r.Findings) != 0 {
+		t.Fatalf("disjoint definitions must not conflict: %+v", r.Findings)
+	}
+}
+
+func TestLinkTypeMismatch(t *testing.T) {
+	a := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "size", Facts: []Fact{
+		{Kind: KindDecl, File: "a.c", Line: 2, Col: 12, Sig: "int @", Cond: ftrue()},
+	}}}}
+	b := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "size", Facts: []Fact{
+		{Kind: KindDef, File: "b.c", Line: 5, Col: 6, Sig: "long @", Cond: fvar("BIG")},
+	}}}}
+	r := Link([]*Facts{a, b}, nil)
+	tm := findings(r, "type-mismatch")
+	if len(tm) != 1 {
+		t.Fatalf("type-mismatch findings = %d, want 1\n%+v", len(tm), r.Findings)
+	}
+	f := tm[0]
+	if f.SigA == f.SigB {
+		t.Errorf("signatures should differ: %+v", f)
+	}
+	if !f.WitnessVerified || !f.Witness["BIG"] {
+		t.Errorf("witness must enable BIG and verify: %+v", f)
+	}
+	// Disjoint variants of the same symbol are fine.
+	b2 := &Facts{Unit: "b.c", Symbols: []Symbol{{Name: "size", Facts: []Fact{
+		{Kind: KindDef, File: "b.c", Line: 5, Col: 6, Sig: "long @", Cond: fvar("BIG")},
+	}}}}
+	a2 := &Facts{Unit: "a.c", Symbols: []Symbol{{Name: "size", Facts: []Fact{
+		{Kind: KindDecl, File: "a.c", Line: 2, Col: 12, Sig: "int @", Cond: fnot(fvar("BIG"))},
+	}}}}
+	if r2 := Link([]*Facts{a2, b2}, nil); len(r2.Findings) != 0 {
+		t.Fatalf("disjoint type variants must not conflict: %+v", r2.Findings)
+	}
+}
+
+func TestLinkDeterministicOrder(t *testing.T) {
+	mk := func() []*Facts {
+		a := &Facts{Unit: "a.c", Symbols: []Symbol{
+			{Name: "x", Facts: []Fact{{Kind: KindRef, File: "a.c", Line: 1, Col: 1, Cond: fvar("P")}}},
+			{Name: "y", Facts: []Fact{{Kind: KindDef, File: "a.c", Line: 2, Col: 1, Sig: "int @", Cond: ftrue()}}},
+		}}
+		b := &Facts{Unit: "b.c", Symbols: []Symbol{
+			{Name: "y", Facts: []Fact{{Kind: KindDef, File: "b.c", Line: 3, Col: 1, Sig: "long @", Cond: fand(fvar("Q"), fvar("R"))}}},
+		}}
+		return []*Facts{a, b}
+	}
+	render := func(r *Result) []string {
+		var out []string
+		for _, f := range r.Findings {
+			out = append(out, f.Pass()+" "+f.Message()+" when "+f.CondStr)
+		}
+		return out
+	}
+	units := mk()
+	base := render(Link(units, nil))
+	if len(base) == 0 {
+		t.Fatal("expected findings")
+	}
+	// Reversed unit order and a shared canon must give identical output.
+	rev := mk()
+	rev[0], rev[1] = rev[1], rev[0]
+	canon := hcache.NewCanon()
+	got := render(Link(rev, canon))
+	if len(got) != len(base) {
+		t.Fatalf("lengths differ: %v vs %v", got, base)
+	}
+	for i := range base {
+		if got[i] != base[i] {
+			t.Errorf("finding %d differs:\n  %s\n  %s", i, base[i], got[i])
+		}
+	}
+	// Second run through the same canon (warm id cache) is also identical.
+	again := render(Link(mk(), canon))
+	for i := range base {
+		if again[i] != base[i] {
+			t.Errorf("canon-warm finding %d differs:\n  %s\n  %s", i, base[i], again[i])
+		}
+	}
+}
+
+func TestLinkNilAndEmptyUnits(t *testing.T) {
+	r := Link([]*Facts{nil, {Unit: "empty.c"}}, nil)
+	if len(r.Findings) != 0 || r.Stats.Units != 1 {
+		t.Fatalf("stats = %+v, findings = %+v", r.Stats, r.Findings)
+	}
+	if r = Link(nil, nil); len(r.Findings) != 0 {
+		t.Fatalf("nil corpus: %+v", r.Findings)
+	}
+}
+
+func TestNormalizeCanonicalOrder(t *testing.T) {
+	f := &Facts{Unit: "u.c", Symbols: []Symbol{
+		{Name: "z", Facts: []Fact{
+			{Kind: KindRef, File: "u.c", Line: 9, Col: 1},
+			{Kind: KindDef, File: "u.c", Line: 2, Col: 1},
+		}},
+		{Name: "a"},
+	}}
+	f.Normalize()
+	if f.Symbols[0].Name != "a" || f.Symbols[1].Name != "z" {
+		t.Fatalf("symbols not sorted: %+v", f.Symbols)
+	}
+	if f.Symbols[1].Facts[0].Kind != KindDef {
+		t.Fatalf("facts not in canonical order: %+v", f.Symbols[1].Facts)
+	}
+	if f.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", f.Count())
+	}
+}

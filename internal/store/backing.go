@@ -18,11 +18,14 @@ import (
 )
 
 // Artifact namespaces. Facts is used by the daemon for per-unit analysis
-// results; the others back the header cache.
+// results, Link for per-unit conditional link facts (internal/link codec
+// bytes, keyed by request fingerprint plus root-file content hash); the
+// others back the header cache.
 const (
 	NSLex   = "hcache-lex"
 	NSHdr   = "hcache-hdr"
 	NSFacts = "facts"
+	NSLink  = "link"
 )
 
 // maxEntriesPerKey caps how many Level-2 entries one key's artifact holds.
